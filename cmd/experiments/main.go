@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run T1-phases,F3-majority-threshold
+//	experiments -all -quick
+//
+// Every experiment is deterministic given -seed; see DESIGN.md for the
+// experiment index mapping IDs to paper artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		runIDs  = fs.String("run", "", "comma-separated experiment IDs to run")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "smaller grids and trial counts")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		trials  = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
+		workers = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.All() {
+			fmt.Printf("  %-24s %-55s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return nil
+	}
+
+	p := experiment.Params{
+		Quick:       *quick,
+		Seed:        *seed,
+		Trials:      *trials,
+		Parallelism: *workers,
+	}
+
+	if *all || *runIDs == "" {
+		return experiment.RunAll(p, os.Stdout)
+	}
+
+	for _, id := range strings.Split(*runIDs, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiment.Find(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Printf("\n=== %s — %s (%s) ===\n\n", e.ID, e.Title, e.Artifact)
+		if err := e.Run(p, os.Stdout); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func silence(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		_ = devnull.Close()
+	}()
+	return fn()
+}
+
+func TestList(t *testing.T) {
+	if err := silence(t, func() error { return run([]string{"-list"}) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-run", "A3-self-interaction", "-quick", "-trials", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-run", "A2-agent-vs-aggregate, A3-self-interaction", "-quick", "-trials", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	err := silence(t, func() error { return run([]string{"-run", "nope"}) })
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Command sweep measures USD consensus time across a one-dimensional
+// parameter sweep and emits a table or CSV, for custom scaling studies
+// beyond the canned experiments.
+//
+// Usage:
+//
+//	sweep -param n -values 4096,8192,16384,32768 -k 8 -trials 10
+//	sweep -param k -values 2,4,8,16,32 -n 16384 -csv
+//	sweep -param bias -values 0,64,128,256,512 -n 16384 -k 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	usd "repro"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		param  = fs.String("param", "n", "swept parameter: n, k, bias (additive), or mult (ratio)")
+		values = fs.String("values", "", "comma-separated values for the swept parameter")
+		n      = fs.Int64("n", 1<<14, "population size (fixed unless swept)")
+		k      = fs.Int("k", 8, "number of opinions (fixed unless swept)")
+		u0     = fs.Int64("u0", 0, "initially undecided agents")
+		trials = fs.Int("trials", 10, "trials per sweep point")
+		seed   = fs.Uint64("seed", 1, "base random seed")
+		asCSV  = fs.Bool("csv", false, "emit CSV instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *values == "" {
+		return fmt.Errorf("-values is required")
+	}
+	raw := strings.Split(*values, ",")
+
+	type row struct {
+		value        string
+		mean, median float64
+		std          float64
+		parallel     float64
+		winRate      float64
+	}
+	var rows []row
+	for vi, vs := range raw {
+		vs = strings.TrimSpace(vs)
+		cfg, err := buildConfig(*param, vs, *n, *k, *u0)
+		if err != nil {
+			return err
+		}
+		var times []float64
+		wins := 0
+		for i := 0; i < *trials; i++ {
+			report, err := usd.Run(cfg, rng.Derive(*seed, uint64(vi*100000+i)))
+			if err != nil {
+				return err
+			}
+			if report.Result.Outcome != usd.OutcomeConsensus {
+				return fmt.Errorf("value %s trial %d: %v", vs, i, report.Result.Outcome)
+			}
+			times = append(times, float64(report.Result.Interactions))
+			if report.Result.Winner == report.InitialLeader {
+				wins++
+			}
+		}
+		s, err := stats.Summarize(times)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{
+			value:    vs,
+			mean:     s.Mean,
+			median:   s.Median,
+			std:      s.Std,
+			parallel: s.Mean / float64(cfg.N()),
+			winRate:  float64(wins) / float64(*trials),
+		})
+	}
+
+	if *asCSV {
+		fmt.Println("value,mean_interactions,median,std,parallel_time,initial_leader_win_rate")
+		for _, r := range rows {
+			fmt.Printf("%s,%g,%g,%g,%g,%g\n", r.value, r.mean, r.median, r.std, r.parallel, r.winRate)
+		}
+		return nil
+	}
+	fmt.Printf("sweep over %s (%d trials per point):\n\n", *param, *trials)
+	fmt.Printf("%-10s %-14s %-14s %-12s %-14s %s\n",
+		*param, "mean T", "median", "std", "parallel time", "leader wins")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-14.6g %-14.6g %-12.4g %-14.4g %.0f%%\n",
+			r.value, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
+	}
+	return nil
+}
+
+func buildConfig(param, value string, n int64, k int, u0 int64) (*usd.Config, error) {
+	switch param {
+	case "n":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad n value %q: %w", value, err)
+		}
+		return usd.Uniform(v, k, scaleU(u0, n, v))
+	case "k":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return nil, fmt.Errorf("bad k value %q: %w", value, err)
+		}
+		return usd.Uniform(n, v, u0)
+	case "bias":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bias value %q: %w", value, err)
+		}
+		return usd.WithAdditiveBias(n, k, v, u0)
+	case "mult":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mult value %q: %w", value, err)
+		}
+		return usd.WithMultiplicativeBias(n, k, v, u0)
+	default:
+		return nil, fmt.Errorf("unknown -param %q (want n, k, bias, or mult)", param)
+	}
+}
+
+// scaleU keeps the undecided fraction constant when n is the swept
+// parameter.
+func scaleU(u0, nOld, nNew int64) int64 {
+	if u0 == 0 || nOld == 0 {
+		return u0
+	}
+	return int64(math.Round(float64(u0) * float64(nNew) / float64(nOld)))
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func silence(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		_ = devnull.Close()
+	}()
+	return fn()
+}
+
+func TestSweepOverK(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2,4", "-n", "1024", "-trials", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepOverN(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "n", "-values", "512,1024", "-k", "3", "-trials", "2", "-u0", "64"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepBiasCSV(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "bias", "-values", "0,100", "-n", "1024", "-k", "2", "-trials", "2", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMult(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "mult", "-values", "2.0", "-n", "1024", "-k", "4", "-trials", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMissingValues(t *testing.T) {
+	err := silence(t, func() error { return run([]string{"-param", "k"}) })
+	if err == nil || !strings.Contains(err.Error(), "-values") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepBadParam(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "zeta", "-values", "1"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown -param") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-param", "n", "-values", "abc"},
+		{"-param", "k", "-values", "x"},
+		{"-param", "bias", "-values", "??"},
+		{"-param", "mult", "-values", "zz"},
+	} {
+		err := silence(t, func() error { return run(args) })
+		if err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestScaleU(t *testing.T) {
+	if got := scaleU(0, 100, 200); got != 0 {
+		t.Fatalf("scaleU(0) = %d", got)
+	}
+	if got := scaleU(50, 100, 200); got != 100 {
+		t.Fatalf("scaleU = %d, want 100", got)
+	}
+	if got := scaleU(10, 0, 100); got != 10 {
+		t.Fatalf("scaleU with nOld=0 = %d", got)
+	}
+}

@@ -1,0 +1,33 @@
+// Package usd is a simulation library for the k-opinion Undecided State
+// Dynamics (USD) in the population protocol model, reproducing "Fast
+// Convergence of k-Opinion Undecided State Dynamics in the Population
+// Protocol Model" (Amir, Aspnes, Berenbrink, Biermeier, Hahn, Kaaser,
+// Lazarsfeld — PODC 2023, arXiv:2302.12508).
+//
+// The USD is a population protocol over states {1..k, ⊥}: in each discrete
+// interaction an ordered (responder, initiator) pair of agents is drawn
+// uniformly at random, a decided responder meeting a differently-decided
+// initiator becomes undecided, and an undecided responder adopts a decided
+// initiator's opinion. The paper shows this simple dynamics solves
+// plurality consensus in O(k·n log n) interactions.
+//
+// # Quick start
+//
+//	cfg, err := usd.WithAdditiveBias(100_000, 10, 2_000, 0)
+//	if err != nil { ... }
+//	report, err := usd.Run(cfg, 42)
+//	if err != nil { ... }
+//	fmt.Println(report.Result.Winner, report.Result.Interactions)
+//
+// Run simulates to consensus with the exact process law (O(log k) work per
+// productive interaction) and tracks the five analysis phases of the paper.
+// For fine-grained control — custom stopping conditions, per-event
+// observers, disabling the geometric skipping of unproductive interactions
+// — construct a Simulator directly with NewSimulator.
+//
+// The gossip-model variant of the dynamics (and the related-work baselines
+// Voter, TwoChoices, 3-Majority, MedianRule) are available through
+// RunGossip and the internal/gossip package; the experiment suite that
+// regenerates every table and figure of the paper lives in
+// internal/experiment and is driven by cmd/experiments.
+package usd

@@ -1,0 +1,64 @@
+package usd_test
+
+import (
+	"fmt"
+
+	usd "repro"
+)
+
+// ExampleRun simulates the USD from a configuration with a strong additive
+// bias: the initial plurality (Opinion 0) wins.
+func ExampleRun() {
+	cfg, err := usd.WithAdditiveBias(10_000, 5, 2_000, 0)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	report, err := usd.Run(cfg, 42)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("outcome:", report.Result.Outcome)
+	fmt.Println("winner:", report.Result.Winner)
+	fmt.Println("winner was initial plurality:", report.Result.Winner == report.InitialLeader)
+	// Output:
+	// outcome: consensus
+	// winner: 0
+	// winner was initial plurality: true
+}
+
+// ExampleNewSimulator drives the simulator step by step with a custom
+// stopping rule: stop as soon as one opinion holds a 2/3 majority.
+func ExampleNewSimulator() {
+	cfg, err := usd.Uniform(3_000, 3, 0)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	s, err := usd.NewSimulator(cfg, 7)
+	if err != nil {
+		fmt.Println("simulator:", err)
+		return
+	}
+	res := s.RunUntil(0, func(sim *usd.Simulator) bool {
+		_, xmax := sim.Max()
+		return 3*xmax >= 2*sim.N()
+	})
+	_, xmax := s.Max()
+	fmt.Println("reached 2/3 majority:", 3*xmax >= 2*s.N())
+	fmt.Println("still before consensus:", res.Outcome != usd.OutcomeConsensus || xmax == s.N())
+	// Output:
+	// reached 2/3 majority: true
+	// still before consensus: true
+}
+
+// ExampleEquilibriumUndecided shows the unstable equilibrium for the number
+// of undecided agents: u* = n(k−1)/(2k−1), approaching n/2 for large k.
+func ExampleEquilibriumUndecided() {
+	fmt.Printf("k=2:  %.0f\n", usd.EquilibriumUndecided(30_000, 2))
+	fmt.Printf("k=10: %.0f\n", usd.EquilibriumUndecided(30_000, 10))
+	// Output:
+	// k=2:  10000
+	// k=10: 14211
+}

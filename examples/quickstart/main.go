@@ -1,0 +1,35 @@
+// Quickstart: simulate the k-opinion undecided state dynamics once and
+// inspect the result — the smallest useful program against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	usd "repro"
+)
+
+func main() {
+	// 100k agents, 10 opinions. Opinion 0 starts with a 2000-agent
+	// additive lead — Ω(√(n log n)), so by Theorem 2(2) it should win.
+	cfg, err := usd.WithAdditiveBias(100_000, 10, 2_000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial:", cfg)
+
+	report, err := usd.Run(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("outcome:      ", report.Result.Outcome)
+	fmt.Println("winner:       ", report.Result.Winner)
+	fmt.Printf("interactions:  %d (%.1f per agent)\n",
+		report.Result.Interactions, report.Result.ParallelTime)
+
+	// The paper's five-phase decomposition, measured on this very run.
+	for p := 1; p <= 5; p++ {
+		fmt.Printf("phase %d ended at interaction %d\n", p, report.Phases.End[p-1])
+	}
+}

@@ -1,0 +1,220 @@
+package usd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/phase"
+	"repro/internal/potential"
+	"repro/internal/rng"
+)
+
+// TestWinnerFixedAfterPhase2 checks the paper's structural claim that the
+// identity of the eventual winner does not change after the end of Phase 2
+// (discussion after the phase table in §2.1): the unique significant
+// opinion at T2 is the consensus opinion.
+func TestWinnerFixedAfterPhase2(t *testing.T) {
+	const trials = 25
+	for i := 0; i < trials; i++ {
+		cfg, err := Uniform(4096, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := Run(cfg, uint64(i)+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Result.Outcome != OutcomeConsensus {
+			t.Fatalf("trial %d: %v", i, report.Result.Outcome)
+		}
+		if report.Phases.LeaderAtT2 != report.Result.Winner {
+			t.Fatalf("trial %d: leader at T2 = %d but winner = %d",
+				i, report.Phases.LeaderAtT2, report.Result.Winner)
+		}
+	}
+}
+
+// TestPhaseBoundsWithConstants checks each phase duration against the
+// paper's bound with explicit generous constants, across several trials —
+// a failure here means the *shape* of some phase bound is violated.
+func TestPhaseBoundsWithConstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase-bound sweep skipped in -short mode")
+	}
+	n := int64(1 << 13)
+	k := 8
+	lnN := math.Log(float64(n))
+	// Generous constants on each §2.1 bound term.
+	budgets := []float64{
+		7 * float64(n) * lnN,                           // phase 1: Lemma 1's 7n ln n
+		40 * 2 * float64(k) * float64(n) * lnN,         // phase 2 (xmax >= n/2k)
+		420 * 2 * float64(k) * float64(n) * lnN,        // phase 3
+		7*float64(n)*lnN + 444*2*float64(k)*float64(n), // phase 4
+		10 * float64(n) * lnN,                          // phase 5
+	}
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		cfg, err := Uniform(n, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := Run(cfg, uint64(i)+500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 1; p <= 5; p++ {
+			d := report.Phases.Duration(p)
+			if d < 0 {
+				t.Fatalf("trial %d: phase %d missing", i, p)
+			}
+			if float64(d) > budgets[p-1] {
+				t.Fatalf("trial %d: phase %d took %d > budget %.0f",
+					i, p, d, budgets[p-1])
+			}
+		}
+	}
+}
+
+// TestUndecidedBandDuringRun checks Lemma 3 and Lemma 4 jointly on live
+// trajectories: after Phase 1, the undecided count stays within
+// [(n−xmax)/2 − 8√(n ln n), n/2].
+func TestUndecidedBandDuringRun(t *testing.T) {
+	n := int64(1 << 13)
+	k := 4
+	cfg, err := Uniform(n, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		s, err := core.New(cfg, rng.New(rng.Derive(900, uint64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inPhase2 := false
+		var violations int
+		s.RunObserved(0, func(sim *core.Simulator, _ core.Event) {
+			_, xmax := sim.Max()
+			u := sim.Undecided()
+			if !inPhase2 && 2*u >= sim.N()-xmax {
+				inPhase2 = true
+			}
+			if !inPhase2 {
+				return
+			}
+			if float64(u) > float64(n)/2 {
+				violations++
+			}
+			if float64(u) < potential.UndecidedLowerBound(n, xmax) {
+				violations++
+			}
+		})
+		if violations > 0 {
+			t.Fatalf("trial %d: %d band violations", trial, violations)
+		}
+	}
+}
+
+// TestInsignificantOpinionsNeverWin checks the Lemma 6(2) consequence: an
+// opinion that starts far below the maximum (insignificant by a wide
+// margin) never wins, even though the overall start has no unique leader.
+func TestInsignificantOpinionsNeverWin(t *testing.T) {
+	n := int64(8192)
+	// Opinions 0-3 tied at the top; opinions 4-7 far below.
+	thr := int64(potential.SignificanceThreshold(n, 1))
+	high := n/4 - 100
+	low := int64(50)
+	support := []int64{high, high, high, high - thr, low, low, low, low}
+	rest := n
+	for _, x := range support {
+		rest -= x
+	}
+	cfg, err := FromSupport(support, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		report, err := Run(cfg, uint64(i)+700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Result.Outcome != OutcomeConsensus {
+			t.Fatalf("trial %d: %v", i, report.Result.Outcome)
+		}
+		if report.Result.Winner >= 4 {
+			t.Fatalf("trial %d: insignificant opinion %d won", i, report.Result.Winner)
+		}
+	}
+}
+
+// TestPhaseTimesMatchTrackerOnFacade cross-checks the facade's phase
+// reporting against a manually driven tracker on the same seed.
+func TestPhaseTimesMatchTrackerOnFacade(t *testing.T) {
+	cfg, err := Uniform(2048, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual run with identical kernel, seed, and check interval.
+	s, err := core.New(cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEvery := int(cfg.N()/64) + 1
+	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
+	tr.ObserveNow(s)
+	res := s.RunObserved(0, func(sim *core.Simulator, _ core.Event) { tr.Observe(sim) })
+	tr.ObserveNow(s)
+	if res != report.Result {
+		t.Fatalf("results diverge: %+v vs %+v", res, report.Result)
+	}
+	if tr.Times() != report.Phases {
+		t.Fatalf("phase times diverge: %+v vs %+v", tr.Times(), report.Phases)
+	}
+}
+
+// TestMultiplicativeFasterThanAdditive checks the Theorem 2 regime
+// ordering on equal populations: a constant multiplicative bias converges
+// faster than a Θ(√(n log n)) additive bias, which in turn is not slower
+// than no bias at all (all with the same n, k).
+func TestMultiplicativeFasterThanAdditive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regime ordering skipped in -short mode")
+	}
+	n := int64(1 << 13)
+	k := 8
+	const trials = 15
+	meanTime := func(mk func() (*Config, error), seedOff uint64) float64 {
+		cfg, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 0; i < trials; i++ {
+			report, err := Run(cfg, rng.Derive(seedOff, uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Result.Outcome != OutcomeConsensus {
+				t.Fatalf("%v", report.Result.Outcome)
+			}
+			sum += float64(report.Result.Interactions)
+		}
+		return sum / trials
+	}
+	mult := meanTime(func() (*Config, error) { return WithMultiplicativeBias(n, k, 2.0, 0) }, 1)
+	add := meanTime(func() (*Config, error) {
+		return WithAdditiveBias(n, k, 2*int64(SignificanceThreshold(n, 1)), 0)
+	}, 2)
+	none := meanTime(func() (*Config, error) { return Uniform(n, k, 0) }, 3)
+	if mult >= add {
+		t.Fatalf("multiplicative bias (%.0f) not faster than additive (%.0f)", mult, add)
+	}
+	if add > none*1.1 {
+		t.Fatalf("additive bias (%.0f) slower than no bias (%.0f)", add, none)
+	}
+}

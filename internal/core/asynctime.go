@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ContinuousTime converts an interaction count into elapsed continuous time
+// in the asynchronous gossip model of Boyd et al. (Perron et al.'s setting,
+// the paper's footnote 1): each of the n agents rings at rate 1, so
+// interactions form a Poisson process of rate n and the time of the t-th
+// interaction is a Gamma(t, n) variable with mean t/n.
+//
+// For t above gammaExactLimit the sample is drawn from the normal
+// approximation (exact mean t/n, standard deviation √t/n), whose error is
+// O(1/√t) and negligible at simulation scales; below it, the Gamma is
+// sampled exactly as a sum of exponentials.
+func ContinuousTime(src *rng.Source, interactions, n int64) float64 {
+	if interactions <= 0 || n <= 0 {
+		return 0
+	}
+	if interactions <= gammaExactLimit {
+		var sum float64
+		for i := int64(0); i < interactions; i++ {
+			sum += src.Exponential(float64(n))
+		}
+		return sum
+	}
+	t := float64(interactions)
+	mean := t / float64(n)
+	std := math.Sqrt(t) / float64(n)
+	return mean + std*normal(src)
+}
+
+// gammaExactLimit is the largest shape parameter for which ContinuousTime
+// sums exponentials exactly.
+const gammaExactLimit = 4096
+
+// normal returns a standard normal variate via the Box-Muller transform.
+func normal(src *rng.Source) float64 {
+	u1 := src.Float64()
+	for u1 == 0 {
+		u1 = src.Float64()
+	}
+	u2 := src.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

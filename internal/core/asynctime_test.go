@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestContinuousTimeEdgeCases(t *testing.T) {
+	src := rng.New(1)
+	if got := ContinuousTime(src, 0, 100); got != 0 {
+		t.Fatalf("t=0 gave %v", got)
+	}
+	if got := ContinuousTime(src, -5, 100); got != 0 {
+		t.Fatalf("negative interactions gave %v", got)
+	}
+	if got := ContinuousTime(src, 10, 0); got != 0 {
+		t.Fatalf("n=0 gave %v", got)
+	}
+}
+
+func TestContinuousTimeExactRegimeMoments(t *testing.T) {
+	// Gamma(t, n): mean t/n, variance t/n².
+	src := rng.New(2)
+	const interactions, n, trials = 100, 50, 20000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := ContinuousTime(src, interactions, n)
+		if v <= 0 {
+			t.Fatalf("non-positive continuous time %v", v)
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	wantMean := float64(interactions) / n
+	wantVar := float64(interactions) / (n * n)
+	if math.Abs(mean-wantMean)/wantMean > 0.02 {
+		t.Fatalf("mean %v, want %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Fatalf("variance %v, want %v", variance, wantVar)
+	}
+}
+
+func TestContinuousTimeNormalRegimeMoments(t *testing.T) {
+	src := rng.New(3)
+	const interactions, n, trials = 1 << 20, 1 << 10, 5000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := ContinuousTime(src, interactions, n)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	wantMean := float64(interactions) / n
+	wantVar := float64(interactions) / float64(int64(n)*int64(n))
+	if math.Abs(mean-wantMean)/wantMean > 0.001 {
+		t.Fatalf("mean %v, want %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.15 {
+		t.Fatalf("variance %v, want %v", variance, wantVar)
+	}
+}
+
+func TestContinuousTimeParallelEquivalence(t *testing.T) {
+	// Footnote 1 of the paper: the asynchronous gossip model is the
+	// continuous-time variant of the population model — continuous time ≈
+	// interactions/n. A full USD run's continuous time must match its
+	// parallel time closely.
+	srcSim := rng.New(4)
+	cfg := mustConfig(t, []int64{600, 200, 200}, 0)
+	s, err := New(cfg, srcSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(0)
+	if res.Outcome != OutcomeConsensus {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	ct := ContinuousTime(rng.New(5), res.Interactions, s.N())
+	if math.Abs(ct-res.ParallelTime)/res.ParallelTime > 0.05 {
+		t.Fatalf("continuous time %v vs parallel time %v", ct, res.ParallelTime)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	src := rng.New(6)
+	const trials = 100000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := normal(src)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}

@@ -1,0 +1,388 @@
+// Package core implements the paper's primary contribution: a
+// configuration-level simulator for the k-opinion Undecided State Dynamics
+// (USD) in the population protocol model.
+//
+// The population protocol draws an ordered pair (responder, initiator)
+// uniformly at random from the n² ordered agent pairs (self-interactions are
+// allowed, exactly as in the paper) and applies the USD transition function:
+// a decided responder meeting a differently-decided initiator becomes
+// undecided; an undecided responder adopts a decided initiator's opinion;
+// every other pair is unproductive.
+//
+// Because pairs are drawn with replacement, the responder and initiator
+// states are independent categorical draws from the configuration, so the
+// process is a Markov chain on the aggregate configuration
+// (x₁, …, x_k, u). One interaction is simulated in O(log k) time with
+// Fenwick-tree sampling, using the exact transition law of Observation 6:
+//
+//	Pr[adopt opinion j]   = u·xⱼ/n²
+//	Pr[opinion i → ⊥]     = xᵢ·(n−u−xᵢ)/n²   (marginally; pair law xᵢxⱼ/n²)
+//	Pr[unproductive]      = 1 − u(n−u)/n² − ((n−u)²−r₂)/n²,  r₂ = Σxᵢ²
+//
+// Unproductive interactions do not change the state, so the simulator can
+// optionally advance the interaction clock by a geometric jump to the next
+// productive interaction ("skipping"); the resulting trajectory has exactly
+// the same distribution while being dramatically faster near consensus,
+// where almost all interactions are unproductive.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/fenwick"
+	"repro/internal/rng"
+)
+
+// EventKind classifies what happened in one simulated step.
+type EventKind int
+
+// Event kinds. EventNone is only reported by the non-skipping kernel, which
+// simulates unproductive interactions individually.
+const (
+	// EventAdopt: an undecided responder adopted Event.Opinion.
+	EventAdopt EventKind = iota + 1
+	// EventUndecide: a responder holding Event.Opinion became undecided.
+	EventUndecide
+	// EventNone: the interaction was unproductive.
+	EventNone
+	// EventAbsorbed: the configuration is absorbing (consensus or
+	// all-undecided); no interaction can ever change it again.
+	EventAbsorbed
+)
+
+// String returns a short name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdopt:
+		return "adopt"
+	case EventUndecide:
+		return "undecide"
+	case EventNone:
+		return "none"
+	case EventAbsorbed:
+		return "absorbed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one simulated step.
+type Event struct {
+	// Kind classifies the step.
+	Kind EventKind
+	// Opinion is the opinion involved for EventAdopt and EventUndecide;
+	// it is -1 otherwise.
+	Opinion int
+	// Interactions is the interaction clock after the step, counting
+	// every interaction including skipped unproductive ones.
+	Interactions int64
+}
+
+// Outcome is the terminal state of a Run.
+type Outcome int
+
+// Possible outcomes of Run.
+const (
+	// OutcomeConsensus: all n agents support a single opinion.
+	OutcomeConsensus Outcome = iota + 1
+	// OutcomeAllUndecided: every agent is undecided; this configuration is
+	// absorbing and can only be reached from an all-undecided start.
+	OutcomeAllUndecided
+	// OutcomeBudget: the interaction budget was exhausted first.
+	OutcomeBudget
+)
+
+// String returns a short name for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeConsensus:
+		return "consensus"
+	case OutcomeAllUndecided:
+		return "all-undecided"
+	case OutcomeBudget:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Outcome is the terminal condition.
+	Outcome Outcome
+	// Winner is the consensus opinion for OutcomeConsensus and -1 otherwise.
+	Winner int
+	// Interactions is the value of the interaction clock at termination.
+	Interactions int64
+	// ParallelTime is Interactions/n, the standard conversion between
+	// population-protocol interactions and parallel rounds.
+	ParallelTime float64
+}
+
+// Observer receives every applied event during an observed run. The
+// simulator passed to the callback must not be mutated.
+type Observer func(s *Simulator, ev Event)
+
+// Simulator simulates the USD at configuration level. It is not safe for
+// concurrent use. Construct with New.
+type Simulator struct {
+	tree  *fenwick.Dual // per-opinion support with Σx and Σx² prefix sums
+	src   *rng.Source
+	n     int64
+	nSq   int64
+	u     int64
+	r2    int64 // Σ xᵢ², maintained incrementally
+	steps int64 // interaction clock
+	skip  bool
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithSkipping enables or disables geometric skipping of unproductive
+// interactions. The default is enabled; both settings sample from exactly
+// the same process law, but with skipping the simulator only spends time on
+// productive interactions.
+func WithSkipping(enabled bool) Option {
+	return func(s *Simulator) { s.skip = enabled }
+}
+
+// New returns a simulator initialized with a copy of the configuration c,
+// drawing randomness from src.
+func New(c *conf.Config, src *rng.Source, opts ...Option) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid configuration: %w", err)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil randomness source")
+	}
+	s := &Simulator{
+		tree: fenwick.DualFromSlice(c.Support),
+		src:  src,
+		n:    c.N(),
+		u:    c.Undecided,
+		r2:   c.SumSquares(),
+		skip: true,
+	}
+	s.nSq = s.n * s.n
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// N returns the population size.
+func (s *Simulator) N() int64 { return s.n }
+
+// K returns the number of opinions.
+func (s *Simulator) K() int { return s.tree.Len() }
+
+// Undecided returns the current number of undecided agents.
+func (s *Simulator) Undecided() int64 { return s.u }
+
+// Decided returns the current number of decided agents, n − u.
+func (s *Simulator) Decided() int64 { return s.n - s.u }
+
+// Support returns the current support of opinion i.
+func (s *Simulator) Support(i int) int64 { return s.tree.Get(i) }
+
+// Supports appends the current support vector to dst and returns it.
+func (s *Simulator) Supports(dst []int64) []int64 { return s.tree.Values(dst) }
+
+// SumSquares returns r₂ = Σ xᵢ².
+func (s *Simulator) SumSquares() int64 { return s.r2 }
+
+// Interactions returns the current interaction clock.
+func (s *Simulator) Interactions() int64 { return s.steps }
+
+// ParallelTime returns Interactions()/n.
+func (s *Simulator) ParallelTime() float64 { return float64(s.steps) / float64(s.n) }
+
+// Max returns the index and support of the currently largest opinion in
+// O(k). Ties resolve to the smallest index.
+func (s *Simulator) Max() (opinion int, support int64) {
+	opinion = 0
+	for i := 0; i < s.tree.Len(); i++ {
+		if x := s.tree.Get(i); x > support {
+			opinion, support = i, x
+		}
+	}
+	return opinion, support
+}
+
+// Config returns a snapshot of the current configuration.
+func (s *Simulator) Config() *conf.Config {
+	return &conf.Config{
+		Support:   s.tree.Values(nil),
+		Undecided: s.u,
+	}
+}
+
+// IsConsensus reports whether all agents share one opinion.
+func (s *Simulator) IsConsensus() bool {
+	return s.u == 0 && s.r2 == s.nSq
+}
+
+// IsAbsorbed reports whether no interaction can ever change the
+// configuration again: either consensus or all agents undecided.
+func (s *Simulator) IsAbsorbed() bool {
+	return s.productiveWeight() == 0
+}
+
+// productiveWeight returns W = u·D + (D²−r₂), the number of ordered agent
+// pairs whose interaction is productive, where D = n−u.
+func (s *Simulator) productiveWeight() int64 {
+	d := s.n - s.u
+	return s.u*d + (d*d - s.r2)
+}
+
+// ProductiveProbability returns the probability that a single interaction
+// changes the configuration.
+func (s *Simulator) ProductiveProbability() float64 {
+	return float64(s.productiveWeight()) / float64(s.nSq)
+}
+
+// adopt applies "undecided responder adopts opinion j".
+func (s *Simulator) adopt(j int) {
+	x := s.tree.Get(j)
+	s.tree.Add(j, 1)
+	s.r2 += 2*x + 1
+	s.u--
+}
+
+// undecide applies "opinion-i responder becomes undecided".
+func (s *Simulator) undecide(i int) {
+	x := s.tree.Get(i)
+	s.tree.Add(i, -1)
+	s.r2 += -2*x + 1
+	s.u++
+}
+
+// applyProductive samples and applies one productive event given r uniform
+// in [0, W) with W = productiveWeight(), and returns the event. The
+// interaction clock is not advanced here.
+func (s *Simulator) applyProductive(r int64) Event {
+	d := s.n - s.u
+	wDown := s.u * d
+	if r < wDown {
+		// Undecided responder adopts opinion j ∝ xⱼ. r is uniform over
+		// [0, u·D); r/u is uniform over [0, D), an exact threshold for
+		// the support descent.
+		j := s.tree.FindSupport(r / s.u)
+		s.adopt(j)
+		return Event{Kind: EventAdopt, Opinion: j}
+	}
+	// Decided responder i ∝ xᵢ(D−xᵢ) becomes undecided.
+	i := s.tree.FindWeighted(d, r-wDown)
+	s.undecide(i)
+	return Event{Kind: EventUndecide, Opinion: i}
+}
+
+// Step simulates a single interaction (without skipping) and returns the
+// event. If the configuration is absorbing, the clock does not advance and
+// EventAbsorbed is returned.
+func (s *Simulator) Step() Event {
+	w := s.productiveWeight()
+	if w == 0 {
+		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
+	}
+	s.steps++
+	r := int64(s.src.Uint64n(uint64(s.nSq)))
+	if r >= w {
+		return Event{Kind: EventNone, Opinion: -1, Interactions: s.steps}
+	}
+	ev := s.applyProductive(r)
+	ev.Interactions = s.steps
+	return ev
+}
+
+// StepProductive advances the clock to the next productive interaction via
+// a geometric jump and applies it, returning the event. If the
+// configuration is absorbing, the clock does not advance and EventAbsorbed
+// is returned.
+func (s *Simulator) StepProductive() Event {
+	w := s.productiveWeight()
+	if w == 0 {
+		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
+	}
+	p := float64(w) / float64(s.nSq)
+	s.steps += s.src.Geometric(p)
+	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
+	ev.Interactions = s.steps
+	return ev
+}
+
+// Run simulates until consensus, absorption, or the interaction budget is
+// exhausted. A budget <= 0 means "until absorbed". With skipping enabled, a
+// geometric jump that lands past the budget is truncated at the budget and
+// its productive event is discarded, exactly as if simulation had stopped
+// mid-jump.
+func (s *Simulator) Run(budget int64) Result {
+	return s.runLoop(budget, nil, nil)
+}
+
+// RunObserved is Run with an observer invoked after every event (including
+// EventNone events when skipping is disabled).
+func (s *Simulator) RunObserved(budget int64, obs Observer) Result {
+	return s.runLoop(budget, obs, nil)
+}
+
+// RunUntil simulates until stop returns true (checked after every event),
+// until absorption, or until the budget is exhausted. The Outcome is
+// OutcomeBudget when stop terminated the run without consensus.
+func (s *Simulator) RunUntil(budget int64, stop func(*Simulator) bool) Result {
+	return s.runLoop(budget, nil, stop)
+}
+
+func (s *Simulator) runLoop(budget int64, obs Observer, stop func(*Simulator) bool) Result {
+	for {
+		if s.IsConsensus() {
+			winner, _ := s.Max()
+			return s.result(OutcomeConsensus, winner)
+		}
+		w := s.productiveWeight()
+		if w == 0 {
+			return s.result(OutcomeAllUndecided, -1)
+		}
+		if budget > 0 && s.steps >= budget {
+			return s.result(OutcomeBudget, -1)
+		}
+		var ev Event
+		if s.skip {
+			jump := s.src.Geometric(float64(w) / float64(s.nSq))
+			if budget > 0 && s.steps+jump > budget {
+				// The next productive interaction falls beyond the
+				// budget: stop at the budget without applying it.
+				s.steps = budget
+				return s.result(OutcomeBudget, -1)
+			}
+			s.steps += jump
+			ev = s.applyProductive(int64(s.src.Uint64n(uint64(w))))
+			ev.Interactions = s.steps
+		} else {
+			ev = s.Step()
+		}
+		if obs != nil {
+			obs(s, ev)
+		}
+		if stop != nil && ev.Kind != EventNone && stop(s) {
+			winner := -1
+			outcome := OutcomeBudget
+			if s.IsConsensus() {
+				outcome = OutcomeConsensus
+				winner, _ = s.Max()
+			}
+			return s.result(outcome, winner)
+		}
+	}
+}
+
+func (s *Simulator) result(o Outcome, winner int) Result {
+	return Result{
+		Outcome:      o,
+		Winner:       winner,
+		Interactions: s.steps,
+		ParallelTime: s.ParallelTime(),
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conf"
+	"repro/internal/potential"
+	"repro/internal/rng"
+)
+
+func mustConfig(t *testing.T, support []int64, u int64) *conf.Config {
+	t.Helper()
+	c, err := conf.FromSupport(support, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newSim(t *testing.T, c *conf.Config, seed uint64, opts ...Option) *Simulator {
+	t.Helper()
+	s, err := New(c, rng.New(seed), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(&conf.Config{}, rng.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	c := mustConfig(t, []int64{1, 1}, 0)
+	if _, err := New(c, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestNewCopiesConfig(t *testing.T) {
+	c := mustConfig(t, []int64{5, 5}, 0)
+	s := newSim(t, c, 1)
+	c.Support[0] = 0
+	if s.Support(0) != 5 {
+		t.Fatal("simulator must own a copy of the configuration")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustConfig(t, []int64{6, 3}, 1)
+	s := newSim(t, c, 1)
+	if s.N() != 10 || s.K() != 2 || s.Undecided() != 1 || s.Decided() != 9 {
+		t.Fatalf("shape accessors wrong: n=%d k=%d u=%d", s.N(), s.K(), s.Undecided())
+	}
+	if s.SumSquares() != 45 {
+		t.Fatalf("SumSquares = %d, want 45", s.SumSquares())
+	}
+	if op, sup := s.Max(); op != 0 || sup != 6 {
+		t.Fatalf("Max = (%d,%d)", op, sup)
+	}
+	got := s.Supports(nil)
+	if len(got) != 2 || got[0] != 6 || got[1] != 3 {
+		t.Fatalf("Supports = %v", got)
+	}
+	got[0] = 99
+	if s.Support(0) != 6 {
+		t.Fatal("Supports must copy")
+	}
+	snap := s.Config()
+	if snap.N() != 10 || snap.Undecided != 1 {
+		t.Fatalf("Config snapshot = %v", snap)
+	}
+}
+
+func TestConsensusDetection(t *testing.T) {
+	s := newSim(t, mustConfig(t, []int64{10, 0, 0}, 0), 1)
+	if !s.IsConsensus() || !s.IsAbsorbed() {
+		t.Fatal("consensus not detected")
+	}
+	s2 := newSim(t, mustConfig(t, []int64{9, 1}, 0), 1)
+	if s2.IsConsensus() || s2.IsAbsorbed() {
+		t.Fatal("false consensus")
+	}
+	s3 := newSim(t, mustConfig(t, []int64{9, 0}, 1), 1)
+	if s3.IsConsensus() || s3.IsAbsorbed() {
+		t.Fatal("9+1 undecided misdetected as absorbed")
+	}
+}
+
+func TestAllUndecidedAbsorbing(t *testing.T) {
+	s := newSim(t, mustConfig(t, []int64{0, 0}, 10), 1)
+	if !s.IsAbsorbed() || s.IsConsensus() {
+		t.Fatal("all-undecided must be absorbed, not consensus")
+	}
+	ev := s.Step()
+	if ev.Kind != EventAbsorbed {
+		t.Fatalf("Step on absorbed config = %v", ev.Kind)
+	}
+	if s.Interactions() != 0 {
+		t.Fatal("clock advanced on absorbed configuration")
+	}
+	res := s.Run(1000)
+	if res.Outcome != OutcomeAllUndecided {
+		t.Fatalf("Run outcome = %v, want all-undecided", res.Outcome)
+	}
+}
+
+func TestStepConservation(t *testing.T) {
+	// Property: after any number of steps, Σx + u == n, all counts >= 0,
+	// r₂ is consistent, and the clock is non-decreasing.
+	check := func(seed uint16, kRaw, uRaw uint8) bool {
+		k := int(kRaw%6) + 2
+		n := int64(200)
+		u := int64(uRaw) % 100
+		c, err := conf.Uniform(n, k, u)
+		if err != nil {
+			return true
+		}
+		s, err := New(c, rng.New(uint64(seed)), WithSkipping(seed%2 == 0))
+		if err != nil {
+			return false
+		}
+		prevClock := int64(0)
+		for i := 0; i < 300; i++ {
+			var ev Event
+			if s.skip {
+				ev = s.StepProductive()
+			} else {
+				ev = s.Step()
+			}
+			if ev.Kind == EventAbsorbed {
+				break
+			}
+			var sum, r2 int64
+			for j := 0; j < s.K(); j++ {
+				x := s.Support(j)
+				if x < 0 {
+					return false
+				}
+				sum += x
+				r2 += x * x
+			}
+			if sum+s.Undecided() != n || s.Undecided() < 0 {
+				return false
+			}
+			if r2 != s.SumSquares() {
+				return false
+			}
+			if s.Interactions() < prevClock {
+				return false
+			}
+			prevClock = s.Interactions()
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleStepLawMatchesObservation6(t *testing.T) {
+	// Empirical one-step frequencies from the non-skipping kernel must
+	// match the exact Observation 6/8 probabilities.
+	c := mustConfig(t, []int64{6, 3, 1}, 10) // n = 20
+	want := potential.UndecidedProbs(c)
+	src := rng.New(42)
+	const trials = 400000
+	var down, up, none int
+	adoptCounts := make([]int, c.K())
+	undecideCounts := make([]int, c.K())
+	for i := 0; i < trials; i++ {
+		s, err := New(c, src, WithSkipping(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev := s.Step(); ev.Kind {
+		case EventAdopt:
+			down++
+			adoptCounts[ev.Opinion]++
+		case EventUndecide:
+			up++
+			undecideCounts[ev.Opinion]++
+		case EventNone:
+			none++
+		default:
+			t.Fatalf("unexpected event %v", ev.Kind)
+		}
+	}
+	tol := 4.0 / math.Sqrt(trials) // ~4 sigma on a Bernoulli proportion
+	if got := float64(down) / trials; math.Abs(got-want.Down) > tol {
+		t.Errorf("adopt rate = %.5f, want %.5f", got, want.Down)
+	}
+	if got := float64(up) / trials; math.Abs(got-want.Up) > tol {
+		t.Errorf("undecide rate = %.5f, want %.5f", got, want.Up)
+	}
+	if got := float64(none) / trials; math.Abs(got-(1-want.Productive())) > tol {
+		t.Errorf("noop rate = %.5f, want %.5f", got, 1-want.Productive())
+	}
+	// Per-opinion laws (Observation 8).
+	for i := 0; i < c.K(); i++ {
+		adoptP, undecideP := potential.OpinionProbs(c, i)
+		if got := float64(adoptCounts[i]) / trials; math.Abs(got-adoptP) > tol {
+			t.Errorf("opinion %d adopt rate = %.5f, want %.5f", i, got, adoptP)
+		}
+		if got := float64(undecideCounts[i]) / trials; math.Abs(got-undecideP) > tol {
+			t.Errorf("opinion %d undecide rate = %.5f, want %.5f", i, got, undecideP)
+		}
+	}
+}
+
+func TestSkippingConditionalLawMatches(t *testing.T) {
+	// The skipping kernel's productive event must follow the conditional
+	// law: Pr[adopt j | productive] = u·xⱼ/W, etc.
+	c := mustConfig(t, []int64{6, 3, 1}, 10)
+	src := rng.New(43)
+	n := c.N()
+	d := c.Decided()
+	w := c.Undecided*d + (d*d - c.SumSquares())
+	const trials = 300000
+	adoptCounts := make([]int, c.K())
+	undecideCounts := make([]int, c.K())
+	var jumpSum float64
+	for i := 0; i < trials; i++ {
+		s, err := New(c, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := s.StepProductive()
+		jumpSum += float64(ev.Interactions)
+		switch ev.Kind {
+		case EventAdopt:
+			adoptCounts[ev.Opinion]++
+		case EventUndecide:
+			undecideCounts[ev.Opinion]++
+		default:
+			t.Fatalf("unexpected event %v", ev.Kind)
+		}
+	}
+	tol := 4.0 / math.Sqrt(trials)
+	for i, xi := range c.Support {
+		wantAdopt := float64(c.Undecided*xi) / float64(w)
+		wantUndecide := float64(xi*(d-xi)) / float64(w)
+		if got := float64(adoptCounts[i]) / trials; math.Abs(got-wantAdopt) > tol {
+			t.Errorf("opinion %d conditional adopt = %.5f, want %.5f", i, got, wantAdopt)
+		}
+		if got := float64(undecideCounts[i]) / trials; math.Abs(got-wantUndecide) > tol {
+			t.Errorf("opinion %d conditional undecide = %.5f, want %.5f", i, got, wantUndecide)
+		}
+	}
+	// Mean jump length must be 1/p.
+	p := float64(w) / float64(n*n)
+	wantJump := 1 / p
+	if got := jumpSum / trials; math.Abs(got-wantJump)/wantJump > 0.02 {
+		t.Errorf("mean jump = %.3f, want %.3f", got, wantJump)
+	}
+}
+
+func TestRunReachesConsensusTwoOpinions(t *testing.T) {
+	// k=2 with a strong majority: the initial majority should win
+	// essentially always (approximate majority, Angluin et al.).
+	const trials = 50
+	winners0 := 0
+	for i := 0; i < trials; i++ {
+		c := mustConfig(t, []int64{700, 300}, 0)
+		s, err := New(c, rng.New(rng.Derive(7, uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(0)
+		if res.Outcome != OutcomeConsensus {
+			t.Fatalf("trial %d outcome %v", i, res.Outcome)
+		}
+		if res.Winner == 0 {
+			winners0++
+		}
+		if res.Interactions <= 0 {
+			t.Fatal("no interactions recorded")
+		}
+	}
+	if winners0 < trials-1 {
+		t.Fatalf("initial majority won only %d/%d trials", winners0, trials)
+	}
+}
+
+func TestRunReachesConsensusManyOpinions(t *testing.T) {
+	c, err := conf.Uniform(1000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, c, 11)
+	res := s.Run(0)
+	if res.Outcome != OutcomeConsensus {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.Winner < 0 || res.Winner >= 8 {
+		t.Fatalf("winner %d out of range", res.Winner)
+	}
+	if s.Support(res.Winner) != 1000 {
+		t.Fatal("winner does not hold the whole population")
+	}
+	if res.ParallelTime != float64(res.Interactions)/1000 {
+		t.Fatal("parallel time inconsistent")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	for _, skip := range []bool{true, false} {
+		c, err := conf.Uniform(10000, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSim(t, c, 3, WithSkipping(skip))
+		res := s.Run(500)
+		if res.Outcome != OutcomeBudget {
+			t.Fatalf("skip=%v: outcome %v, want budget", skip, res.Outcome)
+		}
+		if res.Interactions != 500 {
+			t.Fatalf("skip=%v: clock = %d, want exactly 500", skip, res.Interactions)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c, err := conf.Uniform(2000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, c, 5)
+	// Stop when the undecided count first reaches (n - xmax)/2 (end of
+	// Phase 1).
+	res := s.RunUntil(0, func(sim *Simulator) bool {
+		_, xmax := sim.Max()
+		return sim.Undecided() >= (sim.N()-xmax)/2
+	})
+	if res.Outcome != OutcomeBudget {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	_, xmax := s.Max()
+	if s.Undecided() < (s.N()-xmax)/2 {
+		t.Fatal("stop condition not satisfied at return")
+	}
+}
+
+func TestObserverSeesEveryProductiveEvent(t *testing.T) {
+	c, err := conf.Uniform(500, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, c, 9)
+	var events int
+	var lastClock int64
+	res := s.RunObserved(0, func(sim *Simulator, ev Event) {
+		events++
+		if ev.Interactions <= lastClock {
+			t.Fatalf("event clock not strictly increasing: %d then %d", lastClock, ev.Interactions)
+		}
+		lastClock = ev.Interactions
+		if ev.Kind != EventAdopt && ev.Kind != EventUndecide {
+			t.Fatalf("unexpected event kind %v with skipping", ev.Kind)
+		}
+	})
+	if res.Outcome != OutcomeConsensus {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if events == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if lastClock != res.Interactions {
+		t.Fatalf("last event clock %d != final clock %d", lastClock, res.Interactions)
+	}
+}
+
+func TestSkipAndExactKernelsAgreeStatistically(t *testing.T) {
+	// Two-sample check: consensus times from the two kernels must have
+	// compatible means (they sample the same process law).
+	if testing.Short() {
+		t.Skip("statistical comparison skipped in -short mode")
+	}
+	const trials = 60
+	n := int64(400)
+	sample := func(skip bool, seedBase uint64) (mean, sd float64) {
+		var xs []float64
+		for i := 0; i < trials; i++ {
+			c, err := conf.Uniform(n, 4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(c, rng.New(rng.Derive(seedBase, uint64(i))), WithSkipping(skip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Run(0)
+			if res.Outcome != OutcomeConsensus {
+				t.Fatalf("outcome %v", res.Outcome)
+			}
+			xs = append(xs, float64(res.Interactions))
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean = sum / trials
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		sd = math.Sqrt(ss / (trials - 1))
+		return mean, sd
+	}
+	m1, s1 := sample(true, 101)
+	m2, s2 := sample(false, 202)
+	// Welch-style tolerance: 4 standard errors of the difference.
+	se := math.Sqrt(s1*s1/trials + s2*s2/trials)
+	if math.Abs(m1-m2) > 4*se {
+		t.Fatalf("kernel means differ: skip=%.0f exact=%.0f (se %.0f)", m1, m2, se)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		c, err := conf.Uniform(500, 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(c, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run(0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventAdopt:    "adopt",
+		EventUndecide: "undecide",
+		EventNone:     "none",
+		EventAbsorbed: "absorbed",
+		EventKind(99): "EventKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeConsensus:    "consensus",
+		OutcomeAllUndecided: "all-undecided",
+		OutcomeBudget:       "budget-exhausted",
+		Outcome(42):         "Outcome(42)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestProductiveProbabilityMatchesPotential(t *testing.T) {
+	c := mustConfig(t, []int64{40, 30, 20}, 10)
+	s := newSim(t, c, 1)
+	want := potential.UndecidedProbs(c).Productive()
+	if got := s.ProductiveProbability(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ProductiveProbability = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkStepProductive(b *testing.B) {
+	for _, k := range []int{2, 16, 128} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			c, err := conf.Uniform(1<<20, k, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(c, rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ev := s.StepProductive(); ev.Kind == EventAbsorbed {
+					// Long benchtimes can drive the chain to consensus;
+					// restart it outside the timed region.
+					b.StopTimer()
+					s, err = New(c, rng.New(uint64(i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

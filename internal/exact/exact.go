@@ -1,0 +1,312 @@
+// Package exact computes exact quantities of the USD Markov chain for
+// small populations by enumerating the configuration space and solving the
+// absorbing-chain linear systems: expected consensus times (in
+// interactions) and per-opinion winning probabilities.
+//
+// The USD on aggregate configurations is a Markov chain on the
+// compositions (x₁, …, x_k, u) of n. Each state has at most 2k successors:
+// for every opinion i, an "adopt" transition (u−1, xᵢ+1) with probability
+// u·xᵢ/n² and an "undecide" transition (u+1, xᵢ−1) with probability
+// xᵢ(D−xᵢ)/n², D = n−u; all remaining probability is a self-loop. The k
+// consensus states are absorbing, and so is the all-undecided state. The
+// expected hitting times h and winning probabilities w solve
+//
+//	h(s) = 1 + Σ_{s'} P(s,s')·h(s')        h(absorbing) = 0
+//	wᵢ(s) = Σ_{s'} P(s,s')·wᵢ(s')          wᵢ(consensus j) = [i = j]
+//
+// which this package solves by Gauss-Seidel iteration after folding the
+// self-loops into the diagonal (both systems are irreducibly diagonally
+// dominant after the fold, so the iteration converges). This provides
+// ground truth that the simulators are validated against in tests and in
+// the X3-exact-validation experiment.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/conf"
+)
+
+// Limits keeping the state space enumerable: the number of states is
+// C(n+k, k).
+const (
+	// MaxOpinions is the largest k supported.
+	MaxOpinions = 4
+	// MaxStates bounds the enumerated state count.
+	MaxStates = 2_000_000
+)
+
+// ErrTooLarge is returned when the configuration space exceeds the limits.
+var ErrTooLarge = errors.New("exact: state space too large")
+
+// Chain is the exact USD chain for a fixed (n, k). Construct with New.
+type Chain struct {
+	n      int64
+	k      int
+	states [][]int16      // states[id] = (x₁..x_k, u)
+	index  map[uint64]int // packed state -> id
+}
+
+// New enumerates the configuration space for n agents and k opinions.
+func New(n int64, k int) (*Chain, error) {
+	if k < 1 || k > MaxOpinions {
+		return nil, fmt.Errorf("exact: k = %d out of [1, %d]", k, MaxOpinions)
+	}
+	if n < 1 || n > 4000 {
+		return nil, fmt.Errorf("exact: n = %d out of [1, 4000]", n)
+	}
+	count := stateCount(n, k)
+	if count > MaxStates {
+		return nil, fmt.Errorf("%w: %d states for n=%d k=%d", ErrTooLarge, count, n, k)
+	}
+	c := &Chain{
+		n:      n,
+		k:      k,
+		states: make([][]int16, 0, count),
+		index:  make(map[uint64]int, count),
+	}
+	// Enumerate all compositions of n into k+1 parts.
+	parts := make([]int16, k+1)
+	c.enumerate(parts, 0, int16(n))
+	return c, nil
+}
+
+// stateCount returns C(n+k, k).
+func stateCount(n int64, k int) int64 {
+	count := int64(1)
+	for i := 1; i <= k; i++ {
+		count = count * (n + int64(i)) / int64(i)
+	}
+	return count
+}
+
+func (c *Chain) enumerate(parts []int16, pos int, remaining int16) {
+	if pos == len(parts)-1 {
+		parts[pos] = remaining
+		s := append([]int16(nil), parts...)
+		c.index[pack(s)] = len(c.states)
+		c.states = append(c.states, s)
+		return
+	}
+	for v := int16(0); v <= remaining; v++ {
+		parts[pos] = v
+		c.enumerate(parts, pos+1, remaining-v)
+	}
+}
+
+// pack encodes a state as a uint64 key (12 bits per part; n <= 4000).
+func pack(parts []int16) uint64 {
+	var key uint64
+	for _, p := range parts {
+		key = key<<12 | uint64(p)
+	}
+	return key
+}
+
+// States returns the number of enumerated states.
+func (c *Chain) States() int { return len(c.states) }
+
+// N returns the population size.
+func (c *Chain) N() int64 { return c.n }
+
+// K returns the number of opinions.
+func (c *Chain) K() int { return c.k }
+
+// StateID returns the id of a configuration in the vectors returned by
+// ExpectedConsensusTimes and WinProbabilities. The configuration must have
+// the chain's exact n and k.
+func (c *Chain) StateID(cfg *conf.Config) (int, error) {
+	if cfg.K() != c.k || cfg.N() != c.n {
+		return 0, fmt.Errorf("exact: configuration (n=%d, k=%d) does not match chain (n=%d, k=%d)",
+			cfg.N(), cfg.K(), c.n, c.k)
+	}
+	parts := make([]int16, c.k+1)
+	for i, x := range cfg.Support {
+		parts[i] = int16(x)
+	}
+	parts[c.k] = int16(cfg.Undecided)
+	id, ok := c.index[pack(parts)]
+	if !ok {
+		return 0, fmt.Errorf("exact: configuration %v not found", cfg)
+	}
+	return id, nil
+}
+
+// isAbsorbing reports whether state s has no productive transition:
+// consensus (some xᵢ = n) or all-undecided (u = n).
+func (c *Chain) isAbsorbing(s []int16) bool {
+	if s[c.k] == int16(c.n) {
+		return true
+	}
+	for i := 0; i < c.k; i++ {
+		if s[i] == int16(c.n) {
+			return true
+		}
+	}
+	return false
+}
+
+// transition holds one outgoing edge.
+type transition struct {
+	to   int
+	prob float64
+}
+
+// transitions returns the productive outgoing edges of state id and the
+// total productive probability (the self-loop is the complement).
+func (c *Chain) transitions(id int, buf []transition) ([]transition, float64) {
+	s := c.states[id]
+	u := int64(s[c.k])
+	d := c.n - u
+	nn := float64(c.n) * float64(c.n)
+	buf = buf[:0]
+	var total float64
+	next := make([]int16, len(s))
+	for i := 0; i < c.k; i++ {
+		xi := int64(s[i])
+		if xi == 0 {
+			continue
+		}
+		if u > 0 {
+			// Adopt opinion i: (xᵢ+1, u−1).
+			p := float64(u*xi) / nn
+			copy(next, s)
+			next[i]++
+			next[c.k]--
+			buf = append(buf, transition{to: c.index[pack(next)], prob: p})
+			total += p
+		}
+		if other := d - xi; other > 0 {
+			// Opinion-i responder becomes undecided: (xᵢ−1, u+1).
+			p := float64(xi*other) / nn
+			copy(next, s)
+			next[i]--
+			next[c.k]++
+			buf = append(buf, transition{to: c.index[pack(next)], prob: p})
+			total += p
+		}
+	}
+	return buf, total
+}
+
+// solver configuration.
+const (
+	maxSweeps = 200000
+	tolerance = 1e-12
+)
+
+// ExpectedConsensusTimes solves for the expected number of interactions to
+// absorption from every state and returns the vector indexed by state id,
+// plus the id lookup for a start configuration via StateID. States from
+// which absorption is impossible do not exist in this chain (absorption is
+// almost sure), so the system has a unique solution.
+func (c *Chain) ExpectedConsensusTimes() ([]float64, error) {
+	h := make([]float64, len(c.states))
+	var buf []transition
+	// Gauss-Seidel with alternating sweep direction:
+	// h(s) = (1 + Σ p(s,s') h(s')) / pTotal(s), where pTotal is the
+	// productive probability (the self-loop folded into the diagonal).
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var maxDelta, scale float64
+		for pos := 0; pos < len(c.states); pos++ {
+			id := pos
+			if sweep%2 == 1 {
+				id = len(c.states) - 1 - pos
+			}
+			if c.isAbsorbing(c.states[id]) {
+				continue
+			}
+			var sum float64
+			var total float64
+			buf, total = c.transitions(id, buf)
+			for _, tr := range buf {
+				sum += tr.prob * h[tr.to]
+			}
+			nv := (1 + sum) / total
+			delta := math.Abs(nv - h[id])
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			if nv > scale {
+				scale = nv
+			}
+			h[id] = nv
+		}
+		if maxDelta <= tolerance*(1+scale) {
+			return h, nil
+		}
+	}
+	return nil, errors.New("exact: expected-time solver did not converge")
+}
+
+// WinProbabilities solves for the probability that opinion `win` is the
+// eventual consensus opinion, from every state.
+func (c *Chain) WinProbabilities(win int) ([]float64, error) {
+	if win < 0 || win >= c.k {
+		return nil, fmt.Errorf("exact: opinion %d out of range", win)
+	}
+	w := make([]float64, len(c.states))
+	for id, s := range c.states {
+		if s[win] == int16(c.n) {
+			w[id] = 1
+		}
+	}
+	var buf []transition
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var maxDelta float64
+		for pos := 0; pos < len(c.states); pos++ {
+			id := pos
+			if sweep%2 == 1 {
+				id = len(c.states) - 1 - pos
+			}
+			if c.isAbsorbing(c.states[id]) {
+				continue
+			}
+			var sum float64
+			var total float64
+			buf, total = c.transitions(id, buf)
+			for _, tr := range buf {
+				sum += tr.prob * w[tr.to]
+			}
+			nv := sum / total
+			if delta := math.Abs(nv - w[id]); delta > maxDelta {
+				maxDelta = delta
+			}
+			w[id] = nv
+		}
+		if maxDelta <= tolerance {
+			return w, nil
+		}
+	}
+	return nil, errors.New("exact: win-probability solver did not converge")
+}
+
+// ExpectedTimeFrom returns the expected interactions to absorption from a
+// start configuration.
+func (c *Chain) ExpectedTimeFrom(cfg *conf.Config) (float64, error) {
+	id, err := c.StateID(cfg)
+	if err != nil {
+		return 0, err
+	}
+	h, err := c.ExpectedConsensusTimes()
+	if err != nil {
+		return 0, err
+	}
+	return h[id], nil
+}
+
+// WinProbabilityFrom returns the probability that opinion `win` wins from
+// a start configuration.
+func (c *Chain) WinProbabilityFrom(cfg *conf.Config, win int) (float64, error) {
+	id, err := c.StateID(cfg)
+	if err != nil {
+		return 0, err
+	}
+	w, err := c.WinProbabilities(win)
+	if err != nil {
+		return 0, err
+	}
+	return w[id], nil
+}

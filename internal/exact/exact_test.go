@@ -1,0 +1,329 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func mustConfig(t *testing.T, support []int64, u int64) *conf.Config {
+	t.Helper()
+	c, err := conf.FromSupport(support, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(10, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(10, MaxOpinions+1); err == nil {
+		t.Fatal("k too large accepted")
+	}
+	if _, err := New(0, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(4000, 4); !errors.Is(err, ErrTooLarge) {
+		t.Fatal("oversized state space accepted")
+	}
+}
+
+func TestStateEnumeration(t *testing.T) {
+	// C(n+k, k) states.
+	cases := []struct {
+		n    int64
+		k    int
+		want int
+	}{
+		{4, 1, 5},   // C(5,1)
+		{4, 2, 15},  // C(6,2)
+		{10, 2, 66}, // C(12,2)
+		{5, 3, 56},  // C(8,3)
+	}
+	for _, tc := range cases {
+		c, err := New(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.States() != tc.want {
+			t.Fatalf("n=%d k=%d: %d states, want %d", tc.n, tc.k, c.States(), tc.want)
+		}
+		if c.N() != tc.n || c.K() != tc.k {
+			t.Fatalf("chain shape wrong")
+		}
+	}
+}
+
+func TestTransitionProbabilitiesSumToOne(t *testing.T) {
+	c, err := New(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []transition
+	for id := range c.states {
+		var total float64
+		buf, total = c.transitions(id, buf)
+		if total < -1e-15 || total > 1+1e-12 {
+			t.Fatalf("state %v: productive probability %v out of [0,1]", c.states[id], total)
+		}
+		var check float64
+		for _, tr := range buf {
+			if tr.prob <= 0 {
+				t.Fatalf("state %v: non-positive edge probability", c.states[id])
+			}
+			check += tr.prob
+		}
+		if math.Abs(check-total) > 1e-12 {
+			t.Fatalf("state %v: edges sum %v != total %v", c.states[id], check, total)
+		}
+		if c.isAbsorbing(c.states[id]) && total != 0 {
+			t.Fatalf("absorbing state %v has productive probability %v", c.states[id], total)
+		}
+	}
+}
+
+// k=1 closed form: with a single opinion, only "adopt" transitions happen;
+// from (x, u) the chain is a pure death process on u with rate
+// u·(n−u)/n², so E[T] = Σ_{j=1..u} n²/(j·(n−j)).
+func TestExpectedTimeClosedFormK1(t *testing.T) {
+	n := int64(20)
+	c, err := New(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int64{1, 5, 10, 19} {
+		cfg := mustConfig(t, []int64{n - u}, u)
+		got, err := c.ExpectedTimeFrom(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for j := int64(1); j <= u; j++ {
+			want += float64(n*n) / float64(j*(n-j))
+		}
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("u=%d: expected time %v, closed form %v", u, got, want)
+		}
+	}
+}
+
+func TestExpectedTimeAbsorbingIsZero(t *testing.T) {
+	c, err := New(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.ExpectedConsensusTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range c.states {
+		if c.isAbsorbing(s) && h[id] != 0 {
+			t.Fatalf("absorbing state %v has expected time %v", s, h[id])
+		}
+		if !c.isAbsorbing(s) && h[id] <= 0 {
+			t.Fatalf("transient state %v has expected time %v", s, h[id])
+		}
+	}
+}
+
+func TestWinProbabilitySymmetry(t *testing.T) {
+	// From a perfectly symmetric 2-opinion state, each opinion wins with
+	// probability 1/2.
+	n := int64(16)
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustConfig(t, []int64{7, 7}, 2)
+	w0, err := c.WinProbabilityFrom(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := c.WinProbabilityFrom(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w0-0.5) > 1e-9 || math.Abs(w1-0.5) > 1e-9 {
+		t.Fatalf("symmetric win probs = (%v, %v), want (0.5, 0.5)", w0, w1)
+	}
+}
+
+func TestWinProbabilitiesSumToOne(t *testing.T) {
+	n := int64(12)
+	c, err := New(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws [][]float64
+	for i := 0; i < 3; i++ {
+		w, err := c.WinProbabilities(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	for id, s := range c.states {
+		if s[3] == int16(n) { // all-undecided: nobody wins
+			continue
+		}
+		sum := ws[0][id] + ws[1][id] + ws[2][id]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %v: win probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestWinProbabilityMonotoneInSupport(t *testing.T) {
+	// More initial support cannot hurt: w0 is monotone along
+	// (x0, x1) -> (x0+1, x1-1).
+	n := int64(14)
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.WinProbabilities(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int64(2)
+	var prev float64 = -1
+	for x0 := int64(0); x0 <= n-u; x0++ {
+		cfg := mustConfig(t, []int64{x0, n - u - x0}, u)
+		id, err := c.StateID(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w[id] < prev-1e-9 {
+			t.Fatalf("win prob not monotone at x0=%d: %v < %v", x0, w[id], prev)
+		}
+		prev = w[id]
+	}
+	// Extremes.
+	lo, err := c.WinProbabilityFrom(mustConfig(t, []int64{0, n - u}, u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Fatalf("win prob with zero support = %v", lo)
+	}
+	hi, err := c.WinProbabilityFrom(mustConfig(t, []int64{n - u, 0}, u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != 1 {
+		t.Fatalf("win prob against zero support = %v", hi)
+	}
+}
+
+func TestStateIDErrors(t *testing.T) {
+	c, err := New(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StateID(mustConfig(t, []int64{5, 5, 0}, 0)); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+	if _, err := c.StateID(mustConfig(t, []int64{5, 4}, 0)); err == nil {
+		t.Fatal("n mismatch accepted")
+	}
+	if _, err := c.WinProbabilities(5); err == nil {
+		t.Fatal("out-of-range opinion accepted")
+	}
+}
+
+// The exact chain is the ground truth the simulator must match: compare
+// the simulated mean consensus time and win frequency against the solved
+// values on a small asymmetric instance.
+func TestSimulatorMatchesExactChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-vs-exact comparison skipped in -short mode")
+	}
+	n := int64(24)
+	cfg := mustConfig(t, []int64{10, 6, 4}, 4)
+	chain, err := New(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTime, err := chain.ExpectedTimeFrom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWin, err := chain.WinProbabilityFrom(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const trials = 30000
+	var sumT, sumT2 float64
+	wins := 0
+	src := rng.New(2024)
+	for i := 0; i < trials; i++ {
+		s, err := core.New(cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(0)
+		if res.Outcome != core.OutcomeConsensus {
+			t.Fatalf("trial %d: %v", i, res.Outcome)
+		}
+		ft := float64(res.Interactions)
+		sumT += ft
+		sumT2 += ft * ft
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	meanT := sumT / trials
+	sdT := math.Sqrt(sumT2/trials - meanT*meanT)
+	seT := sdT / math.Sqrt(trials)
+	if math.Abs(meanT-wantTime) > 5*seT {
+		t.Fatalf("simulated mean time %.3f vs exact %.3f (se %.3f)", meanT, wantTime, seT)
+	}
+	winRate := float64(wins) / trials
+	seW := math.Sqrt(wantWin * (1 - wantWin) / trials)
+	if math.Abs(winRate-wantWin) > 5*seW {
+		t.Fatalf("simulated win rate %.4f vs exact %.4f (se %.4f)", winRate, wantWin, seW)
+	}
+}
+
+func TestAllUndecidedAbsorbingState(t *testing.T) {
+	n := int64(8)
+	c, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustConfig(t, []int64{0, 0}, n)
+	h, err := c.ExpectedTimeFrom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("all-undecided expected time %v, want 0 (absorbing)", h)
+	}
+	w, err := c.WinProbabilityFrom(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("all-undecided win prob %v, want 0", w)
+	}
+}
+
+func BenchmarkExpectedTimes(b *testing.B) {
+	c, err := New(40, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ExpectedConsensusTimes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/gossip"
+	"repro/internal/potential"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// gossipRounds runs `trials` gossip simulations of dyn from cfg and returns
+// the summary of rounds to consensus and the opinion-0 win rate.
+func gossipRounds(p Params, seed uint64, cfg *conf.Config, dyn gossip.Dynamic, trials int, maxRounds int64) (stats.Summary, float64, int, error) {
+	type outcome struct {
+		rounds float64
+		won    bool
+		ok     bool
+	}
+	outs := Collect(trials, p.Parallelism, seed, func(i int, src *rng.Source) outcome {
+		e, err := gossip.NewEngine(cfg, dyn, src)
+		if err != nil {
+			return outcome{}
+		}
+		res := e.Run(maxRounds)
+		if !res.Consensus {
+			return outcome{}
+		}
+		return outcome{rounds: float64(res.Rounds), won: res.Winner == 0, ok: true}
+	})
+	var rounds []float64
+	wins, completed := 0, 0
+	for _, o := range outs {
+		if !o.ok {
+			continue
+		}
+		completed++
+		rounds = append(rounds, o.rounds)
+		if o.won {
+			wins++
+		}
+	}
+	if completed == 0 {
+		return stats.Summary{}, 0, 0, fmt.Errorf("experiment: no gossip trial reached consensus")
+	}
+	s, err := stats.Summarize(rounds)
+	if err != nil {
+		return stats.Summary{}, 0, 0, err
+	}
+	return s, float64(wins) / float64(completed), completed, nil
+}
+
+// f4ModelCompare regenerates the Appendix D comparison: population-model
+// USD parallel time (interactions/n) vs gossip-model USD rounds, in the two
+// regimes the appendix distinguishes by the initial plurality size.
+func f4ModelCompare() Experiment {
+	return Experiment{
+		ID:       "F4-model-compare",
+		Title:    "Population-protocol USD vs gossip USD (parallel time)",
+		Artifact: "Appendix D: crossover at x1(0) ≈ (n/k)·log n",
+		Run: func(p Params, w io.Writer) error {
+			n := pick(p, int64(1<<12), int64(1<<14))
+			trials := p.trials(10)
+			lnN := math.Log(float64(n))
+			tbl := NewTable(
+				fmt.Sprintf("n=%d, %d trials per cell:", n, trials),
+				"k", "regime", "x1(0)", "md(x)", "pop par.time", "gossip rounds",
+				"gossip/pop", "md·ln n")
+			for _, k := range pick(p, []int{16}, []int{16, 32}) {
+				type regime struct {
+					name string
+					cfg  *conf.Config
+				}
+				var regimes []regime
+				// Regime A: x1 close to the average opinion size n/k
+				// (population model predicted faster by ~log n).
+				small, err := conf.WithMultiplicativeBias(n, k, 1.5, 0)
+				if err != nil {
+					return err
+				}
+				regimes = append(regimes, regime{"x1 ≈ 1.5·n/k", small})
+				// Regime B: x1 well above (n/k)·log n (gossip bound wins).
+				share := 1.5 * lnN / float64(k)
+				if share < 0.95 {
+					big, err := conf.TwoBlock(n, k, share, 0)
+					if err != nil {
+						return err
+					}
+					regimes = append(regimes, regime{"x1 ≈ 1.5·(n/k)·ln n", big})
+				}
+				for _, rg := range regimes {
+					md := potential.MonochromaticDistance(rg.cfg.Support)
+					popStats, _, _, err := timeStats(p, p.Seed+uint64(k)*61, rg.cfg, trials, 0)
+					if err != nil {
+						return err
+					}
+					popPar := popStats.Mean / float64(n)
+					gosStats, _, _, err := gossipRounds(p, p.Seed+uint64(k)*67, rg.cfg,
+						gossip.USD{Opinions: k}, trials, 4*int64(float64(k)*lnN)+1000)
+					if err != nil {
+						return err
+					}
+					tbl.AddRowf(k, rg.name, rg.cfg.Support[0], md, popPar, gosStats.Mean,
+						gosStats.Mean/popPar, md*lnN)
+				}
+			}
+			if err := tbl.Fprint(w); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "\nReading (Appendix D): the bounds compare as O(log n + n/x1) vs\n"+
+				"O(md(x)·log n), so the population model gains relative to gossip as\n"+
+				"x1(0) shrinks toward n/k — the gossip/pop ratio must be larger in\n"+
+				"regime A than in regime B. (At laptop-scale n the constants still\n"+
+				"favor gossip in absolute terms; the asymptotic crossover is in the\n"+
+				"log n factor.)\n")
+			return err
+		},
+	}
+}
+
+// t5Baselines compares the gossip-model consensus dynamics from the related
+// work on a common biased workload.
+func t5Baselines() Experiment {
+	return Experiment{
+		ID:       "T5-baselines",
+		Title:    "Gossip-model baselines: rounds to plurality consensus",
+		Artifact: "§1.2 related work (Voter, TwoChoices, 3-Majority, MedianRule)",
+		Run: func(p Params, w io.Writer) error {
+			n := pick(p, int64(1<<12), int64(1<<13))
+			trials := p.trials(6)
+			tbl := NewTable(
+				fmt.Sprintf("Multiplicative bias 2, n=%d, %d trials per cell:", n, trials),
+				"k", "dynamic", "mean rounds", "median", "plurality wins", "budget hit")
+			for _, k := range pick(p, []int{4}, []int{4, 16}) {
+				cfg, err := conf.WithMultiplicativeBias(n, k, 2.0, 0)
+				if err != nil {
+					return err
+				}
+				dynamics := []struct {
+					name string
+					dyn  gossip.Dynamic
+					cap  int64
+				}{
+					{"USD", gossip.USD{Opinions: k}, 200 * int64(k)},
+					{"Voter", gossip.Voter{Opinions: k}, 40 * n},
+					{"TwoChoices", gossip.TwoChoices{Opinions: k}, 200 * int64(k)},
+					{"3-Majority", gossip.ThreeMajority{Opinions: k}, 200 * int64(k)},
+					{"MedianRule", gossip.MedianRule{Opinions: k}, 200 * int64(k)},
+				}
+				for _, d := range dynamics {
+					s, winRate, done, err := gossipRounds(p,
+						p.Seed+uint64(k)*71+uint64(len(d.name)), cfg, d.dyn, trials, d.cap)
+					if err != nil {
+						// Report budget exhaustion instead of failing: for
+						// Voter the Θ(n) coalescence may exceed the cap.
+						tbl.AddRowf(k, d.name, "-", "-", "-", fmt.Sprintf("all %d trials", trials))
+						continue
+					}
+					tbl.AddRowf(k, d.name, s.Mean, s.Median,
+						fmt.Sprintf("%.0f%%", 100*winRate),
+						fmt.Sprintf("%d/%d", trials-done, trials))
+				}
+			}
+			if err := tbl.Fprint(w); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "\nReading: USD, TwoChoices, 3-Majority, MedianRule finish in\n"+
+				"O(polylog·k) rounds; Voter needs Θ(n) rounds and picks a random\n"+
+				"opinion weighted by support, so it often misses the plurality.\n"+
+				"MedianRule converges fast but to the *median* opinion of the order,\n"+
+				"not the plurality (its 0%% column is expected — the paper remarks it\n"+
+				"requires ordered opinions and solves a different problem).\n")
+			return err
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// f7Fluid compares stochastic USD trajectories against the mean-field ODE:
+// by the density-dependence law of large numbers the undecided density
+// tracks the fluid path within O(1/√n), and the fluid fixed point is the
+// paper's u* equilibrium.
+func f7Fluid() Experiment {
+	return Experiment{
+		ID:       "F7-fluid-limit",
+		Title:    "Stochastic trajectories vs the mean-field ODE (extension)",
+		Artifact: "u* equilibrium as the fluid fixed point; O(1/√n) concentration",
+		Run: func(p Params, w io.Writer) error {
+			k := 4
+			horizon := 12.0
+			// Fluid path for the common initial densities.
+			nRef := pick(p, int64(1<<12), int64(1<<14))
+			cfgRef, err := conf.WithMultiplicativeBias(nRef, k, 1.3, 0)
+			if err != nil {
+				return err
+			}
+			s0, err := fluid.FromConfig(cfgRef)
+			if err != nil {
+				return err
+			}
+			in, err := fluid.NewIntegrator(1e-3)
+			if err != nil {
+				return err
+			}
+			grid := map[int]float64{}
+			fluidSeries := &trace.Series{Name: "fluid υ(τ)"}
+			if _, err := in.Solve(s0, horizon, func(tau float64, s fluid.State) {
+				key := int(tau*1000 + 0.5)
+				grid[key] = s.U
+				if key%100 == 0 {
+					fluidSeries.Add(tau, s.U)
+				}
+			}); err != nil {
+				return err
+			}
+
+			ns := pick(p, []int64{1 << 10, 1 << 13}, []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16})
+			trials := p.trials(6)
+			tbl := NewTable(
+				fmt.Sprintf("Sup-norm deviation of u(τ)/n from the fluid path, k=%d, horizon %.0f, mean of %d paths:",
+					k, horizon, trials),
+				"n", "mean sup|u/n − υ|", "×√n", "u* (fluid fixed point)")
+			var simSeries *trace.Series
+			for _, n := range ns {
+				cfg, err := conf.WithMultiplicativeBias(n, k, 1.3, 0)
+				if err != nil {
+					return err
+				}
+				var meanWorst float64
+				for trial := 0; trial < trials; trial++ {
+					sim, err := core.New(cfg, rng.New(rng.Derive(p.Seed+uint64(n), uint64(trial))))
+					if err != nil {
+						return err
+					}
+					rec := trace.NewRecorder(fmt.Sprintf("simulated u/n, n=%d", n), n/8)
+					var worst float64
+					sim.RunObserved(int64(horizon*float64(n)), func(s *core.Simulator, ev core.Event) {
+						tau := float64(ev.Interactions) / float64(n)
+						simU := float64(s.Undecided()) / float64(n)
+						rec.Observe(ev.Interactions, simU)
+						if fluidU, ok := grid[int(tau*1000+0.5)]; ok {
+							if d := math.Abs(simU - fluidU); d > worst {
+								worst = d
+							}
+						}
+					})
+					meanWorst += worst / float64(trials)
+					if n == ns[len(ns)-1] && trial == 0 {
+						// Rescale the x axis to parallel time for the overlay.
+						simSeries = &trace.Series{Name: rec.Series.Name}
+						for i := range rec.Series.X {
+							simSeries.Add(rec.Series.X[i]/float64(n), rec.Series.Y[i])
+						}
+					}
+				}
+				tbl.AddRowf(n, meanWorst, meanWorst*math.Sqrt(float64(n)), fluid.Equilibrium(k))
+			}
+			if err := tbl.Fprint(w); err != nil {
+				return err
+			}
+			plot, err := trace.RenderASCII(72, 16,
+				trace.Downsample(simSeries, 72), trace.Downsample(fluidSeries, 72))
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "\nOverlay (x axis: parallel time τ):\n\n%s\n"+
+				"Reading: the deviation column shrinks like 1/√n (the ×√n column is\n"+
+				"flat) — Kurtz's theorem for this density-dependent chain — and both\n"+
+				"curves ride the u* plateau before the endgame drains it.\n", plot)
+			return err
+		},
+	}
+}

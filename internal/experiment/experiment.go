@@ -1,0 +1,109 @@
+// Package experiment defines the named, reproducible experiments that
+// regenerate every table and figure of the paper's evaluation, as indexed
+// in DESIGN.md. Each experiment prints one or more formatted tables (and
+// ASCII figures for trajectory artifacts) to a writer; cmd/experiments and
+// the root-level benchmarks are thin wrappers around this package.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Params controls an experiment run.
+type Params struct {
+	// Quick shrinks the parameter grids and trial counts so the whole
+	// suite finishes in roughly a minute.
+	Quick bool
+	// Seed is the base seed; all trial streams derive from it.
+	Seed uint64
+	// Trials overrides the per-cell trial count when positive.
+	Trials int
+	// Parallelism bounds concurrent trials; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// trials returns the effective trial count given a default.
+func (p Params) trials(def int) int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
+	if p.Quick && def > 10 {
+		return def / 2
+	}
+	return def
+}
+
+// pick returns quick when Quick is set, otherwise full.
+func pick[T any](p Params, quick, full T) T {
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is one named reproduction artifact.
+type Experiment struct {
+	// ID is the DESIGN.md identifier, e.g. "T1-phases".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper artifact being regenerated.
+	Artifact string
+	// Run executes the experiment, writing tables to w.
+	Run func(p Params, w io.Writer) error
+}
+
+// All returns every registered experiment, ordered by ID group (tables,
+// figures, ablations).
+func All() []Experiment {
+	exps := []Experiment{
+		t1Phases(),
+		t2Multiplicative(),
+		t3Additive(),
+		t4NoBias(),
+		t5Baselines(),
+		t6Phase1(),
+		f1Undecided(),
+		f2GapGrowth(),
+		f3Threshold(),
+		f4ModelCompare(),
+		f5KScaling(),
+		f6Endgame(),
+		f7Fluid(),
+		a1Skip(),
+		a2Engine(),
+		a3SelfInteraction(),
+		x1Synchronized(),
+		x2LargeK(),
+		x3Exact(),
+		x4Scheduler(),
+		x5UndecidedStart(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in sequence, separated by headers.
+func RunAll(p Params, w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "\n=== %s — %s (%s) ===\n\n", e.ID, e.Title, e.Artifact); err != nil {
+			return err
+		}
+		if err := e.Run(p, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("Title:", "a", "bbbb", "c")
+	tbl.AddRow("1", "2", "3")
+	tbl.AddRowf(10, 2.5, "x")
+	out := tbl.String()
+	if !strings.Contains(out, "Title:") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "bbbb") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3")
+	out := tbl.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestCollectOrderAndDeterminism(t *testing.T) {
+	fn := func(i int, src *rng.Source) uint64 {
+		return uint64(i)*1e9 + src.Uint64()%1e9
+	}
+	a := Collect(50, 8, 7, fn)
+	b := Collect(50, 2, 7, fn) // different parallelism, same seed
+	for i := range a {
+		if a[i]/1e9 != uint64(i) {
+			t.Fatalf("output %d out of order", i)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("parallelism changed trial %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := Collect(50, 8, 8, fn)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/50 identical trials", same)
+	}
+}
+
+func TestCollectEdgeCases(t *testing.T) {
+	if out := Collect(0, 4, 1, func(int, *rng.Source) int { return 1 }); out != nil {
+		t.Fatal("zero trials must return nil")
+	}
+	var calls atomic.Int64
+	out := Collect(3, 100, 1, func(i int, _ *rng.Source) int {
+		calls.Add(1)
+		return i
+	})
+	if calls.Load() != 3 || len(out) != 3 {
+		t.Fatalf("calls=%d len=%d", calls.Load(), len(out))
+	}
+}
+
+func TestRunTracked(t *testing.T) {
+	cfg, err := conf.Uniform(1000, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runTracked(cfg, rng.New(5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.Outcome != core.OutcomeConsensus {
+		t.Fatalf("outcome %v", r.Result.Outcome)
+	}
+	for p := 1; p <= 5; p++ {
+		if !r.Phases.Reached(p) {
+			t.Fatalf("phase %d missing: %+v", p, r.Phases)
+		}
+	}
+	if r.Phases.End[4] != r.Result.Interactions {
+		t.Fatalf("T5 = %d, consensus at %d", r.Phases.End[4], r.Result.Interactions)
+	}
+	if r.InitialLeader != 0 {
+		t.Fatalf("initial leader = %d", r.InitialLeader)
+	}
+}
+
+func TestConsensusTimeBudgetError(t *testing.T) {
+	cfg, err := conf.Uniform(10000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := consensusTime(cfg, rng.New(1), 10); err == nil {
+		t.Fatal("budget exhaustion not reported")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	wantIDs := []string{
+		"T1-phases", "T2-multiplicative", "T3-additive", "T4-nobias",
+		"T5-baselines", "T6-phase1-preservation",
+		"F1-undecided", "F2-gap-growth", "F3-majority-threshold",
+		"F4-model-compare", "F5-k-scaling", "F6-endgame-coupling", "F7-fluid-limit",
+		"A1-skip", "A2-agent-vs-aggregate", "A3-self-interaction",
+		"X1-synchronized", "X2-large-k", "X3-exact-validation",
+		"X4-scheduler-robustness", "X5-undecided-start",
+	}
+	for _, id := range wantIDs {
+		if _, ok := Find(id); !ok {
+			t.Fatalf("experiment %s not found", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+// tinyParams makes every experiment run at its smallest size.
+func tinyParams() Params {
+	return Params{Quick: true, Seed: 1, Trials: 2}
+}
+
+func TestExperimentsSmokeFast(t *testing.T) {
+	// The cheapest experiments run even in -short mode.
+	for _, id := range []string{"A2-agent-vs-aggregate", "A3-self-interaction", "F6-endgame-coupling"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(tinyParams(), &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), "-----") {
+			t.Fatalf("%s produced no table:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestExperimentsSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			if err := e.Run(tinyParams(), &sb); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, sb.String())
+			}
+			if len(sb.String()) < 50 {
+				t.Fatalf("%s produced almost no output: %q", e.ID, sb.String())
+			}
+		})
+	}
+}
+
+func TestParamsTrials(t *testing.T) {
+	if got := (Params{}).trials(20); got != 20 {
+		t.Fatalf("default trials = %d", got)
+	}
+	if got := (Params{Quick: true}).trials(20); got != 10 {
+		t.Fatalf("quick trials = %d", got)
+	}
+	if got := (Params{Quick: true}).trials(8); got != 8 {
+		t.Fatalf("quick small trials = %d", got)
+	}
+	if got := (Params{Trials: 3}).trials(20); got != 3 {
+		t.Fatalf("override trials = %d", got)
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/phase"
+	"repro/internal/rng"
+)
+
+// Collect runs fn for every trial index in [0, trials) across a bounded
+// worker pool and returns the outputs in trial order. Each trial receives
+// an independent random stream derived deterministically from (seed, i), so
+// results do not depend on scheduling.
+func Collect[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source) T) []T {
+	if trials <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > trials {
+		parallelism = trials
+	}
+	out := make([]T, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i, rng.New(rng.Derive(seed, uint64(i))))
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// USDRun is the outcome of one tracked USD run.
+type USDRun struct {
+	// Result is the simulation result.
+	Result core.Result
+	// Phases records the five phase end times.
+	Phases phase.Times
+	// InitialLeader is the opinion with the largest initial support.
+	InitialLeader int
+}
+
+// runTracked simulates the USD from c to consensus (or budget) with phase
+// tracking. checkEvery controls how often the O(k) phase conditions are
+// evaluated; 0 picks a resolution-preserving default.
+func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int) (USDRun, error) {
+	if checkEvery <= 0 {
+		// One check per ~n/64 productive events keeps tracking overhead
+		// sublinear while resolving phase times to <<1% of any phase bound.
+		checkEvery = int(c.N()/64) + 1
+		if checkEvery > 256 {
+			checkEvery = 256
+		}
+	}
+	leader, _ := c.Max()
+	s, err := core.New(c, src)
+	if err != nil {
+		return USDRun{}, err
+	}
+	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
+	tr.ObserveNow(s)
+	res := s.RunObserved(budget, func(sim *core.Simulator, _ core.Event) {
+		tr.Observe(sim)
+	})
+	// Force a final check so interval skipping cannot miss phase ends that
+	// occurred in the last few events.
+	tr.ObserveNow(s)
+	return USDRun{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
+}
+
+// consensusTime runs the USD from c to consensus and returns the
+// interaction count. It fails if the budget is exhausted first.
+func consensusTime(c *conf.Config, src *rng.Source, budget int64) (int64, int, error) {
+	s, err := core.New(c, src)
+	if err != nil {
+		return 0, -1, err
+	}
+	res := s.Run(budget)
+	if res.Outcome != core.OutcomeConsensus {
+		return res.Interactions, -1, fmt.Errorf("experiment: no consensus within %d interactions (outcome %v)", budget, res.Outcome)
+	}
+	return res.Interactions, res.Winner, nil
+}

@@ -1,0 +1,254 @@
+// Package fenwick implements Fenwick (binary indexed) trees specialized for
+// the configuration-level USD simulator.
+//
+// Two variants are provided:
+//
+//   - Tree: a classic int64 Fenwick tree with O(log n) point updates, prefix
+//     sums, and a top-down descent that samples an index with probability
+//     proportional to its value.
+//   - Dual: a Fenwick tree that simultaneously maintains prefix sums of the
+//     values xᵢ and of their squares xᵢ². Its weighted descent samples an
+//     index with probability proportional to wᵢ = D·xᵢ − xᵢ², which is
+//     exactly the probability that a decided responder of opinion i meets a
+//     decided initiator of a different opinion when D = Σxⱼ agents are
+//     decided (paper Observation 6.2).
+//
+// Both descents are exact (no rejection); the caller supplies a uniform
+// random threshold in [0, Total).
+package fenwick
+
+// Tree is a Fenwick tree over n int64 values, all initially zero.
+// The zero value is not usable; construct with New or FromSlice.
+type Tree struct {
+	n    int
+	bit  []int64 // 1-based internal array
+	vals []int64 // current values, for O(1) Get
+	log  uint    // highest power of two <= n
+}
+
+// New returns a tree of n zero values. n must be positive.
+func New(n int) *Tree {
+	if n <= 0 {
+		panic("fenwick: New called with n <= 0")
+	}
+	return &Tree{
+		n:    n,
+		bit:  make([]int64, n+1),
+		vals: make([]int64, n),
+		log:  highBit(n),
+	}
+}
+
+// FromSlice returns a tree initialized with a copy of xs in O(n).
+func FromSlice(xs []int64) *Tree {
+	t := New(len(xs))
+	copy(t.vals, xs)
+	for i, v := range xs {
+		t.bit[i+1] += v
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= t.n {
+			t.bit[parent] += t.bit[i+1]
+		}
+	}
+	return t
+}
+
+func highBit(n int) uint {
+	var l uint
+	for 1<<(l+1) <= n {
+		l++
+	}
+	return l
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return t.n }
+
+// Get returns the value at index i.
+func (t *Tree) Get(i int) int64 { return t.vals[i] }
+
+// Add adds delta to the value at index i.
+func (t *Tree) Add(i int, delta int64) {
+	t.vals[i] += delta
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.bit[j] += delta
+	}
+}
+
+// Prefix returns the sum of values at indices [0, i]. Prefix(-1) is 0.
+func (t *Tree) Prefix(i int) int64 {
+	var s int64
+	for j := i + 1; j > 0; j -= j & -j {
+		s += t.bit[j]
+	}
+	return s
+}
+
+// Total returns the sum of all values.
+func (t *Tree) Total() int64 { return t.Prefix(t.n - 1) }
+
+// Find returns the smallest index i such that Prefix(i) > r, assuming all
+// values are non-negative. It requires 0 <= r < Total(); sampling r uniformly
+// from [0, Total) selects index i with probability vals[i]/Total.
+func (t *Tree) Find(r int64) int {
+	if r < 0 {
+		panic("fenwick: Find called with negative threshold")
+	}
+	pos := 0 // 1-based position of the last block kept to the left
+	for step := 1 << t.log; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= t.n && t.bit[next] <= r {
+			pos = next
+			r -= t.bit[next]
+		}
+	}
+	if pos >= t.n {
+		panic("fenwick: Find threshold >= Total")
+	}
+	return pos // pos is 0-based index of the answer
+}
+
+// Dual maintains values xᵢ >= 0 together with prefix sums of xᵢ and xᵢ².
+// The zero value is not usable; construct with NewDual or DualFromSlice.
+type Dual struct {
+	n    int
+	sx   []int64 // Fenwick over xᵢ
+	sx2  []int64 // Fenwick over xᵢ²
+	vals []int64
+	log  uint
+}
+
+// NewDual returns a dual tree of n zero values. n must be positive.
+func NewDual(n int) *Dual {
+	if n <= 0 {
+		panic("fenwick: NewDual called with n <= 0")
+	}
+	return &Dual{
+		n:    n,
+		sx:   make([]int64, n+1),
+		sx2:  make([]int64, n+1),
+		vals: make([]int64, n),
+		log:  highBit(n),
+	}
+}
+
+// DualFromSlice returns a dual tree initialized with a copy of xs in O(n).
+// All values must be non-negative.
+func DualFromSlice(xs []int64) *Dual {
+	d := NewDual(len(xs))
+	copy(d.vals, xs)
+	for i, v := range xs {
+		if v < 0 {
+			panic("fenwick: DualFromSlice called with negative value")
+		}
+		d.sx[i+1] += v
+		d.sx2[i+1] += v * v
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
+			d.sx[parent] += d.sx[i+1]
+			d.sx2[parent] += d.sx2[i+1]
+		}
+	}
+	return d
+}
+
+// Len returns the number of slots.
+func (d *Dual) Len() int { return d.n }
+
+// Get returns the value at index i.
+func (d *Dual) Get(i int) int64 { return d.vals[i] }
+
+// Add adds delta to the value at index i, keeping both component trees in
+// sync. The resulting value must remain non-negative.
+func (d *Dual) Add(i int, delta int64) {
+	old := d.vals[i]
+	nv := old + delta
+	if nv < 0 {
+		panic("fenwick: Dual.Add would make value negative")
+	}
+	d.vals[i] = nv
+	d2 := nv*nv - old*old
+	for j := i + 1; j <= d.n; j += j & -j {
+		d.sx[j] += delta
+		d.sx2[j] += d2
+	}
+}
+
+// Sum returns Σ xᵢ over all indices.
+func (d *Dual) Sum() int64 { return d.prefixX(d.n) }
+
+// SumSquares returns Σ xᵢ² over all indices.
+func (d *Dual) SumSquares() int64 { return d.prefixX2(d.n) }
+
+func (d *Dual) prefixX(j int) int64 { // 1-based exclusive bound
+	var s int64
+	for ; j > 0; j -= j & -j {
+		s += d.sx[j]
+	}
+	return s
+}
+
+func (d *Dual) prefixX2(j int) int64 {
+	var s int64
+	for ; j > 0; j -= j & -j {
+		s += d.sx2[j]
+	}
+	return s
+}
+
+// TotalWeighted returns Σᵢ (D·xᵢ − xᵢ²) = D·Σxᵢ − Σxᵢ². With D = Σxᵢ this is
+// the number of ordered pairs of decided agents holding different opinions.
+func (d *Dual) TotalWeighted(dTotal int64) int64 {
+	return dTotal*d.Sum() - d.SumSquares()
+}
+
+// FindWeighted returns the smallest index i such that the prefix sum of
+// weights wⱼ = D·xⱼ − xⱼ² over j <= i exceeds r. It requires every xⱼ <= D
+// (so all weights are non-negative) and 0 <= r < TotalWeighted(D). Sampling
+// r uniformly selects index i with probability wᵢ/Σw, the exact distribution
+// of the responder in a "decided meets differently-decided" interaction.
+func (d *Dual) FindWeighted(dTotal, r int64) int {
+	if r < 0 {
+		panic("fenwick: FindWeighted called with negative threshold")
+	}
+	pos := 0
+	for step := 1 << d.log; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= d.n {
+			w := dTotal*d.sx[next] - d.sx2[next]
+			if w <= r {
+				pos = next
+				r -= w
+			}
+		}
+	}
+	if pos >= d.n {
+		panic("fenwick: FindWeighted threshold >= TotalWeighted")
+	}
+	return pos
+}
+
+// FindSupport returns the smallest index i such that the prefix sum of the
+// values xⱼ over j <= i exceeds r. It requires 0 <= r < Sum(); sampling r
+// uniformly selects index i with probability xᵢ/Σx — the law of the opinion
+// adopted by an undecided responder.
+func (d *Dual) FindSupport(r int64) int {
+	if r < 0 {
+		panic("fenwick: FindSupport called with negative threshold")
+	}
+	pos := 0
+	for step := 1 << d.log; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= d.n && d.sx[next] <= r {
+			pos = next
+			r -= d.sx[next]
+		}
+	}
+	if pos >= d.n {
+		panic("fenwick: FindSupport threshold >= Sum")
+	}
+	return pos
+}
+
+// Values appends a copy of the current values to dst and returns it.
+func (d *Dual) Values(dst []int64) []int64 {
+	return append(dst, d.vals...)
+}

@@ -1,0 +1,369 @@
+package fenwick
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func naivePrefix(xs []int64, i int) int64 {
+	var s int64
+	for j := 0; j <= i; j++ {
+		s += xs[j]
+	}
+	return s
+}
+
+func naiveFind(xs []int64, r int64) int {
+	var s int64
+	for i, v := range xs {
+		s += v
+		if s > r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := New(5)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Add(0, 3)
+	tr.Add(2, 7)
+	tr.Add(4, 1)
+	if got := tr.Total(); got != 11 {
+		t.Fatalf("Total = %d, want 11", got)
+	}
+	wantPrefix := []int64{3, 3, 10, 10, 11}
+	for i, w := range wantPrefix {
+		if got := tr.Prefix(i); got != w {
+			t.Fatalf("Prefix(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := tr.Prefix(-1); got != 0 {
+		t.Fatalf("Prefix(-1) = %d, want 0", got)
+	}
+	if got := tr.Get(2); got != 7 {
+		t.Fatalf("Get(2) = %d, want 7", got)
+	}
+	tr.Add(2, -7)
+	if got := tr.Total(); got != 4 {
+		t.Fatalf("Total after removal = %d, want 4", got)
+	}
+}
+
+func TestFromSliceMatchesIncremental(t *testing.T) {
+	xs := []int64{5, 0, 3, 9, 1, 0, 2, 8, 4}
+	a := FromSlice(xs)
+	b := New(len(xs))
+	for i, v := range xs {
+		b.Add(i, v)
+	}
+	for i := range xs {
+		if a.Prefix(i) != b.Prefix(i) {
+			t.Fatalf("Prefix(%d): FromSlice %d != incremental %d", i, a.Prefix(i), b.Prefix(i))
+		}
+	}
+}
+
+func TestTreePropertyVsNaive(t *testing.T) {
+	check := func(raw []uint16, ops []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v % 100)
+		}
+		tr := FromSlice(xs)
+		// Apply random point updates.
+		for _, op := range ops {
+			i := int(op) % len(xs)
+			delta := int64(op%7) - 3
+			if xs[i]+delta < 0 {
+				delta = -xs[i]
+			}
+			xs[i] += delta
+			tr.Add(i, delta)
+		}
+		for i := range xs {
+			if tr.Prefix(i) != naivePrefix(xs, i) {
+				return false
+			}
+			if tr.Get(i) != xs[i] {
+				return false
+			}
+		}
+		total := tr.Total()
+		if total == 0 {
+			return true
+		}
+		// Every threshold maps to the same index as a linear scan.
+		for r := int64(0); r < total; r += max64(1, total/17) {
+			if tr.Find(r) != naiveFind(xs, r) {
+				return false
+			}
+		}
+		return tr.Find(total-1) == naiveFind(xs, total-1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeFindBoundaries(t *testing.T) {
+	tr := FromSlice([]int64{0, 5, 0, 3, 0})
+	cases := []struct {
+		r    int64
+		want int
+	}{
+		{0, 1}, {4, 1}, {5, 3}, {7, 3},
+	}
+	for _, tc := range cases {
+		if got := tr.Find(tc.r); got != tc.want {
+			t.Fatalf("Find(%d) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestTreeFindPanicsOutOfRange(t *testing.T) {
+	tr := FromSlice([]int64{1, 2, 3})
+	for _, r := range []int64{-1, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Find(%d) did not panic", r)
+				}
+			}()
+			tr.Find(r)
+		}()
+	}
+}
+
+func TestTreeSamplingDistribution(t *testing.T) {
+	// Find with a uniform threshold must sample index i w.p. v_i/total.
+	xs := []int64{1, 0, 2, 3, 0, 4}
+	tr := FromSlice(xs)
+	src := rng.New(99)
+	const trials = 100000
+	counts := make([]int64, len(xs))
+	total := tr.Total()
+	for i := 0; i < trials; i++ {
+		counts[tr.Find(src.Int63n(total))]++
+	}
+	for i, v := range xs {
+		want := float64(trials) * float64(v) / float64(total)
+		got := float64(counts[i])
+		if v == 0 && counts[i] != 0 {
+			t.Fatalf("index %d has zero weight but %d samples", i, counts[i])
+		}
+		if v > 0 && abs(got-want) > 5*sqrtf(want) {
+			t.Fatalf("index %d sampled %v times, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestDualBasics(t *testing.T) {
+	d := NewDual(4)
+	d.Add(0, 3) // x = [3,0,0,0]
+	d.Add(2, 5) // x = [3,0,5,0]
+	if got := d.Sum(); got != 8 {
+		t.Fatalf("Sum = %d, want 8", got)
+	}
+	if got := d.SumSquares(); got != 34 {
+		t.Fatalf("SumSquares = %d, want 34", got)
+	}
+	// D = 8: weights are x_i*(8-x_i): [15, 0, 15, 0], total 30.
+	if got := d.TotalWeighted(8); got != 30 {
+		t.Fatalf("TotalWeighted(8) = %d, want 30", got)
+	}
+	d.Add(2, -5)
+	if got := d.SumSquares(); got != 9 {
+		t.Fatalf("SumSquares after removal = %d, want 9", got)
+	}
+}
+
+func TestDualFromSliceMatchesIncremental(t *testing.T) {
+	xs := []int64{2, 0, 7, 1, 1, 0, 9}
+	a := DualFromSlice(xs)
+	b := NewDual(len(xs))
+	for i, v := range xs {
+		b.Add(i, v)
+	}
+	if a.Sum() != b.Sum() || a.SumSquares() != b.SumSquares() {
+		t.Fatalf("FromSlice (%d,%d) != incremental (%d,%d)",
+			a.Sum(), a.SumSquares(), b.Sum(), b.SumSquares())
+	}
+	for r := int64(0); r < a.TotalWeighted(a.Sum()); r++ {
+		if a.FindWeighted(a.Sum(), r) != b.FindWeighted(b.Sum(), r) {
+			t.Fatalf("FindWeighted diverges at r=%d", r)
+		}
+	}
+}
+
+func naiveFindWeighted(xs []int64, dTotal, r int64) int {
+	var s int64
+	for i, v := range xs {
+		s += v*dTotal - v*v
+		if s > r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDualFindWeightedPropertyVsNaive(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 48 {
+			raw = raw[:48]
+		}
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v % 50)
+		}
+		d := DualFromSlice(xs)
+		dTotal := d.Sum() // weights x_i(D - x_i) with D = sum: all valid
+		total := d.TotalWeighted(dTotal)
+		if total <= 0 {
+			return true
+		}
+		step := max64(1, total/23)
+		for r := int64(0); r < total; r += step {
+			if d.FindWeighted(dTotal, r) != naiveFindWeighted(xs, dTotal, r) {
+				return false
+			}
+		}
+		return d.FindWeighted(dTotal, total-1) == naiveFindWeighted(xs, dTotal, total-1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualSamplingDistribution(t *testing.T) {
+	// FindWeighted with a uniform threshold must sample index i with
+	// probability x_i(D-x_i)/sum, the Observation 6.2 responder law.
+	xs := []int64{10, 0, 5, 25, 60}
+	d := DualFromSlice(xs)
+	dTotal := d.Sum()
+	total := d.TotalWeighted(dTotal)
+	src := rng.New(123)
+	const trials = 200000
+	counts := make([]int64, len(xs))
+	for i := 0; i < trials; i++ {
+		counts[d.FindWeighted(dTotal, src.Int63n(total))]++
+	}
+	for i, v := range xs {
+		w := v * (dTotal - v)
+		want := float64(trials) * float64(w) / float64(total)
+		got := float64(counts[i])
+		if w == 0 && counts[i] != 0 {
+			t.Fatalf("index %d has zero weight but %d samples", i, counts[i])
+		}
+		if w > 0 && abs(got-want) > 5*sqrtf(want) {
+			t.Fatalf("index %d sampled %v times, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestDualAddNegativePanics(t *testing.T) {
+	d := NewDual(2)
+	d.Add(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add below zero did not panic")
+		}
+	}()
+	d.Add(0, -2)
+}
+
+func TestDualValuesCopies(t *testing.T) {
+	d := DualFromSlice([]int64{1, 2, 3})
+	vals := d.Values(nil)
+	vals[0] = 99
+	if d.Get(0) != 1 {
+		t.Fatal("Values must return a copy, not an alias")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0) },
+		func() { NewDual(-1) },
+		func() { DualFromSlice([]int64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor with invalid input did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sqrtf(x float64) float64 {
+	// Newton iterations suffice for test tolerances.
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+func BenchmarkTreeAddFind(b *testing.B) {
+	tr := New(64)
+	for i := 0; i < 64; i++ {
+		tr.Add(i, int64(i+1))
+	}
+	src := rng.New(1)
+	total := tr.Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := tr.Find(src.Int63n(total))
+		tr.Add(j, 1)
+		tr.Add(j, -1)
+	}
+}
+
+func BenchmarkDualFindWeighted(b *testing.B) {
+	xs := make([]int64, 64)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	d := DualFromSlice(xs)
+	dTotal := d.Sum()
+	total := d.TotalWeighted(dTotal)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.FindWeighted(dTotal, src.Int63n(total))
+	}
+}

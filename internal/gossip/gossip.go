@@ -1,0 +1,309 @@
+// Package gossip implements the synchronous parallel gossip model and the
+// consensus dynamics the paper discusses in it: the undecided state
+// dynamics as analyzed by Becchetti et al. (the Appendix D comparator), and
+// the related-work baselines Voter, TwoChoices, 3-Majority, and MedianRule.
+//
+// In the gossip model, time proceeds in synchronous rounds. In every round,
+// each agent draws one or more interaction partners uniformly at random
+// (with replacement, from the full population) and updates its own state as
+// a function of its current state and the partners' states *from the
+// beginning of the round*. Unlike the population protocol model, a constant
+// fraction of agents can change state in a single round, which is the root
+// of the analytical differences the paper describes.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/rng"
+)
+
+// State is an agent state: Undecided (0) or an opinion in 1..k.
+type State int32
+
+// Undecided is the distinguished undecided state ⊥.
+const Undecided State = 0
+
+// Dynamic is a gossip-model update rule. Update computes an agent's next
+// state from its current state and fresh uniform samples of the previous
+// round's states.
+type Dynamic interface {
+	// K returns the number of opinions.
+	K() int
+	// SupportsUndecided reports whether the rule is defined on
+	// configurations containing undecided agents.
+	SupportsUndecided() bool
+	// Update returns the agent's next state. sample() draws the state of
+	// a uniformly random agent from the previous round; src supplies any
+	// extra randomness (for example tie-breaking).
+	Update(own State, sample func() State, src *rng.Source) State
+}
+
+// USD is the gossip-model undecided state dynamics (Becchetti et al.):
+// each agent pulls one sample; an undecided agent adopts a decided sample,
+// a decided agent seeing a different decided opinion becomes undecided.
+type USD struct {
+	// Opinions is the number of opinions k.
+	Opinions int
+}
+
+// K returns the number of opinions.
+func (d USD) K() int { return d.Opinions }
+
+// SupportsUndecided reports true: the undecided state is part of the rule.
+func (d USD) SupportsUndecided() bool { return true }
+
+// Update applies the USD pull rule.
+func (d USD) Update(own State, sample func() State, _ *rng.Source) State {
+	s := sample()
+	switch {
+	case own == Undecided && s != Undecided:
+		return s
+	case own != Undecided && s != Undecided && s != own:
+		return Undecided
+	default:
+		return own
+	}
+}
+
+// Voter is the single-sample voter dynamics: adopt the sampled opinion.
+type Voter struct {
+	// Opinions is the number of opinions k.
+	Opinions int
+}
+
+// K returns the number of opinions.
+func (d Voter) K() int { return d.Opinions }
+
+// SupportsUndecided reports false: voter states are always decided.
+func (d Voter) SupportsUndecided() bool { return false }
+
+// Update adopts the sample.
+func (d Voter) Update(_ State, sample func() State, _ *rng.Source) State {
+	return sample()
+}
+
+// TwoChoices is the lazy two-sample dynamics: adopt the sampled opinion
+// only if both samples agree, otherwise keep the current opinion.
+type TwoChoices struct {
+	// Opinions is the number of opinions k.
+	Opinions int
+}
+
+// K returns the number of opinions.
+func (d TwoChoices) K() int { return d.Opinions }
+
+// SupportsUndecided reports false.
+func (d TwoChoices) SupportsUndecided() bool { return false }
+
+// Update applies the lazy two-choices rule.
+func (d TwoChoices) Update(own State, sample func() State, _ *rng.Source) State {
+	s1, s2 := sample(), sample()
+	if s1 == s2 {
+		return s1
+	}
+	return own
+}
+
+// ThreeMajority is the 3-sample majority dynamics: adopt the majority
+// among three samples, breaking three-way ties by picking one of the three
+// samples uniformly at random.
+type ThreeMajority struct {
+	// Opinions is the number of opinions k.
+	Opinions int
+}
+
+// K returns the number of opinions.
+func (d ThreeMajority) K() int { return d.Opinions }
+
+// SupportsUndecided reports false.
+func (d ThreeMajority) SupportsUndecided() bool { return false }
+
+// Update applies the 3-majority rule.
+func (d ThreeMajority) Update(_ State, sample func() State, src *rng.Source) State {
+	s1, s2, s3 := sample(), sample(), sample()
+	switch {
+	case s1 == s2 || s1 == s3:
+		return s1
+	case s2 == s3:
+		return s2
+	default:
+		switch src.Intn(3) {
+		case 0:
+			return s1
+		case 1:
+			return s2
+		default:
+			return s3
+		}
+	}
+}
+
+// MedianRule is the ordered-opinion median dynamics of Doerr et al.: adopt
+// the median of the agent's own opinion and two samples. It requires a
+// total order on opinions, which state indices provide.
+type MedianRule struct {
+	// Opinions is the number of opinions k.
+	Opinions int
+}
+
+// K returns the number of opinions.
+func (d MedianRule) K() int { return d.Opinions }
+
+// SupportsUndecided reports false.
+func (d MedianRule) SupportsUndecided() bool { return false }
+
+// Update returns the median of {own, sample, sample}.
+func (d MedianRule) Update(own State, sample func() State, _ *rng.Source) State {
+	a, b, c := own, sample(), sample()
+	// Median of three by explicit comparison.
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// Result summarizes a gossip run.
+type Result struct {
+	// Consensus reports whether all agents agreed on one opinion.
+	Consensus bool
+	// Winner is the 0-based consensus opinion, or -1.
+	Winner int
+	// Rounds is the number of synchronous rounds simulated.
+	Rounds int64
+}
+
+// Engine simulates a gossip dynamics over an explicit agent vector. It is
+// not safe for concurrent use. Construct with NewEngine.
+type Engine struct {
+	cur, nxt []State
+	counts   []int64
+	u        int64
+	dyn      Dynamic
+	src      *rng.Source
+	rounds   int64
+}
+
+// NewEngine builds a gossip engine from an initial aggregate configuration.
+func NewEngine(c *conf.Config, dyn Dynamic, src *rng.Source) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gossip: invalid configuration: %w", err)
+	}
+	if dyn == nil || src == nil {
+		return nil, errors.New("gossip: nil dynamic or source")
+	}
+	if dyn.K() != c.K() {
+		return nil, fmt.Errorf("gossip: dynamic has k=%d but configuration has k=%d", dyn.K(), c.K())
+	}
+	if c.Undecided > 0 && !dyn.SupportsUndecided() {
+		return nil, fmt.Errorf("gossip: dynamic %T does not support undecided agents", dyn)
+	}
+	n := c.N()
+	e := &Engine{
+		cur:    make([]State, 0, n),
+		nxt:    make([]State, n),
+		counts: append([]int64(nil), c.Support...),
+		u:      c.Undecided,
+		dyn:    dyn,
+		src:    src,
+	}
+	for op, x := range c.Support {
+		for i := int64(0); i < x; i++ {
+			e.cur = append(e.cur, State(op+1))
+		}
+	}
+	for i := int64(0); i < c.Undecided; i++ {
+		e.cur = append(e.cur, Undecided)
+	}
+	return e, nil
+}
+
+// N returns the population size.
+func (e *Engine) N() int64 { return int64(len(e.cur)) }
+
+// K returns the number of opinions.
+func (e *Engine) K() int { return len(e.counts) }
+
+// Undecided returns the current undecided count.
+func (e *Engine) Undecided() int64 { return e.u }
+
+// Support returns the current support of opinion i (0-based).
+func (e *Engine) Support(i int) int64 { return e.counts[i] }
+
+// Rounds returns the number of rounds simulated so far.
+func (e *Engine) Rounds() int64 { return e.rounds }
+
+// Config returns a snapshot of the aggregate configuration.
+func (e *Engine) Config() *conf.Config {
+	return &conf.Config{
+		Support:   append([]int64(nil), e.counts...),
+		Undecided: e.u,
+	}
+}
+
+// IsConsensus reports whether all agents hold the same opinion.
+func (e *Engine) IsConsensus() bool {
+	if e.u != 0 {
+		return false
+	}
+	n := e.N()
+	for _, c := range e.counts {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Round simulates one synchronous round: every agent updates based on
+// samples of the previous round's state vector.
+func (e *Engine) Round() {
+	n := len(e.cur)
+	sample := func() State { return e.cur[e.src.Intn(n)] }
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.u = 0
+	for i := 0; i < n; i++ {
+		s := e.dyn.Update(e.cur[i], sample, e.src)
+		e.nxt[i] = s
+		if s == Undecided {
+			e.u++
+		} else {
+			e.counts[s-1]++
+		}
+	}
+	e.cur, e.nxt = e.nxt, e.cur
+	e.rounds++
+}
+
+// Run simulates rounds until consensus or until maxRounds is exhausted
+// (maxRounds <= 0 means until consensus). An all-undecided configuration is
+// absorbing for the USD rule and is reported as a non-consensus result.
+func (e *Engine) Run(maxRounds int64) Result {
+	for !e.IsConsensus() {
+		if maxRounds > 0 && e.rounds >= maxRounds {
+			return Result{Winner: -1, Rounds: e.rounds}
+		}
+		if e.u == e.N() {
+			return Result{Winner: -1, Rounds: e.rounds}
+		}
+		e.Round()
+	}
+	winner := -1
+	for i, c := range e.counts {
+		if c == e.N() {
+			winner = i
+			break
+		}
+	}
+	return Result{Consensus: true, Winner: winner, Rounds: e.rounds}
+}

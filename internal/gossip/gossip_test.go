@@ -1,0 +1,349 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/rng"
+)
+
+func mustConfig(t *testing.T, support []int64, u int64) *conf.Config {
+	t.Helper()
+	c, err := conf.FromSupport(support, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func constSampler(s State) func() State {
+	return func() State { return s }
+}
+
+func TestUSDUpdateTable(t *testing.T) {
+	d := USD{Opinions: 3}
+	src := rng.New(1)
+	cases := []struct {
+		name   string
+		own    State
+		sample State
+		want   State
+	}{
+		{"undecided adopts", Undecided, 2, 2},
+		{"different becomes undecided", 1, 3, Undecided},
+		{"same stays", 2, 2, 2},
+		{"decided ignores undecided", 1, Undecided, 1},
+		{"undecided ignores undecided", Undecided, Undecided, Undecided},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := d.Update(tc.own, constSampler(tc.sample), src); got != tc.want {
+				t.Fatalf("Update(%d, %d) = %d, want %d", tc.own, tc.sample, got, tc.want)
+			}
+		})
+	}
+	if !d.SupportsUndecided() {
+		t.Fatal("gossip USD must support undecided agents")
+	}
+}
+
+func TestVoterUpdate(t *testing.T) {
+	d := Voter{Opinions: 2}
+	src := rng.New(1)
+	if got := d.Update(1, constSampler(2), src); got != 2 {
+		t.Fatal("voter must adopt the sample")
+	}
+	if d.SupportsUndecided() {
+		t.Fatal("voter must not claim undecided support")
+	}
+}
+
+func TestTwoChoicesUpdate(t *testing.T) {
+	d := TwoChoices{Opinions: 3}
+	src := rng.New(1)
+	if got := d.Update(1, constSampler(2), src); got != 2 {
+		t.Fatal("two equal samples must be adopted")
+	}
+	// Alternating sampler: two different samples keep own opinion.
+	calls := 0
+	alt := func() State {
+		calls++
+		if calls%2 == 1 {
+			return 2
+		}
+		return 3
+	}
+	if got := d.Update(1, alt, src); got != 1 {
+		t.Fatal("disagreeing samples must keep own opinion")
+	}
+}
+
+func TestThreeMajorityUpdate(t *testing.T) {
+	d := ThreeMajority{Opinions: 3}
+	src := rng.New(1)
+	if got := d.Update(1, constSampler(3), src); got != 3 {
+		t.Fatal("unanimous samples must be adopted")
+	}
+	// Samples 2,2,3: majority 2.
+	calls := 0
+	maj := func() State {
+		calls++
+		if calls <= 2 {
+			return 2
+		}
+		return 3
+	}
+	if got := d.Update(1, maj, src); got != 2 {
+		t.Fatal("two-of-three majority must win")
+	}
+	// All distinct: result must be one of the samples.
+	for i := 0; i < 50; i++ {
+		calls = 0
+		distinct := func() State {
+			calls++
+			return State(calls) // 1, 2, 3
+		}
+		got := d.Update(1, distinct, src)
+		if got < 1 || got > 3 {
+			t.Fatalf("three-way tie produced %d", got)
+		}
+	}
+}
+
+func TestThreeMajorityTieIsUniform(t *testing.T) {
+	d := ThreeMajority{Opinions: 3}
+	src := rng.New(42)
+	counts := map[State]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		calls := 0
+		distinct := func() State {
+			calls++
+			return State(calls)
+		}
+		counts[d.Update(1, distinct, src)]++
+	}
+	for s := State(1); s <= 3; s++ {
+		if math.Abs(float64(counts[s])-trials/3.0) > 6*math.Sqrt(trials/3.0) {
+			t.Fatalf("tie-breaking not uniform: %v", counts)
+		}
+	}
+}
+
+func TestMedianRuleUpdate(t *testing.T) {
+	d := MedianRule{Opinions: 5}
+	src := rng.New(1)
+	cases := []struct {
+		own    State
+		s1, s2 State
+		want   State
+	}{
+		{1, 2, 3, 2},
+		{3, 1, 2, 2},
+		{5, 5, 1, 5},
+		{2, 2, 2, 2},
+		{4, 1, 5, 4},
+	}
+	for _, tc := range cases {
+		calls := 0
+		sampler := func() State {
+			calls++
+			if calls == 1 {
+				return tc.s1
+			}
+			return tc.s2
+		}
+		if got := d.Update(tc.own, sampler, src); got != tc.want {
+			t.Fatalf("median(%d,%d,%d) = %d, want %d", tc.own, tc.s1, tc.s2, got, tc.want)
+		}
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	c := mustConfig(t, []int64{5, 5}, 0)
+	if _, err := NewEngine(c, nil, rng.New(1)); err == nil {
+		t.Fatal("nil dynamic accepted")
+	}
+	if _, err := NewEngine(c, USD{Opinions: 2}, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewEngine(c, USD{Opinions: 3}, rng.New(1)); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+	withU := mustConfig(t, []int64{5, 5}, 2)
+	if _, err := NewEngine(withU, Voter{Opinions: 2}, rng.New(1)); err == nil {
+		t.Fatal("undecided agents accepted by voter")
+	}
+	if _, err := NewEngine(withU, USD{Opinions: 2}, rng.New(1)); err != nil {
+		t.Fatalf("USD must accept undecided agents: %v", err)
+	}
+}
+
+func TestRoundConservesPopulation(t *testing.T) {
+	c, err := conf.Uniform(300, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, USD{Opinions: 4}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		e.Round()
+		var total int64 = e.Undecided()
+		for i := 0; i < e.K(); i++ {
+			if e.Support(i) < 0 {
+				t.Fatalf("negative support at round %d", r)
+			}
+			total += e.Support(i)
+		}
+		if total != e.N() {
+			t.Fatalf("population not conserved at round %d: %d != %d", r, total, e.N())
+		}
+	}
+	if e.Rounds() != 50 {
+		t.Fatalf("Rounds = %d, want 50", e.Rounds())
+	}
+}
+
+func TestUSDGossipReachesConsensus(t *testing.T) {
+	c := mustConfig(t, []int64{700, 300}, 0)
+	e, err := NewEngine(c, USD{Opinions: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(0)
+	if !res.Consensus {
+		t.Fatalf("no consensus: %+v", res)
+	}
+	if res.Winner != 0 {
+		t.Fatalf("strong majority lost: winner %d", res.Winner)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if !e.IsConsensus() {
+		t.Fatal("IsConsensus false after consensus")
+	}
+}
+
+func TestAllDynamicsReachConsensus(t *testing.T) {
+	dynamics := []Dynamic{
+		USD{Opinions: 3},
+		Voter{Opinions: 3},
+		TwoChoices{Opinions: 3},
+		ThreeMajority{Opinions: 3},
+		MedianRule{Opinions: 3},
+	}
+	for _, d := range dynamics {
+		c := mustConfig(t, []int64{200, 100, 100}, 0)
+		e, err := NewEngine(c, d, rng.New(11))
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		res := e.Run(100000)
+		if !res.Consensus {
+			t.Fatalf("%T did not converge: %+v", d, res)
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	c, err := conf.Uniform(1000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, USD{Opinions: 8}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(2)
+	if res.Consensus {
+		t.Fatal("consensus from uniform 8 opinions in 2 rounds is impossible")
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Rounds)
+	}
+}
+
+func TestAllUndecidedAbsorbing(t *testing.T) {
+	c := mustConfig(t, []int64{0, 0}, 20)
+	e, err := NewEngine(c, USD{Opinions: 2}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(0)
+	if res.Consensus || res.Winner != -1 {
+		t.Fatalf("all-undecided run: %+v", res)
+	}
+}
+
+func TestConfigSnapshotIndependent(t *testing.T) {
+	c := mustConfig(t, []int64{10, 10}, 0)
+	e, err := NewEngine(c, USD{Opinions: 2}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Config()
+	snap.Support[0] = 0
+	if e.Support(0) != 10 {
+		t.Fatal("Config snapshot aliases engine state")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		c, err := conf.Uniform(500, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(c, USD{Opinions: 4}, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(0)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestGossipUSDOneRoundDrift(t *testing.T) {
+	// One gossip round from an all-decided 2-opinion configuration: the
+	// expected number of agents that become undecided is
+	// 2·x₁·x₂/n (each decided agent turns undecided w.p. x_other/n).
+	x1, x2 := int64(600), int64(400)
+	n := x1 + x2
+	want := float64(2*x1*x2) / float64(n)
+	const trials = 300
+	var sum float64
+	for i := 0; i < trials; i++ {
+		c := mustConfig(t, []int64{x1, x2}, 0)
+		e, err := NewEngine(c, USD{Opinions: 2}, rng.New(rng.Derive(3, uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Round()
+		sum += float64(e.Undecided())
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("mean new undecided = %.1f, want %.1f", got, want)
+	}
+}
+
+func BenchmarkRoundUSD(b *testing.B) {
+	c, err := conf.Uniform(1<<16, 8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(c, USD{Opinions: 8}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Round()
+	}
+}

@@ -1,0 +1,163 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/rng"
+)
+
+func TestNewSyncEngineValidation(t *testing.T) {
+	c := mustConfig(t, []int64{5, 5}, 0)
+	if _, err := NewSyncEngine(c, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewSyncEngine(&conf.Config{}, rng.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSyncRoundLeavesNoUndecided(t *testing.T) {
+	c, err := conf.Uniform(600, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSyncEngine(c, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 30; r++ {
+		e.Round()
+		if e.Undecided() != 0 {
+			t.Fatalf("round %d left %d undecided agents", r, e.Undecided())
+		}
+		var total int64
+		for i := 0; i < e.K(); i++ {
+			if e.Support(i) < 0 {
+				t.Fatalf("negative support at round %d", r)
+			}
+			total += e.Support(i)
+		}
+		if total != e.N() {
+			t.Fatalf("population not conserved: %d != %d", total, e.N())
+		}
+	}
+}
+
+func TestSyncReachesConsensusNoBias(t *testing.T) {
+	// The synchronized variant converges polylogarithmically even from a
+	// tie — the headline of the related work it reproduces.
+	c, err := conf.Uniform(4096, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSyncEngine(c, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(10000)
+	if !res.Consensus {
+		t.Fatalf("no consensus: %+v", res)
+	}
+	// Polylog bound with generous constant: c·log²n ≈ 69 for n=4096 with
+	// c=1; allow 10x.
+	logN := math.Log(float64(4096))
+	if float64(res.Rounds) > 10*logN*logN {
+		t.Fatalf("synchronized USD took %d rounds, want O(log² n) ≈ %.0f", res.Rounds, logN*logN)
+	}
+	if !e.IsConsensus() {
+		t.Fatal("IsConsensus false after consensus")
+	}
+}
+
+func TestSyncPreservesStrongMajority(t *testing.T) {
+	const trials = 20
+	wins := 0
+	for i := 0; i < trials; i++ {
+		c := mustConfig(t, []int64{1400, 300, 300}, 0)
+		e, err := NewSyncEngine(c, rng.New(rng.Derive(11, uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Run(0)
+		if !res.Consensus {
+			t.Fatalf("trial %d: %+v", i, res)
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Fatalf("strong majority won only %d/%d trials", wins, trials)
+	}
+}
+
+func TestSyncAllUndecidedAbsorbing(t *testing.T) {
+	c := mustConfig(t, []int64{0, 0}, 10)
+	e, err := NewSyncEngine(c, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(0)
+	if res.Consensus || res.Winner != -1 {
+		t.Fatalf("all-undecided: %+v", res)
+	}
+}
+
+func TestSyncDeterministic(t *testing.T) {
+	run := func() Result {
+		c, err := conf.Uniform(1000, 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewSyncEngine(c, rng.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(0)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSyncFasterThanPlainGossipNoBias(t *testing.T) {
+	// From a no-bias start with many opinions, the synchronized variant
+	// must beat the plain gossip USD by a wide margin.
+	if testing.Short() {
+		t.Skip("comparison skipped in -short mode")
+	}
+	n := int64(4096)
+	k := 16
+	const trials = 5
+	var syncSum, plainSum float64
+	for i := 0; i < trials; i++ {
+		c, err := conf.Uniform(n, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := NewSyncEngine(c, rng.New(rng.Derive(31, uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres := se.Run(100000)
+		if !sres.Consensus {
+			t.Fatalf("sync trial %d: %+v", i, sres)
+		}
+		syncSum += float64(sres.Rounds)
+
+		pe, err := NewEngine(c, USD{Opinions: k}, rng.New(rng.Derive(32, uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres := pe.Run(100000)
+		if !pres.Consensus {
+			t.Fatalf("plain trial %d: %+v", i, pres)
+		}
+		plainSum += float64(pres.Rounds)
+	}
+	if syncSum >= plainSum {
+		t.Fatalf("synchronized (%.0f total rounds) not faster than plain (%.0f)", syncSum, plainSum)
+	}
+}

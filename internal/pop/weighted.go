@@ -1,0 +1,75 @@
+package pop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fenwick"
+	"repro/internal/rng"
+)
+
+// WeightedScheduler draws the responder and initiator independently with
+// probability proportional to fixed per-agent activation weights. It models
+// heterogeneous interaction rates — a standard robustness question for
+// population protocols, whose analyses (including the paper's) assume the
+// uniform scheduler. Uniform weights reduce exactly to UniformScheduler.
+//
+// Construct with NewWeightedScheduler; the zero value is not usable.
+type WeightedScheduler struct {
+	src  *rng.Source
+	tree *fenwick.Tree
+	n    int
+}
+
+// NewWeightedScheduler builds a scheduler over the given positive integer
+// weights (one per agent).
+func NewWeightedScheduler(weights []int64, src *rng.Source) (*WeightedScheduler, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("pop: no weights")
+	}
+	if src == nil {
+		return nil, errors.New("pop: nil source")
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("pop: weight %d for agent %d must be positive", w, i)
+		}
+	}
+	return &WeightedScheduler{
+		src:  src,
+		tree: fenwick.FromSlice(weights),
+		n:    len(weights),
+	}, nil
+}
+
+// Pair draws an ordered pair, each endpoint independently ∝ weight.
+func (s *WeightedScheduler) Pair(n int) (int, int) {
+	if n != s.n {
+		panic(fmt.Sprintf("pop: weighted scheduler built for %d agents, asked for %d", s.n, n))
+	}
+	total := s.tree.Total()
+	return s.tree.Find(s.src.Int63n(total)), s.tree.Find(s.src.Int63n(total))
+}
+
+// ZipfWeights returns n activation weights following a Zipf law with the
+// given exponent: weight of agent i proportional to 1/(i+1)^s, scaled so
+// the smallest weight is at least 1. s = 0 gives uniform weights.
+func ZipfWeights(n int, s float64) ([]int64, error) {
+	if n <= 0 {
+		return nil, errors.New("pop: n must be positive")
+	}
+	if s < 0 {
+		return nil, errors.New("pop: exponent must be non-negative")
+	}
+	// weight_i = round((n/(i+1))^s) >= 1 for all i < n.
+	weights := make([]int64, n)
+	for i := range weights {
+		w := math.Pow(float64(n)/float64(i+1), s)
+		weights[i] = int64(w + 0.5)
+		if weights[i] < 1 {
+			weights[i] = 1
+		}
+	}
+	return weights, nil
+}

@@ -1,0 +1,206 @@
+// Package potential implements the analytic quantities the paper's proof
+// tracks: the phase-1 potential Z_α(t) = n − 2u − α·xmax, the unstable
+// undecided equilibrium u* = n(k−1)/(2k−1), the significance threshold
+// α√(n log n), the undecided-count band of Lemmas 3-4, the exact one-step
+// transition probabilities of Observations 6, 8 and 9, and the
+// monochromatic distance of Becchetti et al. used in the Appendix D
+// comparison.
+//
+// All logarithms follow the paper's convention: bounds stated with "log"
+// use the natural logarithm ln, matching the constants in Lemmas 3-4
+// (e.g. 8√(n ln n)).
+package potential
+
+import (
+	"math"
+
+	"repro/internal/conf"
+)
+
+// DefaultAlpha is the significance constant α used when callers do not
+// specify one. The paper leaves α as "some fixed constant"; 1 keeps the
+// threshold at √(n ln n), the scale at which all the phase-2 machinery
+// operates.
+const DefaultAlpha = 1.0
+
+// Z returns the phase-1 potential Z(t) = n − 2u − xmax (α = 1). Phase 1
+// ends as soon as Z(t) ≤ 0 (Lemma 1).
+func Z(n, u, xmax int64) int64 {
+	return n - 2*u - xmax
+}
+
+// ZAlpha returns the generalized potential Z_α(t) = n − 2u − α·xmax used in
+// Phase 4 with α = 7/8 (Lemma 14).
+func ZAlpha(n, u, xmax int64, alpha float64) float64 {
+	return float64(n) - 2*float64(u) - alpha*float64(xmax)
+}
+
+// EquilibriumUndecided returns u* = n(k−1)/(2k−1), the unstable equilibrium
+// for the number of undecided agents (paper, discussion before Lemma 3).
+func EquilibriumUndecided(n int64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(n) * float64(k-1) / float64(2*k-1)
+}
+
+// SignificanceThreshold returns α·√(n ln n), the additive margin below the
+// maximum at which an opinion stops being significant.
+func SignificanceThreshold(n int64, alpha float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return alpha * math.Sqrt(float64(n)*math.Log(float64(n)))
+}
+
+// Significant reports whether an opinion with support x is significant in a
+// configuration whose largest support is xmax: x > xmax − α√(n ln n).
+func Significant(x, xmax, n int64, alpha float64) bool {
+	return float64(x) > float64(xmax)-SignificanceThreshold(n, alpha)
+}
+
+// SignificantCount returns the number of significant opinions in c.
+func SignificantCount(c *conf.Config, alpha float64) int {
+	_, xmax := c.Max()
+	n := c.N()
+	count := 0
+	for _, x := range c.Support {
+		if Significant(x, xmax, n, alpha) {
+			count++
+		}
+	}
+	return count
+}
+
+// UndecidedLowerBound returns the Lemma 4 floor that holds w.h.p. for all
+// t ∈ [T₁, n³]: u(t) ≥ n/2 − xmax(t)/2 − 8√(n ln n).
+func UndecidedLowerBound(n, xmax int64) float64 {
+	return float64(n)/2 - float64(xmax)/2 - 8*math.Sqrt(float64(n)*math.Log(float64(n)))
+}
+
+// UndecidedUpperBound returns the Lemma 3 ceiling that holds w.h.p. for all
+// t ∈ [0, n³]: u(t) ≤ n/2 − √(n ln n)/(5c), where c is the constant in the
+// assumption k ≤ c·√n/log²n.
+func UndecidedUpperBound(n int64, c float64) float64 {
+	if c <= 0 {
+		c = 1
+	}
+	return float64(n)/2 - math.Sqrt(float64(n)*math.Log(float64(n)))/(5*c)
+}
+
+// MonochromaticDistance returns md(x) = Σᵢ (xᵢ/xmax)², the measure of
+// configuration uniformity from Becchetti et al. used in Appendix D.
+// It lies in [1, k] for any configuration with at least one decided agent,
+// and is 0 for an all-undecided configuration.
+func MonochromaticDistance(support []int64) float64 {
+	var xmax int64
+	for _, x := range support {
+		if x > xmax {
+			xmax = x
+		}
+	}
+	if xmax == 0 {
+		return 0
+	}
+	var md float64
+	for _, x := range support {
+		r := float64(x) / float64(xmax)
+		md += r * r
+	}
+	return md
+}
+
+// Probs bundles the exact one-interaction transition probabilities for the
+// number of undecided agents (Observation 6).
+type Probs struct {
+	// Down is p₋ = u(n−u)/n², the probability that an undecided responder
+	// adopts an opinion (u decreases by one).
+	Down float64
+	// Up is p₊ = ((n−u)² − r₂)/n², the probability that a decided responder
+	// meets a differently-decided initiator and becomes undecided.
+	Up float64
+}
+
+// Productive returns p₋ + p₊, the probability that an interaction changes
+// the configuration at all.
+func (p Probs) Productive() float64 { return p.Down + p.Up }
+
+// UndecidedProbs returns the Observation 6 probabilities for configuration c.
+func UndecidedProbs(c *conf.Config) Probs {
+	n := float64(c.N())
+	u := float64(c.Undecided)
+	d := n - u
+	r2 := float64(c.SumSquares())
+	return Probs{
+		Down: u * d / (n * n),
+		Up:   (d*d - r2) / (n * n),
+	}
+}
+
+// OpinionProbs returns the Observation 8 probabilities for opinion i in c:
+// up = u·xᵢ/n² (an undecided responder adopts i) and down =
+// xᵢ(n−u−xᵢ)/n² (an i-responder meets a differently-decided initiator).
+func OpinionProbs(c *conf.Config, i int) (up, down float64) {
+	n := float64(c.N())
+	u := float64(c.Undecided)
+	xi := float64(c.Support[i])
+	return u * xi / (n * n), xi * (n - u - xi) / (n * n)
+}
+
+// GapProbs returns the Observation 9 probabilities for the signed gap
+// Δ = xᵢ − xⱼ: the probability the gap increases by one and the probability
+// it decreases by one in a single interaction.
+func GapProbs(c *conf.Config, i, j int) (up, down float64) {
+	iUp, iDown := OpinionProbs(c, i)
+	jUp, jDown := OpinionProbs(c, j)
+	return iUp + jDown, iDown + jUp
+}
+
+// ConditionalUp returns ˜p₊ = p₊/(p₊+p₋), the probability that a productive
+// interaction increases the undecided count (Observation 7's subject).
+// It returns 0 when no interaction is productive.
+func ConditionalUp(c *conf.Config) float64 {
+	p := UndecidedProbs(c)
+	if p.Productive() == 0 {
+		return 0
+	}
+	return p.Up / p.Productive()
+}
+
+// DriftZ returns the exact expected one-step decrease E[Z(t) − Z(t+1)] of
+// the phase-1 potential, conditioning on which opinion gains or loses an
+// agent (the displayed computation in the proof of Lemma 1). Unlike the
+// paper's display, ties in the maximum are handled exactly: losing an agent
+// from a tied maximum does not change xmax, so the exact drift is at least
+// the paper's lower bound Z(t)/(2n).
+func DriftZ(c *conf.Config) float64 {
+	n := float64(c.N())
+	u := float64(c.Undecided)
+	_, xmaxInt := c.Max()
+	maxCount := 0
+	for _, xi := range c.Support {
+		if xi == xmaxInt {
+			maxCount++
+		}
+	}
+	var drift float64
+	for _, xi := range c.Support {
+		x := float64(xi)
+		// u decreases by one (an undecided responder adopts opinion i):
+		// Z increases by 2, minus 1 more if xmax also grows.
+		gain := 2.0
+		if xi == xmaxInt {
+			gain = 1.0
+		}
+		drift -= gain * x * u / (n * n)
+		// u increases by one (an i-responder becomes undecided):
+		// Z decreases by 2, unless xmax shrinks too, which requires i to
+		// be the unique maximum.
+		loss := 2.0
+		if xi == xmaxInt && maxCount == 1 {
+			loss = 1.0
+		}
+		drift += loss * x * (n - u - x) / (n * n)
+	}
+	return drift
+}

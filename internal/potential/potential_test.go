@@ -1,0 +1,342 @@
+package potential
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conf"
+)
+
+func mustConfig(t *testing.T, support []int64, u int64) *conf.Config {
+	t.Helper()
+	c, err := conf.FromSupport(support, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestZ(t *testing.T) {
+	cases := []struct {
+		n, u, xmax, want int64
+	}{
+		{100, 0, 50, 50},
+		{100, 25, 50, 0},
+		{100, 40, 30, -10},
+	}
+	for _, tc := range cases {
+		if got := Z(tc.n, tc.u, tc.xmax); got != tc.want {
+			t.Fatalf("Z(%d,%d,%d) = %d, want %d", tc.n, tc.u, tc.xmax, got, tc.want)
+		}
+	}
+}
+
+func TestZAlphaMatchesZ(t *testing.T) {
+	if got := ZAlpha(100, 25, 50, 1.0); got != 0 {
+		t.Fatalf("ZAlpha(α=1) = %v, want 0", got)
+	}
+	// Lemma 14 potential: n − 2u − 7/8·x1.
+	if got := ZAlpha(800, 100, 640, 7.0/8.0); got != 800-200-560 {
+		t.Fatalf("ZAlpha(7/8) = %v", got)
+	}
+}
+
+func TestEquilibriumUndecided(t *testing.T) {
+	// k=2: u* = n/3; k→∞: u* → n/2.
+	if got := EquilibriumUndecided(300, 2); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("u*(k=2) = %v, want 100", got)
+	}
+	if got := EquilibriumUndecided(1000, 1000); got <= 499 || got >= 500 {
+		t.Fatalf("u*(large k) = %v, want just below n/2", got)
+	}
+	if got := EquilibriumUndecided(100, 0); got != 0 {
+		t.Fatalf("u*(k=0) = %v", got)
+	}
+	// Monotone in k.
+	prev := -1.0
+	for k := 1; k < 50; k++ {
+		cur := EquilibriumUndecided(10000, k)
+		if cur < prev {
+			t.Fatalf("u* not monotone at k=%d", k)
+		}
+		prev = cur
+	}
+}
+
+func TestSignificanceThreshold(t *testing.T) {
+	n := int64(10000)
+	want := math.Sqrt(float64(n) * math.Log(float64(n)))
+	if got := SignificanceThreshold(n, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	if got := SignificanceThreshold(n, 2); math.Abs(got-2*want) > 1e-9 {
+		t.Fatalf("threshold scaling in alpha broken")
+	}
+	if got := SignificanceThreshold(1, 1); got != 0 {
+		t.Fatalf("threshold(n=1) = %v, want 0", got)
+	}
+}
+
+func TestSignificant(t *testing.T) {
+	n := int64(10000)
+	thr := SignificanceThreshold(n, 1) // ~303.5
+	xmax := int64(5000)
+	if !Significant(xmax, xmax, n, 1) {
+		t.Fatal("the maximum itself must be significant")
+	}
+	if !Significant(xmax-int64(thr)+1, xmax, n, 1) {
+		t.Fatal("opinion just inside the margin must be significant")
+	}
+	if Significant(xmax-int64(thr)-1, xmax, n, 1) {
+		t.Fatal("opinion beyond the margin must be insignificant")
+	}
+}
+
+func TestSignificantCount(t *testing.T) {
+	c := mustConfig(t, []int64{5000, 4990, 1000}, 0)
+	if got := SignificantCount(c, 1); got != 2 {
+		t.Fatalf("SignificantCount = %d, want 2", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	n := int64(1 << 16)
+	xmax := int64(1 << 14)
+	lo := UndecidedLowerBound(n, xmax)
+	hi := UndecidedUpperBound(n, 1)
+	if lo >= hi {
+		t.Fatalf("bounds inverted: lo=%v hi=%v", lo, hi)
+	}
+	wantLo := float64(n)/2 - float64(xmax)/2 - 8*math.Sqrt(float64(n)*math.Log(float64(n)))
+	if math.Abs(lo-wantLo) > 1e-9 {
+		t.Fatalf("lower bound = %v, want %v", lo, wantLo)
+	}
+	if hiBad := UndecidedUpperBound(n, 0); hiBad >= float64(n)/2 {
+		t.Fatalf("upper bound with c<=0 fallback = %v", hiBad)
+	}
+}
+
+func TestMonochromaticDistance(t *testing.T) {
+	// Consensus-like: md = 1.
+	if got := MonochromaticDistance([]int64{100, 0, 0}); got != 1 {
+		t.Fatalf("md(consensus) = %v", got)
+	}
+	// Perfectly uniform over k opinions: md = k.
+	if got := MonochromaticDistance([]int64{10, 10, 10, 10}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("md(uniform 4) = %v, want 4", got)
+	}
+	// All undecided.
+	if got := MonochromaticDistance([]int64{0, 0}); got != 0 {
+		t.Fatalf("md(all-undecided) = %v, want 0", got)
+	}
+}
+
+func TestMonochromaticDistanceRange(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		any := false
+		for i, v := range raw {
+			xs[i] = int64(v % 1000)
+			if xs[i] > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		md := MonochromaticDistance(xs)
+		return md >= 1-1e-12 && md <= float64(len(xs))+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteProbs enumerates all n² ordered (responder, initiator) pairs of a
+// configuration and counts those that change the undecided count.
+func bruteProbs(c *conf.Config) Probs {
+	n := c.N()
+	// Enumerate by state class rather than individual agents.
+	var down, up int64
+	for _, xi := range c.Support {
+		down += c.Undecided * xi // undecided responder meets opinion-i initiator
+		up += xi * (c.Decided() - xi)
+	}
+	return Probs{
+		Down: float64(down) / float64(n*n),
+		Up:   float64(up) / float64(n*n),
+	}
+}
+
+func TestUndecidedProbsMatchBruteForce(t *testing.T) {
+	cases := []*conf.Config{
+		mustConfig(t, []int64{3, 2, 1}, 4),
+		mustConfig(t, []int64{10, 0, 0}, 0),
+		mustConfig(t, []int64{1, 1, 1, 1}, 0),
+		mustConfig(t, []int64{5, 5}, 90),
+	}
+	for _, c := range cases {
+		got := UndecidedProbs(c)
+		want := bruteProbs(c)
+		if math.Abs(got.Down-want.Down) > 1e-12 || math.Abs(got.Up-want.Up) > 1e-12 {
+			t.Fatalf("config %v: probs %+v, brute force %+v", c, got, want)
+		}
+	}
+}
+
+func TestUndecidedProbsProperty(t *testing.T) {
+	check := func(raw []uint8, uRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 10 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		var total int64
+		for i, v := range raw {
+			xs[i] = int64(v % 20)
+			total += xs[i]
+		}
+		u := int64(uRaw % 20)
+		if total+u == 0 {
+			return true
+		}
+		c, err := conf.FromSupport(xs, u)
+		if err != nil {
+			return true
+		}
+		got := UndecidedProbs(c)
+		want := bruteProbs(c)
+		return math.Abs(got.Down-want.Down) < 1e-12 &&
+			math.Abs(got.Up-want.Up) < 1e-12 &&
+			got.Productive() <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpinionProbs(t *testing.T) {
+	c := mustConfig(t, []int64{6, 3}, 1) // n = 10
+	up, down := OpinionProbs(c, 0)
+	if math.Abs(up-6.0/100) > 1e-12 {
+		t.Fatalf("up = %v, want 0.06", up)
+	}
+	// x0 meets differently-decided (3 agents): 6*3/100.
+	if math.Abs(down-18.0/100) > 1e-12 {
+		t.Fatalf("down = %v, want 0.18", down)
+	}
+}
+
+func TestGapProbs(t *testing.T) {
+	c := mustConfig(t, []int64{6, 3}, 1)
+	up, down := GapProbs(c, 0, 1)
+	// up = u*x0/n² + x1*(n-u-x1)/n² = 6/100 + 18/100
+	if math.Abs(up-24.0/100) > 1e-12 {
+		t.Fatalf("gap up = %v", up)
+	}
+	// down = x0*(n-u-x0)/n² + u*x1/n² = 18/100 + 3/100
+	if math.Abs(down-21.0/100) > 1e-12 {
+		t.Fatalf("gap down = %v", down)
+	}
+}
+
+func TestConditionalUpObservation7(t *testing.T) {
+	// Observation 7: if u >= u* + ε·n then conditional up-probability is at
+	// most 1/2 − ε/2.
+	n := int64(10000)
+	k := 4
+	eps := 0.05
+	uStar := EquilibriumUndecided(n, k)
+	u := int64(uStar + eps*float64(n) + 1)
+	c, err := conf.Uniform(n, k, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ConditionalUp(c)
+	if got > 0.5-eps/2+1e-9 {
+		t.Fatalf("ConditionalUp = %v exceeds Observation 7 bound %v", got, 0.5-eps/2)
+	}
+}
+
+func TestConditionalUpAbsorbing(t *testing.T) {
+	// Consensus: no productive interactions.
+	c := mustConfig(t, []int64{10}, 0)
+	if got := ConditionalUp(c); got != 0 {
+		t.Fatalf("ConditionalUp(consensus) = %v", got)
+	}
+}
+
+// bruteDriftZ computes E[Z(t) − Z(t+1)] by full enumeration of all n²
+// ordered pairs on a small configuration.
+func bruteDriftZ(c *conf.Config) float64 {
+	n := c.N()
+	_, xmax := c.Max()
+	z0 := Z(n, c.Undecided, xmax)
+	var sum float64
+	// Build the agent-level state vector.
+	var states []int
+	for i, x := range c.Support {
+		for j := int64(0); j < x; j++ {
+			states = append(states, i+1)
+		}
+	}
+	for j := int64(0); j < c.Undecided; j++ {
+		states = append(states, 0)
+	}
+	for _, resp := range states {
+		for _, init := range states {
+			d := c.Clone()
+			switch {
+			case resp != 0 && init != 0 && resp != init:
+				d.Support[resp-1]--
+				d.Undecided++
+			case resp == 0 && init != 0:
+				d.Undecided--
+				d.Support[init-1]++
+			}
+			_, xm := d.Max()
+			z1 := Z(n, d.Undecided, xm)
+			sum += float64(z0 - z1)
+		}
+	}
+	return sum / float64(n*n)
+}
+
+func TestDriftZMatchesBruteForce(t *testing.T) {
+	cases := []*conf.Config{
+		mustConfig(t, []int64{3, 2, 1}, 2),
+		mustConfig(t, []int64{4, 4}, 2), // tied maximum
+		mustConfig(t, []int64{5, 1, 1}, 0),
+		mustConfig(t, []int64{2, 2, 2}, 3), // all tied
+	}
+	for _, c := range cases {
+		got := DriftZ(c)
+		want := bruteDriftZ(c)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("config %v: DriftZ = %v, brute force %v", c, got, want)
+		}
+	}
+}
+
+func TestDriftZLowerBoundLemma1(t *testing.T) {
+	// Lemma 1: for Z(t) >= 0 and u < n/2 the drift is at least Z(t)/(2n).
+	configs := []*conf.Config{
+		mustConfig(t, []int64{40, 30, 20}, 10),
+		mustConfig(t, []int64{50, 50}, 0),
+		mustConfig(t, []int64{30, 30, 30}, 9),
+	}
+	for _, c := range configs {
+		n := c.N()
+		_, xmax := c.Max()
+		z := Z(n, c.Undecided, xmax)
+		if z < 0 || c.Undecided >= n/2 {
+			t.Fatalf("test case out of Lemma 1 preconditions: %v", c)
+		}
+		if got := DriftZ(c); got < float64(z)/(2*float64(n))-1e-12 {
+			t.Fatalf("config %v: drift %v below Lemma 1 bound %v", c, got, float64(z)/(2*float64(n)))
+		}
+	}
+}

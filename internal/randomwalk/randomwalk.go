@@ -1,0 +1,173 @@
+// Package randomwalk implements the one-dimensional random-walk toolbox the
+// paper's analysis reduces to: the gambler's ruin probabilities (Lemma 20),
+// the stationary tail of a reflecting biased walk (Lemma 18), the
+// success-excess bound (Lemma 19), and the two-level escalation walk of
+// Lemma 21, together with exact simulators used to validate the closed
+// forms empirically.
+package randomwalk
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrBadParams is returned when walk parameters are out of range.
+var ErrBadParams = errors.New("randomwalk: parameters out of range")
+
+// GamblersRuinWinProb returns the probability that a ±1 random walk started
+// at a, absorbed at 0 and at b (0 < a < b), reaches b before 0, when each
+// step is +1 with probability p and −1 with probability 1−p (Lemma 20).
+func GamblersRuinWinProb(a, b int64, p float64) (float64, error) {
+	if a <= 0 || b <= a || p <= 0 || p >= 1 {
+		return 0, ErrBadParams
+	}
+	if p == 0.5 {
+		return float64(a) / float64(b), nil
+	}
+	q := 1 - p
+	rho := q / p
+	// Win prob = (1 - rho^a) / (1 - rho^b); compute in logs when rho^b
+	// would overflow or underflow.
+	num := -math.Expm1(float64(a) * math.Log(rho))
+	den := -math.Expm1(float64(b) * math.Log(rho))
+	if den == 0 {
+		return float64(a) / float64(b), nil
+	}
+	return num / den, nil
+}
+
+// ReflectingTailProb returns Pr[W ≥ m] = (p/q)^m for the stationary
+// distribution of a walk on the non-negative integers with reflecting
+// barrier at 0, up-probability p, and down-probability q > p (Lemma 18).
+func ReflectingTailProb(p, q float64, m int64) (float64, error) {
+	if p <= 0 || q <= p || p+q > 1+1e-12 || m < 0 {
+		return 0, ErrBadParams
+	}
+	return math.Exp(float64(m) * math.Log(p/q)), nil
+}
+
+// ExcessProb returns the Lemma 19 bound ((1−p)/p)^b on the probability that
+// in an arbitrarily long sequence of independent trials with success
+// probability at least p > 1/2, the number of failures ever exceeds the
+// number of successes by b.
+func ExcessProb(p float64, b int64) (float64, error) {
+	if p <= 0.5 || p > 1 || b < 0 {
+		return 0, ErrBadParams
+	}
+	return math.Exp(float64(b) * math.Log((1-p)/p)), nil
+}
+
+// RuinResult is the outcome of one simulated gambler's-ruin walk.
+type RuinResult struct {
+	// Won reports whether the walk hit b before 0.
+	Won bool
+	// Steps is the number of steps until absorption.
+	Steps int64
+}
+
+// SimulateGamblersRuin runs one ±1 walk from a with absorbing barriers at 0
+// and b and step-up probability p.
+func SimulateGamblersRuin(src *rng.Source, a, b int64, p float64) (RuinResult, error) {
+	if a <= 0 || b <= a || p <= 0 || p >= 1 || src == nil {
+		return RuinResult{}, ErrBadParams
+	}
+	pos := a
+	var steps int64
+	for pos > 0 && pos < b {
+		if src.Bernoulli(p) {
+			pos++
+		} else {
+			pos--
+		}
+		steps++
+	}
+	return RuinResult{Won: pos == b, Steps: steps}, nil
+}
+
+// SimulateReflectingMax runs a reflecting walk from 0 for the given number
+// of steps (up w.p. p, down w.p. q, lazy otherwise; at 0 the down step is
+// suppressed) and returns the maximum level reached.
+func SimulateReflectingMax(src *rng.Source, p, q float64, steps int64) (int64, error) {
+	if p < 0 || q < 0 || p+q > 1+1e-12 || steps < 0 || src == nil {
+		return 0, ErrBadParams
+	}
+	var pos, maxPos int64
+	for i := int64(0); i < steps; i++ {
+		u := src.Float64()
+		switch {
+		case u < p:
+			pos++
+			if pos > maxPos {
+				maxPos = pos
+			}
+		case u < p+q && pos > 0:
+			pos--
+		}
+	}
+	return maxPos, nil
+}
+
+// EscalationWalk is the Lemma 21 walk on levels {0, …, L} with reflecting
+// level 0 and absorbing level L: from level 0 it advances with probability
+// P0; from level ℓ ≥ 1 it advances with probability 1 − e^(−2^ℓ) and falls
+// back to 0 otherwise. The paper instantiates L = log log n and shows
+// absorption within O(log n) attempts w.h.p.
+type EscalationWalk struct {
+	// P0 is the advance probability from level 0.
+	P0 float64
+	// Levels is the absorbing level L.
+	Levels int
+}
+
+// AdvanceProb returns the advance probability from the given level.
+func (w EscalationWalk) AdvanceProb(level int) float64 {
+	if level == 0 {
+		return w.P0
+	}
+	return -math.Expm1(-math.Exp2(float64(level)))
+}
+
+// Simulate runs the walk until absorption or until maxSteps, returning the
+// number of steps taken and whether it absorbed.
+func (w EscalationWalk) Simulate(src *rng.Source, maxSteps int64) (steps int64, absorbed bool, err error) {
+	if w.P0 <= 0 || w.P0 > 1 || w.Levels < 1 || src == nil {
+		return 0, false, ErrBadParams
+	}
+	level := 0
+	for steps = 0; maxSteps <= 0 || steps < maxSteps; {
+		if level >= w.Levels {
+			return steps, true, nil
+		}
+		steps++
+		if src.Bernoulli(w.AdvanceProb(level)) {
+			level++
+		} else {
+			level = 0
+		}
+	}
+	return steps, false, nil
+}
+
+// AttemptSuccessLowerBound returns the Lemma 21 lower bound 0.8·p on the
+// probability that a single attempt (a maximal run starting from level 0)
+// reaches the absorbing level, independent of L.
+func (w EscalationWalk) AttemptSuccessLowerBound() float64 {
+	return 0.8 * w.P0
+}
+
+// BiasedWalkHittingBound returns the upper bound from Lemma 18 on the
+// probability that a reflecting walk with up-probability p < q reaches
+// level m within n^c steps: n^c · (p/q)^m.
+func BiasedWalkHittingBound(p, q float64, m int64, horizon float64) (float64, error) {
+	tail, err := ReflectingTailProb(p, q, m)
+	if err != nil {
+		return 0, err
+	}
+	b := horizon * tail
+	if b > 1 {
+		return 1, nil
+	}
+	return b, nil
+}

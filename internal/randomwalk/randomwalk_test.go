@@ -1,0 +1,319 @@
+package randomwalk
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGamblersRuinFair(t *testing.T) {
+	// Fair walk: win prob = a/b.
+	got, err := GamblersRuinWinProb(3, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("fair ruin = %v, want 0.3", got)
+	}
+}
+
+func TestGamblersRuinBiased(t *testing.T) {
+	// p=0.6, a=1, b=2: win = (1-(q/p)^1)/(1-(q/p)^2) = 1/(1+q/p) = 0.6.
+	got, err := GamblersRuinWinProb(1, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("biased ruin = %v, want 0.6", got)
+	}
+}
+
+func TestGamblersRuinExtremeBias(t *testing.T) {
+	// Strong upward drift from a deep start: win prob ~ 1.
+	got, err := GamblersRuinWinProb(500, 1000, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.999999 {
+		t.Fatalf("strong-drift win prob = %v, want ~1", got)
+	}
+	// Strong downward drift: win prob ~ (p/q)^(b-a)-ish, tiny.
+	got, err = GamblersRuinWinProb(5, 1000, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-3 {
+		t.Fatalf("downward-drift win prob = %v, want tiny", got)
+	}
+}
+
+func TestGamblersRuinParamErrors(t *testing.T) {
+	cases := []struct{ a, b int64 }{{0, 5}, {5, 5}, {6, 5}, {-1, 5}}
+	for _, tc := range cases {
+		if _, err := GamblersRuinWinProb(tc.a, tc.b, 0.5); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("a=%d b=%d accepted", tc.a, tc.b)
+		}
+	}
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		if _, err := GamblersRuinWinProb(1, 5, p); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestGamblersRuinSimulationMatchesClosedForm(t *testing.T) {
+	src := rng.New(7)
+	cases := []struct {
+		a, b int64
+		p    float64
+	}{
+		{3, 10, 0.5},
+		{5, 15, 0.55},
+		{10, 20, 0.45},
+	}
+	for _, tc := range cases {
+		want, err := GamblersRuinWinProb(tc.a, tc.b, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 20000
+		wins := 0
+		for i := 0; i < trials; i++ {
+			res, err := SimulateGamblersRuin(src, tc.a, tc.b, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Won {
+				wins++
+			}
+			if res.Steps < tc.b-tc.a && res.Won {
+				t.Fatalf("won in %d steps from a=%d b=%d: impossible", res.Steps, tc.a, tc.b)
+			}
+		}
+		got := float64(wins) / trials
+		tol := 5 * math.Sqrt(want*(1-want)/trials)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("a=%d b=%d p=%v: empirical %v, closed form %v (tol %v)",
+				tc.a, tc.b, tc.p, got, want, tol)
+		}
+	}
+}
+
+func TestReflectingTailProb(t *testing.T) {
+	// (p/q)^m with p=0.25, q=0.5, m=3 -> (1/2)^3.
+	got, err := ReflectingTailProb(0.25, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("tail = %v, want 0.125", got)
+	}
+	if _, err := ReflectingTailProb(0.5, 0.4, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatal("q <= p accepted")
+	}
+	if _, err := ReflectingTailProb(0.6, 0.6, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatal("p+q > 1 with q=p accepted")
+	}
+}
+
+func TestReflectingWalkStaysBelowLemma18Level(t *testing.T) {
+	// Lemma 18: within n^c steps, Pr[max >= m] <= n^c (p/q)^m. Pick
+	// parameters where the bound is ~1e-4 and verify no excursion in a
+	// handful of runs.
+	src := rng.New(11)
+	p, q := 0.25, 0.5
+	steps := int64(20000)
+	m := int64(40) // bound: 2e4 * (0.5)^40 ~ 2e-8
+	for trial := 0; trial < 20; trial++ {
+		maxPos, err := SimulateReflectingMax(src, p, q, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxPos >= m {
+			t.Fatalf("trial %d: reflecting walk reached %d >= %d against 2e-8 bound", trial, maxPos, m)
+		}
+	}
+}
+
+func TestReflectingWalkTailFrequency(t *testing.T) {
+	// Empirical check of the stationary tail: run many short walks and
+	// compare the hit frequency of level m against the union bound.
+	src := rng.New(13)
+	p, q := 0.3, 0.6
+	m := int64(6)
+	steps := int64(300)
+	bound, err := BiasedWalkHittingBound(p, q, m, float64(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		maxPos, err := SimulateReflectingMax(src, p, q, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxPos >= m {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got > bound {
+		t.Fatalf("hit frequency %v exceeds Lemma 18 union bound %v", got, bound)
+	}
+}
+
+func TestExcessProb(t *testing.T) {
+	got, err := ExcessProb(0.75, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/9) > 1e-12 {
+		t.Fatalf("excess = %v, want 1/9", got)
+	}
+	if _, err := ExcessProb(0.5, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatal("p = 0.5 accepted")
+	}
+}
+
+func TestExcessProbEmpirical(t *testing.T) {
+	// Lemma 19: failures never exceed successes by b with prob >= 1-((1-p)/p)^b.
+	src := rng.New(17)
+	p := 0.7
+	b := int64(5)
+	bound, err := ExcessProb(p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, horizon = 5000, 2000
+	violations := 0
+	for i := 0; i < trials; i++ {
+		excess := int64(0) // failures - successes
+		for s := 0; s < horizon; s++ {
+			if src.Bernoulli(p) {
+				excess--
+			} else {
+				excess++
+			}
+			if excess >= b {
+				violations++
+				break
+			}
+		}
+	}
+	got := float64(violations) / trials
+	// The bound applies to the infinite horizon, so the finite-horizon
+	// frequency must stay below it (plus noise).
+	if got > bound+4*math.Sqrt(bound/trials) {
+		t.Fatalf("excess frequency %v exceeds Lemma 19 bound %v", got, bound)
+	}
+}
+
+func TestEscalationWalkAdvanceProbs(t *testing.T) {
+	w := EscalationWalk{P0: 0.4, Levels: 4}
+	if got := w.AdvanceProb(0); got != 0.4 {
+		t.Fatalf("level-0 advance = %v", got)
+	}
+	// Level 1: 1 - e^{-2}.
+	if got := w.AdvanceProb(1); math.Abs(got-(1-math.Exp(-2))) > 1e-12 {
+		t.Fatalf("level-1 advance = %v", got)
+	}
+	// Level 3: 1 - e^{-8}, very close to 1.
+	if got := w.AdvanceProb(3); got < 0.999 {
+		t.Fatalf("level-3 advance = %v", got)
+	}
+}
+
+func TestEscalationWalkAbsorbsQuickly(t *testing.T) {
+	// Lemma 21: absorption within O(log n) steps w.h.p.; with P0 constant
+	// and L = 4 levels, a few hundred steps are overwhelmingly enough.
+	src := rng.New(23)
+	w := EscalationWalk{P0: 0.5, Levels: 4}
+	const trials = 2000
+	var totalSteps int64
+	for i := 0; i < trials; i++ {
+		steps, absorbed, err := w.Simulate(src, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !absorbed {
+			t.Fatalf("trial %d not absorbed within 2000 steps", i)
+		}
+		totalSteps += steps
+	}
+	// Mean steps should be modest (each attempt succeeds w.p. >= 0.8*P0,
+	// so ~1/(0.8*0.5) attempts of ~O(1) expected length each).
+	if mean := float64(totalSteps) / trials; mean > 50 {
+		t.Fatalf("mean absorption time %v too large", mean)
+	}
+}
+
+func TestEscalationAttemptBound(t *testing.T) {
+	// Empirical per-attempt success frequency must be at least 0.8·P0
+	// (Lemma 21's lower bound).
+	src := rng.New(29)
+	w := EscalationWalk{P0: 0.3, Levels: 4}
+	bound := w.AttemptSuccessLowerBound()
+	const trials = 30000
+	successes := 0
+	for i := 0; i < trials; i++ {
+		// One attempt: advance from level 0 until fallback or absorption.
+		level := 0
+		if !src.Bernoulli(w.P0) {
+			continue // attempt over immediately (no first advance)
+		}
+		level = 1
+		for level < w.Levels {
+			if src.Bernoulli(w.AdvanceProb(level)) {
+				level++
+			} else {
+				break
+			}
+		}
+		if level >= w.Levels {
+			successes++
+		}
+	}
+	got := float64(successes) / trials
+	if got < bound-4*math.Sqrt(bound/trials) {
+		t.Fatalf("attempt success rate %v below Lemma 21 bound %v", got, bound)
+	}
+}
+
+func TestEscalationWalkParamErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, _, err := (EscalationWalk{P0: 0, Levels: 3}).Simulate(src, 10); !errors.Is(err, ErrBadParams) {
+		t.Fatal("P0=0 accepted")
+	}
+	if _, _, err := (EscalationWalk{P0: 0.5, Levels: 0}).Simulate(src, 10); !errors.Is(err, ErrBadParams) {
+		t.Fatal("Levels=0 accepted")
+	}
+	if _, _, err := (EscalationWalk{P0: 0.5, Levels: 3}).Simulate(nil, 10); !errors.Is(err, ErrBadParams) {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestSimulateParamErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, err := SimulateGamblersRuin(nil, 1, 2, 0.5); !errors.Is(err, ErrBadParams) {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := SimulateReflectingMax(src, 0.6, 0.6, 10); !errors.Is(err, ErrBadParams) {
+		t.Fatal("p+q > 1 accepted")
+	}
+	if _, err := SimulateReflectingMax(src, 0.2, 0.3, -1); !errors.Is(err, ErrBadParams) {
+		t.Fatal("negative steps accepted")
+	}
+}
+
+func TestBiasedWalkHittingBoundClamps(t *testing.T) {
+	got, err := BiasedWalkHittingBound(0.3, 0.6, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("bound = %v, want clamped to 1", got)
+	}
+}

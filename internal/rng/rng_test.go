@@ -1,0 +1,367 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference outputs for SplitMix64 seeded with 0 (Vigna's reference
+	// implementation).
+	state := uint64(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroKnownState(t *testing.T) {
+	// xoshiro256** with state {1,2,3,4}: first output is
+	// rotl(2*5, 7)*9 = 11520; after the update s[1] becomes 0, so the
+	// second output is 0.
+	src := NewFromState([4]uint64{1, 2, 3, 4})
+	if got := src.Uint64(); got != 11520 {
+		t.Fatalf("first output = %d, want 11520", got)
+	}
+	if got := src.Uint64(); got != 0 {
+		t.Fatalf("second output = %d, want 0", got)
+	}
+}
+
+func TestNewFromStateAllZero(t *testing.T) {
+	src := NewFromState([4]uint64{})
+	ref := New(0)
+	for i := 0; i < 8; i++ {
+		if g, w := src.Uint64(), ref.Uint64(); g != w {
+			t.Fatalf("output %d: got %d, want %d (seed-0 fallback)", i, g, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 outputs collided across distinct seeds", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		s := Derive(7, i)
+		if seen[s] {
+			t.Fatalf("Derive(7, %d) collided with an earlier index", i)
+		}
+		seen[s] = true
+	}
+	if Derive(1, 0) == Derive(2, 0) {
+		t.Fatal("Derive should depend on the base seed")
+	}
+}
+
+func TestSplitDiverges(t *testing.T) {
+	a := New(9)
+	b := a.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 outputs collided between parent and split child", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	src := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := src.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	src := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[src.Uint64n(n)]++
+	}
+	// Chi-square with 9 dof; 99.9% critical value is 27.88.
+	expected := float64(trials) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square = %.2f exceeds 27.88; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(5)
+	var sum float64
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 10; i++ {
+		if src.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !src.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if src.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !src.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	src := New(17)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if src.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.005 {
+		t.Fatalf("Bernoulli(0.3) empirical rate = %.4f", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	src := New(23)
+	for _, p := range []float64{0.9, 0.5, 0.1, 0.01} {
+		const trials = 50000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			g := src.Geometric(p)
+			if g < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", p, g)
+			}
+			sum += float64(g)
+		}
+		mean := sum / trials
+		want := 1 / p
+		// Std of the mean is sqrt((1-p)/p^2/trials); allow 5 sigma.
+		tol := 5 * math.Sqrt((1-p)/(p*p)/trials)
+		if math.Abs(mean-want) > tol {
+			t.Fatalf("Geometric(%v) mean = %.3f, want %.3f +- %.3f", p, mean, want, tol)
+		}
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	src := New(2)
+	for i := 0; i < 10; i++ {
+		if g := src.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", g)
+		}
+	}
+}
+
+func TestGeometricTinyPCapped(t *testing.T) {
+	src := New(4)
+	for i := 0; i < 100; i++ {
+		if g := src.Geometric(1e-300); g > maxGeometric {
+			t.Fatalf("Geometric(1e-300) = %d exceeds cap", g)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := New(31)
+	const trials = 100000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += src.Exponential(2.0)
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %.4f, want 0.5", mean)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	src := New(6)
+	if got := src.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := src.Binomial(10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := src.Binomial(10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	src := New(77)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{20, 0.5},   // small-n path
+		{1000, 0.1}, // waiting-time path
+		{1000, 0.9}, // complement path
+	}
+	for _, tc := range cases {
+		const trials = 20000
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			v := src.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, v)
+			}
+			f := float64(v)
+			sum += f
+			sum2 += f * f
+		}
+		mean := sum / trials
+		variance := sum2/trials - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := float64(tc.n) * tc.p * (1 - tc.p)
+		if math.Abs(mean-wantMean) > 6*math.Sqrt(wantVar/trials) {
+			t.Errorf("Binomial(%d,%v) mean = %.3f, want %.3f", tc.n, tc.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d,%v) variance = %.3f, want %.3f", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(13)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := src.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// All 6 permutations of 3 elements should be roughly equally likely.
+	src := New(19)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		a := [3]int{0, 1, 2}
+		src.Shuffle(3, func(x, y int) { a[x], a[y] = a[y], a[x] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	for p, c := range counts {
+		if math.Abs(float64(c)-trials/6.0) > 500 {
+			t.Fatalf("permutation %v count %d deviates from %d", p, c, trials/6)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	src := New(0)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Uint64n(0)", func() { src.Uint64n(0) }},
+		{"Int63n(0)", func() { src.Int63n(0) }},
+		{"Int63n(-1)", func() { src.Int63n(-1) }},
+		{"Intn(0)", func() { src.Intn(0) }},
+		{"Geometric(0)", func() { src.Geometric(0) }},
+		{"Exponential(0)", func() { src.Exponential(0) }},
+		{"Binomial(-1)", func() { src.Binomial(-1, 0.5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += src.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += src.Uint64n(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	src := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += src.Geometric(0.3)
+	}
+	_ = sink
+}

@@ -1,0 +1,186 @@
+package usd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/phase"
+	"repro/internal/potential"
+	"repro/internal/rng"
+)
+
+// Config is an aggregate opinion configuration: the support of each of the
+// k opinions plus the number of undecided agents.
+type Config = conf.Config
+
+// Simulator is the configuration-level USD simulator; see NewSimulator.
+type Simulator = core.Simulator
+
+// Result summarizes a simulation run.
+type Result = core.Result
+
+// Event describes a single simulated step; see Simulator.Step.
+type Event = core.Event
+
+// EventKind classifies what happened in one simulated step.
+type EventKind = core.EventKind
+
+// Event kinds.
+const (
+	// EventAdopt: an undecided responder adopted an opinion.
+	EventAdopt = core.EventAdopt
+	// EventUndecide: a decided responder became undecided.
+	EventUndecide = core.EventUndecide
+	// EventNone: the interaction was unproductive.
+	EventNone = core.EventNone
+	// EventAbsorbed: the configuration can never change again.
+	EventAbsorbed = core.EventAbsorbed
+)
+
+// Option configures a Simulator.
+type Option = core.Option
+
+// PhaseTimes records the end times of the paper's five analysis phases.
+type PhaseTimes = phase.Times
+
+// Outcomes of a run.
+const (
+	// OutcomeConsensus: all agents support a single opinion.
+	OutcomeConsensus = core.OutcomeConsensus
+	// OutcomeAllUndecided: the absorbing all-undecided configuration.
+	OutcomeAllUndecided = core.OutcomeAllUndecided
+	// OutcomeBudget: the interaction budget ran out first.
+	OutcomeBudget = core.OutcomeBudget
+)
+
+// WithSkipping enables or disables geometric skipping of unproductive
+// interactions (default enabled; both settings sample the same law).
+func WithSkipping(enabled bool) Option { return core.WithSkipping(enabled) }
+
+// FromSupport builds a configuration from an explicit support vector and
+// undecided count.
+func FromSupport(support []int64, undecided int64) (*Config, error) {
+	return conf.FromSupport(support, undecided)
+}
+
+// Uniform returns the unbiased configuration: n−undecided decided agents
+// split as evenly as possible over k opinions.
+func Uniform(n int64, k int, undecided int64) (*Config, error) {
+	return conf.Uniform(n, k, undecided)
+}
+
+// WithAdditiveBias returns a configuration whose Opinion 0 leads every
+// other opinion by at least the given additive margin.
+func WithAdditiveBias(n int64, k int, bias, undecided int64) (*Config, error) {
+	return conf.WithAdditiveBias(n, k, bias, undecided)
+}
+
+// WithMultiplicativeBias returns a configuration whose Opinion 0 has at
+// least ratio times the support of every other opinion.
+func WithMultiplicativeBias(n int64, k int, ratio float64, undecided int64) (*Config, error) {
+	return conf.WithMultiplicativeBias(n, k, ratio, undecided)
+}
+
+// Zipf returns a configuration with power-law opinion supports.
+func Zipf(n int64, k int, exponent float64, undecided int64) (*Config, error) {
+	return conf.Zipf(n, k, exponent, undecided)
+}
+
+// NewSimulator returns a USD simulator over a copy of cfg, seeded
+// deterministically.
+func NewSimulator(cfg *Config, seed uint64, opts ...Option) (*Simulator, error) {
+	return core.New(cfg, rng.New(seed), opts...)
+}
+
+// Report is the result of a high-level Run: the simulation outcome plus the
+// empirical end times of the paper's five analysis phases.
+type Report struct {
+	// Result is the simulation outcome.
+	Result Result
+	// Phases records when each analysis phase ended (in interactions).
+	Phases PhaseTimes
+	// InitialLeader is the opinion with the largest initial support.
+	InitialLeader int
+}
+
+// Run simulates the USD from cfg to consensus with phase tracking, using a
+// deterministic stream derived from seed.
+func Run(cfg *Config, seed uint64) (Report, error) {
+	return RunWithBudget(cfg, seed, 0)
+}
+
+// RunWithBudget is Run with an interaction budget; budget <= 0 simulates
+// until an absorbing configuration is reached.
+func RunWithBudget(cfg *Config, seed uint64, budget int64) (Report, error) {
+	s, err := NewSimulator(cfg, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	leader, _ := cfg.Max()
+	checkEvery := int(cfg.N()/64) + 1
+	if checkEvery > 256 {
+		checkEvery = 256
+	}
+	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
+	tr.ObserveNow(s)
+	res := s.RunObserved(budget, func(sim *core.Simulator, _ core.Event) {
+		tr.Observe(sim)
+	})
+	tr.ObserveNow(s)
+	return Report{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
+}
+
+// GossipResult summarizes a gossip-model run.
+type GossipResult = gossip.Result
+
+// RunGossip simulates the gossip-model USD (the Becchetti et al. variant)
+// from cfg for at most maxRounds synchronous rounds (<= 0: to consensus).
+func RunGossip(cfg *Config, seed uint64, maxRounds int64) (GossipResult, error) {
+	e, err := gossip.NewEngine(cfg, gossip.USD{Opinions: cfg.K()}, rng.New(seed))
+	if err != nil {
+		return GossipResult{}, err
+	}
+	return e.Run(maxRounds), nil
+}
+
+// EquilibriumUndecided returns u* = n(k−1)/(2k−1), the unstable equilibrium
+// of the undecided count the paper identifies.
+func EquilibriumUndecided(n int64, k int) float64 {
+	return potential.EquilibriumUndecided(n, k)
+}
+
+// SignificanceThreshold returns α·√(n ln n), the additive margin below the
+// maximum at which the paper stops calling an opinion significant.
+func SignificanceThreshold(n int64, alpha float64) float64 {
+	return potential.SignificanceThreshold(n, alpha)
+}
+
+// MonochromaticDistance returns md(x) = Σ(xᵢ/xmax)², the Becchetti et al.
+// uniformity measure used in the paper's Appendix D comparison.
+func MonochromaticDistance(support []int64) float64 {
+	return potential.MonochromaticDistance(support)
+}
+
+// TheoremBound returns the paper's Theorem 2 convergence bound (in
+// interactions, up to constants) for a configuration: the multiplicative-
+// bias bound n·ln n + n²/x₁ when the configuration has a multiplicative
+// bias of at least 1+ε for ε = 0.5, and the additive-bias/no-bias bound
+// n²·ln n/x₁ otherwise.
+func TheoremBound(cfg *Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, fmt.Errorf("usd: invalid configuration: %w", err)
+	}
+	n := float64(cfg.N())
+	_, x1 := cfg.Max()
+	if x1 == 0 {
+		return 0, fmt.Errorf("usd: configuration has no decided agents")
+	}
+	logN := math.Log(n)
+	if cfg.MultiplicativeBias() >= 1.5 {
+		return n*logN + n*n/float64(x1), nil
+	}
+	return n * n * logN / float64(x1), nil
+}
