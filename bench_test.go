@@ -111,6 +111,45 @@ func BenchmarkConsensus(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelExact measures the exact kernel end to end on the
+// RunObserved phase-tracking path (one tracked consensus run per op).
+// With ReportAllocs, any per-event allocation on the hot path would show up
+// multiplied by the millions of events per run; the expected profile is a
+// small constant number of allocations per run (simulator + tracker
+// construction only).
+func BenchmarkKernelExact(b *testing.B) { benchKernelTracked(b, false) }
+
+// BenchmarkKernelBatched is BenchmarkKernelExact with the batched kernel.
+func BenchmarkKernelBatched(b *testing.B) { benchKernelTracked(b, true) }
+
+func benchKernelTracked(b *testing.B, batched bool) {
+	cfg, err := Uniform(1<<17, 32, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var totalInteractions int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var report Report
+		var err error
+		if batched {
+			report, err = RunFast(cfg, uint64(i)+1)
+		} else {
+			report, err = Run(cfg, uint64(i)+1)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Result.Outcome != OutcomeConsensus {
+			b.Fatalf("outcome %v", report.Result.Outcome)
+		}
+		totalInteractions += report.Result.Interactions
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalInteractions), "ns/interaction")
+	b.ReportMetric(float64(totalInteractions)/float64(b.N), "interactions/run")
+}
+
 // BenchmarkKernel measures the per-productive-event cost of the aggregate
 // simulator as k grows (the O(log k) Fenwick sampling).
 func BenchmarkKernel(b *testing.B) {

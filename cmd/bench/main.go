@@ -1,0 +1,174 @@
+// Command bench measures the per-interaction cost of the two stepping
+// kernels on the uniform-start k=32 workload at n ∈ {10⁴, 10⁶, 10⁸} and
+// writes the results to BENCH_core.json, giving future changes a perf
+// trajectory to compare against.
+//
+// Both kernels run the same protocol per population size: the unbiased
+// uniform configuration, an identical fixed interaction budget, and the
+// same derived seeds; ns/interaction is total wall time over total
+// simulated interactions (including skipped unproductive ones). The budget
+// window covers the early no-bias phase, which is the exact kernel's
+// densest regime (almost every interaction is productive) and the batched
+// kernel's weakest (windows ramp up from the all-decided start), so the
+// reported speedup is conservative.
+//
+// Usage:
+//
+//	bench                 # full run, writes BENCH_core.json
+//	bench -quick          # single repetition per cell
+//	bench -out path.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	usd "repro"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Entry is one (n, kernel) measurement.
+type Entry struct {
+	N                 int64   `json:"n"`
+	K                 int     `json:"k"`
+	Kernel            string  `json:"kernel"`
+	Tolerance         float64 `json:"tolerance,omitempty"`
+	BudgetPerRun      int64   `json:"budget_interactions_per_run"`
+	Runs              int     `json:"runs"`
+	Interactions      int64   `json:"interactions_total"`
+	WallNanos         int64   `json:"wall_ns_total"`
+	NsPerInteraction  float64 `json:"ns_per_interaction"`
+	NsPerProductive   float64 `json:"ns_per_productive_event"`
+	ProductiveEvents  int64   `json:"productive_events_total"`
+	ReachedConsensus  int     `json:"runs_reaching_consensus"`
+	InteractionsPerNs float64 `json:"interactions_per_ns"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	Workload  string             `json:"workload"`
+	GoVersion string             `json:"go_version"`
+	Entries   []Entry            `json:"entries"`
+	Speedups  map[string]float64 `json:"batched_speedup_by_n"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out   = fs.String("out", "BENCH_core.json", "output path for the JSON report")
+		quick = fs.Bool("quick", false, "single repetition per cell")
+		seed  = fs.Uint64("seed", 1, "base random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runs := 3
+	if *quick {
+		runs = 1
+	}
+
+	const k = 32
+	ns := []int64{10_000, 1_000_000, 100_000_000}
+	kernels := []core.Kernel{core.KernelExact, core.KernelBatched(0)}
+
+	rep := Report{
+		Workload:  fmt.Sprintf("uniform start, k=%d, fixed interaction budget per n", k),
+		GoVersion: runtime.Version(),
+		Speedups:  map[string]float64{},
+	}
+	perNs := map[int64]map[string]float64{}
+	for _, n := range ns {
+		// ~40 parallel rounds of the no-bias early phase, capped so the
+		// exact kernel's densest regime stays at sub-second cost per run.
+		budget := 40 * n
+		if budget > 4_000_000 {
+			budget = 4_000_000
+		}
+		for _, kern := range kernels {
+			e, err := measure(n, k, kern, budget, runs, *seed)
+			if err != nil {
+				return err
+			}
+			rep.Entries = append(rep.Entries, e)
+			if perNs[n] == nil {
+				perNs[n] = map[string]float64{}
+			}
+			perNs[n][e.Kernel] = e.NsPerInteraction
+			fmt.Printf("n=%-12d kernel=%-14s %12.5f ns/interaction  (%d interactions in %v)\n",
+				n, e.Kernel, e.NsPerInteraction, e.Interactions, time.Duration(e.WallNanos))
+		}
+		if exact, ok := perNs[n]["exact"]; ok {
+			if batched, ok := perNs[n][core.KernelBatched(0).String()]; ok && batched > 0 {
+				rep.Speedups[fmt.Sprintf("%d", n)] = exact / batched
+			}
+		}
+	}
+	for nKey, s := range rep.Speedups {
+		fmt.Printf("n=%-12s batched speedup: %.1fx\n", nKey, s)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// measure times `runs` budgeted runs of the kernel and aggregates them.
+func measure(n int64, k int, kern core.Kernel, budget int64, runs int, seed uint64) (Entry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		N:            n,
+		K:            k,
+		Kernel:       kern.String(),
+		Tolerance:    kern.Tolerance(),
+		BudgetPerRun: budget,
+		Runs:         runs,
+	}
+	for i := 0; i < runs; i++ {
+		s, err := core.New(cfg, rng.New(rng.Derive(seed, uint64(i))), core.WithKernel(kern))
+		if err != nil {
+			return Entry{}, err
+		}
+		var productive int64
+		start := time.Now()
+		res := s.RunObserved(budget, func(_ *core.Simulator, ev core.Event) {
+			productive += ev.Count
+		})
+		e.WallNanos += time.Since(start).Nanoseconds()
+		e.Interactions += res.Interactions
+		e.ProductiveEvents += productive
+		if res.Outcome == usd.OutcomeConsensus {
+			e.ReachedConsensus++
+		}
+	}
+	if e.Interactions > 0 {
+		e.NsPerInteraction = float64(e.WallNanos) / float64(e.Interactions)
+		e.InteractionsPerNs = float64(e.Interactions) / float64(e.WallNanos)
+	}
+	if e.ProductiveEvents > 0 {
+		e.NsPerProductive = float64(e.WallNanos) / float64(e.ProductiveEvents)
+	}
+	return e, nil
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 )
 
@@ -36,8 +37,14 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "base random seed")
 		trials  = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
 		workers = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		kernel  = fs.String("kernel", "exact", "stepping kernel for USD runs: exact or batched")
+		tol     = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kern, err := core.ParseKernel(*kernel, *tol)
+	if err != nil {
 		return err
 	}
 
@@ -54,6 +61,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Trials:      *trials,
 		Parallelism: *workers,
+		Kernel:      kern,
 	}
 
 	if *all || *runIDs == "" {

@@ -52,11 +52,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		tr := phase.NewTracker(phase.WithCheckInterval(int(*n/64) + 1))
+		tr := phase.NewTracker(phase.WithCheckInterval(phase.DefaultCheckInterval(*n)))
 		tr.ObserveNow(s)
-		res := s.RunObserved(0, func(sim *core.Simulator, _ core.Event) {
-			tr.Observe(sim)
-		})
+		res := s.RunWatched(0, tr)
 		tr.ObserveNow(s)
 		if res.Outcome != core.OutcomeConsensus {
 			return fmt.Errorf("trial %d did not reach consensus: %v", i, res.Outcome)

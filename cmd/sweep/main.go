@@ -7,6 +7,11 @@
 //	sweep -param n -values 4096,8192,16384,32768 -k 8 -trials 10
 //	sweep -param k -values 2,4,8,16,32 -n 16384 -csv
 //	sweep -param bias -values 0,64,128,256,512 -n 16384 -k 2
+//	sweep -param n -values 1e7,1e8,1e9 -k 32 -kernel batched
+//
+// -kernel batched selects the bulk stepping kernel for large-n sweeps; it
+// trades a bounded per-rate drift (-tol, default 0.05) for orders of
+// magnitude in throughput.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	usd "repro"
+	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -40,8 +46,14 @@ func run(args []string) error {
 		trials = fs.Int("trials", 10, "trials per sweep point")
 		seed   = fs.Uint64("seed", 1, "base random seed")
 		asCSV  = fs.Bool("csv", false, "emit CSV instead of a table")
+		kernel = fs.String("kernel", "exact", "stepping kernel: exact or batched")
+		tol    = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kern, err := core.ParseKernel(*kernel, *tol)
+	if err != nil {
 		return err
 	}
 	if *values == "" {
@@ -66,7 +78,7 @@ func run(args []string) error {
 		var times []float64
 		wins := 0
 		for i := 0; i < *trials; i++ {
-			report, err := usd.Run(cfg, rng.Derive(*seed, uint64(vi*100000+i)))
+			report, err := usd.RunWithKernel(cfg, rng.Derive(*seed, uint64(vi*100000+i)), 0, kern)
 			if err != nil {
 				return err
 			}
@@ -112,7 +124,7 @@ func run(args []string) error {
 func buildConfig(param, value string, n int64, k int, u0 int64) (*usd.Config, error) {
 	switch param {
 	case "n":
-		v, err := strconv.ParseInt(value, 10, 64)
+		v, err := parseCount(value)
 		if err != nil {
 			return nil, fmt.Errorf("bad n value %q: %w", value, err)
 		}
@@ -138,6 +150,24 @@ func buildConfig(param, value string, n int64, k int, u0 int64) (*usd.Config, er
 	default:
 		return nil, fmt.Errorf("unknown -param %q (want n, k, bias, or mult)", param)
 	}
+}
+
+// parseCount parses a population size, accepting both integer ("1000000")
+// and scientific ("1e6") notation so billion-agent sweeps stay readable.
+func parseCount(value string) (int64, error) {
+	if v, err := strconv.ParseInt(value, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return 0, err
+	}
+	// float64(MaxInt64) rounds up to 2^63, so >= is required to keep the
+	// int64 conversion in range.
+	if f != math.Trunc(f) || f < 0 || f >= math.MaxInt64 {
+		return 0, fmt.Errorf("not a non-negative integer: %v", f)
+	}
+	return int64(f), nil
 }
 
 // scaleU keeps the undecided fraction constant when n is the swept

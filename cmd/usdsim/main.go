@@ -6,10 +6,13 @@
 // Usage:
 //
 //	usdsim -n 100000 -k 10 -bias 2000 -seed 42 -plot
+//	usdsim -n 1000000000 -k 32 -kernel batched
 //
 // Exactly one of -bias (additive), -mult (multiplicative ratio), or -zipf
 // (power-law exponent) may be given; the default is the unbiased uniform
-// configuration.
+// configuration. -kernel batched selects the bulk stepping kernel, which
+// makes billion-agent runs tractable within its drift-tolerance accuracy
+// contract (-tol, default 0.05).
 package main
 
 import (
@@ -43,8 +46,14 @@ func run(args []string) error {
 		seed   = fs.Uint64("seed", 1, "random seed")
 		budget = fs.Int64("budget", 0, "interaction budget (0 = run to consensus)")
 		plot   = fs.Bool("plot", false, "render an ASCII trajectory")
+		kernel = fs.String("kernel", "exact", "stepping kernel: exact or batched")
+		tol    = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kern, err := core.ParseKernel(*kernel, *tol)
+	if err != nil {
 		return err
 	}
 
@@ -60,10 +69,10 @@ func run(args []string) error {
 	fmt.Printf("theorem 2 bound (up to constants): %.3g interactions\n\n", bound)
 
 	if *plot {
-		return runPlotted(cfg, *seed, *budget)
+		return runPlotted(cfg, *seed, *budget, kern)
 	}
 
-	report, err := usd.RunWithBudget(cfg, *seed, *budget)
+	report, err := usd.RunWithKernel(cfg, *seed, *budget, kern)
 	if err != nil {
 		return err
 	}
@@ -124,8 +133,8 @@ func printReport(cfg *usd.Config, report usd.Report, bound float64) {
 	}
 }
 
-func runPlotted(cfg *usd.Config, seed uint64, budget int64) error {
-	s, err := core.New(cfg, rng.New(seed))
+func runPlotted(cfg *usd.Config, seed uint64, budget int64, kern core.Kernel) error {
+	s, err := core.New(cfg, rng.New(seed), core.WithKernel(kern))
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,22 @@
 // observers, disabling the geometric skipping of unproductive interactions
 // — construct a Simulator directly with NewSimulator.
 //
+// # Batched stepping for very large populations
+//
+// RunFast is Run with the batched stepping kernel: instead of sampling
+// productive interactions one at a time, it samples adaptively-sized
+// windows of them in bulk (multinomial counts over the per-opinion event
+// categories) and applies each window in O(k), which brings billion-agent
+// runs down to fractions of a second. The window size is chosen so every
+// per-opinion rate drifts by less than a tolerance (default
+// DefaultTolerance) while the law is frozen, and the kernel reverts to the
+// exact law near absorption, so winner and phase-time distributions agree
+// with Run within tolerance — see the K1-kernel-agreement experiment for
+// the empirical check and internal/core for the precise contract. Kernel
+// selection is also available on NewSimulator via WithKernel(KernelExact)
+// or WithKernel(KernelBatched(tol)), and on the usdsim/sweep/experiments
+// CLIs via -kernel batched.
+//
 // The gossip-model variant of the dynamics (and the related-work baselines
 // Voter, TwoChoices, 3-Majority, MedianRule) are available through
 // RunGossip and the internal/gossip package; the experiment suite that

@@ -30,19 +30,9 @@ func ContinuousTime(src *rng.Source, interactions, n int64) float64 {
 	t := float64(interactions)
 	mean := t / float64(n)
 	std := math.Sqrt(t) / float64(n)
-	return mean + std*normal(src)
+	return mean + std*src.Normal()
 }
 
 // gammaExactLimit is the largest shape parameter for which ContinuousTime
 // sums exponentials exactly.
 const gammaExactLimit = 4096
-
-// normal returns a standard normal variate via the Box-Muller transform.
-func normal(src *rng.Source) float64 {
-	u1 := src.Float64()
-	for u1 == 0 {
-		u1 = src.Float64()
-	}
-	u2 := src.Float64()
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-}

@@ -87,21 +87,5 @@ func TestContinuousTimeParallelEquivalence(t *testing.T) {
 	}
 }
 
-func TestNormalMoments(t *testing.T) {
-	src := rng.New(6)
-	const trials = 100000
-	var sum, sum2 float64
-	for i := 0; i < trials; i++ {
-		v := normal(src)
-		sum += v
-		sum2 += v * v
-	}
-	mean := sum / trials
-	variance := sum2/trials - mean*mean
-	if math.Abs(mean) > 0.02 {
-		t.Fatalf("normal mean %v", mean)
-	}
-	if math.Abs(variance-1) > 0.03 {
-		t.Fatalf("normal variance %v", variance)
-	}
-}
+// The standard-normal helper moved to rng.Source.Normal; its moment test
+// lives in internal/rng.

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel selects the stepping implementation of a Simulator. The zero value
+// is KernelExact. Construct batched kernels with KernelBatched.
+type Kernel struct {
+	batched bool
+	tol     float64
+}
+
+// KernelExact samples every productive interaction individually from the
+// exact transition law in O(log k). It is the default.
+var KernelExact = Kernel{}
+
+// DefaultTolerance is the drift tolerance KernelBatched uses when the caller
+// passes tol <= 0. At 0.05 the batched and exact kernels are statistically
+// indistinguishable in the kernel-agreement experiment while batches still
+// reach ~tol·n/2 productive events at the undecided equilibrium.
+const DefaultTolerance = 0.05
+
+// maxTolerance caps the drift tolerance; larger values would let a single
+// window move rates by a constant factor, voiding the accuracy contract.
+const maxTolerance = 0.25
+
+// KernelBatched returns the batched stepping kernel with the given drift
+// tolerance (tol <= 0 selects DefaultTolerance; values above 0.25 are
+// clamped). The kernel freezes the transition law of Observation 6 at the
+// start of an adaptively-sized window of m productive interactions, samples
+// the per-opinion adopt/undecide counts of the whole window at once via
+// multinomial chaining, and applies them with one O(k) bulk update — an
+// amortized O(k/m + 1) cost per productive interaction instead of O(log k).
+//
+// Accuracy contract: the window m is chosen by the tau-leaping leap
+// condition so that every per-opinion event rate (u·xⱼ and xᵢ·(D−xᵢ)) and
+// the productive probability W/n² change by at most a ~tol relative factor
+// across the window; windows shrink as the undecided count or the
+// productive weight shrink and the kernel degenerates to the exact
+// single-step law (m = 1) near absorption and for small supports, so the
+// endgame — where individual events decide the winner — is simulated
+// exactly. Sampled windows that would drive a support negative are
+// resampled at half the window size, down to the exact law.
+func KernelBatched(tol float64) Kernel {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if tol > maxTolerance {
+		tol = maxTolerance
+	}
+	return Kernel{batched: true, tol: tol}
+}
+
+// ParseKernel returns the kernel named by s: "exact" or "batched", the
+// latter with drift tolerance tol (tol <= 0 selects DefaultTolerance). The
+// empty string is the exact kernel. CLI -kernel flags share this parser.
+func ParseKernel(s string, tol float64) (Kernel, error) {
+	switch s {
+	case "", "exact":
+		return KernelExact, nil
+	case "batched":
+		return KernelBatched(tol), nil
+	default:
+		return Kernel{}, fmt.Errorf("core: unknown kernel %q (want exact or batched)", s)
+	}
+}
+
+// Batched reports whether the kernel is a batched kernel.
+func (k Kernel) Batched() bool { return k.batched }
+
+// Tolerance returns the drift tolerance of a batched kernel and 0 for the
+// exact kernel.
+func (k Kernel) Tolerance() float64 { return k.tol }
+
+// String returns a short name for the kernel.
+func (k Kernel) String() string {
+	if !k.batched {
+		return "exact"
+	}
+	return fmt.Sprintf("batched(%g)", k.tol)
+}
+
+// WithKernel selects the stepping kernel used by Run, RunObserved, and
+// RunUntil. The default is KernelExact. The single-step methods Step and
+// StepProductive always follow the exact law regardless of the kernel. The
+// batched kernel always skips unproductive interactions; WithSkipping only
+// affects the exact kernel.
+func WithKernel(k Kernel) Option {
+	return func(s *Simulator) { s.kernel = k }
+}
+
+// minBatchWindow is the smallest window the batched kernel samples as a
+// batch; below it the per-window O(k) overhead exceeds the cost of exact
+// stepping, so the kernel falls back to the exact law. It also bounds how
+// far infeasible windows can halve before the exact law takes over.
+const minBatchWindow = 32
+
+// wDriftDivisor bounds the drift of the productive weight W = uD + (D²−r₂)
+// across a window: one productive event changes W by at most ~5n (the u·D
+// term by at most n, D² by at most 2n+1, r₂ by at most 2n−1), so a window
+// of tol·W/(5n) events keeps the relative drift of W below ~tol.
+const wDriftDivisor = 5
+
+// batchWindow returns the largest window (in productive events) for which
+// the frozen transition law stays within the kernel's drift tolerance,
+// following the tau-leaping leap condition: every event changes u by ±1 and
+// one support by ±1, so m <= tol·u bounds the relative drift of u, and
+// m <= tol·W/(5n) bounds both the relative drift of W and — because
+// max(tol·xⱼ, 1)·W/(xⱼ·(u+D−xⱼ)) >= tol·W/n for every opinion — the
+// relative drift of each per-opinion rate with support at least 1/tol
+// (smaller supports are allowed one whole unit of change, the tau-leaping
+// granularity floor).
+func (s *Simulator) batchWindow(w int64) int64 {
+	tol := s.kernel.tol
+	m := math.Min(tol*float64(s.u), tol*float64(w)/(wDriftDivisor*float64(s.n)))
+	if m < 1 {
+		return 1
+	}
+	return int64(m)
+}
+
+// stepSkip performs one exact productive step with geometric skipping. The
+// returned bool is false when the jump to the next productive interaction
+// crossed the budget; the clock is then clamped to the budget and no event
+// is applied, exactly as if simulation had stopped mid-jump.
+func (s *Simulator) stepSkip(w, budget int64) (Event, bool) {
+	jump := s.src.Geometric(float64(w) / float64(s.nSq))
+	if budget > 0 && s.steps+jump > budget {
+		s.steps = budget
+		return Event{}, false
+	}
+	s.steps += jump
+	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
+	ev.Interactions = s.steps
+	return ev, true
+}
+
+// batchStep samples one window of m productive events under the law frozen
+// at the current configuration and applies it in O(k). The returned bool is
+// false when the window's interaction span crossed the budget; the clock is
+// then clamped to the budget and the window is discarded, mirroring the
+// exact kernel's mid-jump budget semantics.
+//
+// The window is sampled hierarchically: the number of adopt events is
+// Binomial(m, uD/W), adopts split over opinions j with weights xⱼ, and
+// undecide events split with weights xᵢ·(D−xᵢ) — together the exact
+// multinomial law of m independent productive events at the frozen
+// configuration. A window whose net deltas would drive a support negative
+// is discarded and resampled at half the size (falling back to the exact
+// law below minBatchWindow), which conditions away a large-deviation event
+// of probability o(1) in the window size.
+func (s *Simulator) batchStep(w, m, budget int64) (Event, bool) {
+	d := s.n - s.u
+	k := s.tree.Len()
+	if cap(s.batchVals) < k {
+		s.batchVals = make([]int64, 0, k)
+		s.batchAdopts = make([]int64, k)
+		s.batchUndecides = make([]int64, k)
+		s.batchWeights = make([]float64, k)
+	}
+	pAdopt := float64(s.u*d) / float64(w)
+	for {
+		s.batchVals = s.tree.Values(s.batchVals[:0])
+		adopts := s.src.Binomial(m, pAdopt)
+		for j, x := range s.batchVals {
+			s.batchWeights[j] = float64(x)
+		}
+		s.batchAdopts = s.src.Multinomial(adopts, s.batchWeights, s.batchAdopts)
+		for j, x := range s.batchVals {
+			s.batchWeights[j] = float64(x) * float64(d-x)
+		}
+		s.batchUndecides = s.src.Multinomial(m-adopts, s.batchWeights, s.batchUndecides)
+
+		feasible := true
+		var r2 int64
+		for j := range s.batchVals {
+			nx := s.batchVals[j] + s.batchAdopts[j] - s.batchUndecides[j]
+			if nx < 0 {
+				feasible = false
+				break
+			}
+			s.batchVals[j] = nx
+			r2 += nx * nx
+		}
+		if !feasible {
+			m /= 2
+			if m < minBatchWindow {
+				return s.stepSkip(w, budget)
+			}
+			continue
+		}
+
+		// The m productive events of the window are spread over a span of
+		// interactions distributed NegativeBinomial(m, W/n²) — the law of
+		// m consecutive geometric skips of the exact kernel (sampled via
+		// rng.NegativeBinomial, whose large-m normal approximation carries
+		// O(1/√m) relative error, well inside the kernel's tolerance).
+		span := s.src.NegativeBinomial(m, float64(w)/float64(s.nSq))
+		if budget > 0 && s.steps+span > budget {
+			s.steps = budget
+			return Event{}, false
+		}
+		s.steps += span
+		s.tree.SetAll(s.batchVals)
+		s.r2 = r2
+		s.u += (m - adopts) - adopts
+		return Event{Kind: EventBatch, Opinion: -1, Interactions: s.steps, Count: m}, true
+	}
+}
+
+// runLoopBatched is the batched-kernel run loop: windows of productive
+// events are applied in bulk while the leap condition allows, and the loop
+// degrades to exact skipping steps near absorption, for small windows, and
+// when the remaining budget could not fit two expected windows (so budget
+// truncation keeps single-event resolution).
+func (s *Simulator) runLoopBatched(budget int64, obs Watcher, stop func(*Simulator) bool) Result {
+	for {
+		if s.IsConsensus() {
+			winner, _ := s.Max()
+			return s.result(OutcomeConsensus, winner)
+		}
+		w := s.productiveWeight()
+		if w == 0 {
+			return s.result(OutcomeAllUndecided, -1)
+		}
+		if budget > 0 && s.steps >= budget {
+			return s.result(OutcomeBudget, -1)
+		}
+		m := s.batchWindow(w)
+		if budget > 0 {
+			// Shrink windows to at most a quarter of the expected number of
+			// productive events left in the budget: batching continues all
+			// the way to the budget with geometrically smaller windows, the
+			// overshoot-discard tail stays negligible, and the final handful
+			// of events run exact, preserving single-event truncation
+			// resolution.
+			remaining := float64(budget-s.steps) * float64(w) / float64(s.nSq)
+			if q := int64(remaining / 4); q < m {
+				m = q
+				if m < 1 {
+					m = 1
+				}
+			}
+		}
+		var ev Event
+		var ok bool
+		if m < minBatchWindow {
+			ev, ok = s.stepSkip(w, budget)
+		} else {
+			ev, ok = s.batchStep(w, m, budget)
+		}
+		if !ok {
+			return s.result(OutcomeBudget, -1)
+		}
+		if obs != nil {
+			obs.Watch(s, ev)
+		}
+		if stop != nil && stop(s) {
+			winner := -1
+			outcome := OutcomeBudget
+			if s.IsConsensus() {
+				outcome = OutcomeConsensus
+				winner, _ = s.Max()
+			}
+			return s.result(outcome, winner)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/rng"
+)
+
+func TestKernelString(t *testing.T) {
+	if got := KernelExact.String(); got != "exact" {
+		t.Fatalf("KernelExact.String() = %q", got)
+	}
+	if got := KernelBatched(0.1).String(); got != "batched(0.1)" {
+		t.Fatalf("KernelBatched(0.1).String() = %q", got)
+	}
+	if KernelExact.Batched() {
+		t.Fatal("KernelExact reports batched")
+	}
+	if !KernelBatched(0).Batched() {
+		t.Fatal("KernelBatched reports exact")
+	}
+}
+
+func TestKernelBatchedToleranceClamping(t *testing.T) {
+	if got := KernelBatched(0).Tolerance(); got != DefaultTolerance {
+		t.Fatalf("tol <= 0 gives %v, want DefaultTolerance", got)
+	}
+	if got := KernelBatched(-1).Tolerance(); got != DefaultTolerance {
+		t.Fatalf("negative tol gives %v, want DefaultTolerance", got)
+	}
+	if got := KernelBatched(5).Tolerance(); got != maxTolerance {
+		t.Fatalf("huge tol gives %v, want clamp at %v", got, maxTolerance)
+	}
+	if got := KernelExact.Tolerance(); got != 0 {
+		t.Fatalf("KernelExact.Tolerance() = %v, want 0", got)
+	}
+}
+
+func TestBatchedReachesConsensus(t *testing.T) {
+	// Large enough that windows exceed minBatchWindow mid-run, so the
+	// batched path (not its exact fallback) is actually exercised.
+	c, err := conf.WithAdditiveBias(1<<16, 8, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, rng.New(11), WithKernel(KernelBatched(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(0)
+	if res.Outcome != OutcomeConsensus {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.Winner != 0 {
+		t.Logf("winner %d (bias start: usually 0)", res.Winner)
+	}
+	if res.Interactions <= 0 {
+		t.Fatalf("interactions = %d", res.Interactions)
+	}
+	if !s.IsConsensus() {
+		t.Fatal("simulator not at consensus after consensus outcome")
+	}
+}
+
+func TestBatchedInvariantsEveryEvent(t *testing.T) {
+	// After every applied event (batched or exact fallback), the aggregate
+	// invariants must hold: Σx + u = n, r₂ = Σx², supports non-negative,
+	// and the interaction clock must advance by at least Count.
+	c, err := conf.Uniform(1<<15, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, rng.New(3), WithKernel(KernelBatched(0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches, singles int
+	prevClock := int64(0)
+	var buf []int64
+	res := s.RunObserved(0, func(sim *Simulator, ev Event) {
+		switch ev.Kind {
+		case EventBatch:
+			batches++
+			if ev.Count < minBatchWindow {
+				t.Fatalf("batch of %d events below minBatchWindow", ev.Count)
+			}
+			if ev.Opinion != -1 {
+				t.Fatalf("batch event has opinion %d", ev.Opinion)
+			}
+		case EventAdopt, EventUndecide:
+			singles++
+			if ev.Count != 1 {
+				t.Fatalf("single event has Count %d", ev.Count)
+			}
+		default:
+			t.Fatalf("unexpected event kind %v", ev.Kind)
+		}
+		if ev.Interactions < prevClock+ev.Count {
+			t.Fatalf("clock %d advanced less than Count from %d", ev.Interactions, prevClock)
+		}
+		prevClock = ev.Interactions
+		buf = sim.Supports(buf[:0])
+		var sum, sq int64
+		for _, x := range buf {
+			if x < 0 {
+				t.Fatalf("negative support %d", x)
+			}
+			sum += x
+			sq += x * x
+		}
+		if sum+sim.Undecided() != sim.N() {
+			t.Fatalf("population leak: Σx=%d u=%d n=%d", sum, sim.Undecided(), sim.N())
+		}
+		if sq != sim.SumSquares() {
+			t.Fatalf("r₂ drift: tracked %d, actual %d", sim.SumSquares(), sq)
+		}
+	})
+	if res.Outcome != OutcomeConsensus {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if batches == 0 {
+		t.Fatal("batched kernel never applied a batch window")
+	}
+	if singles == 0 {
+		t.Fatal("batched kernel never fell back to exact steps (endgame should)")
+	}
+}
+
+func TestBatchedBudget(t *testing.T) {
+	c, err := conf.Uniform(1<<14, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 100, 50000} {
+		s, err := New(c, rng.New(9), WithKernel(KernelBatched(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(budget)
+		if res.Outcome != OutcomeBudget {
+			t.Fatalf("budget %d: outcome %v", budget, res.Outcome)
+		}
+		if res.Interactions > budget {
+			t.Fatalf("budget %d: clock %d overran", budget, res.Interactions)
+		}
+	}
+}
+
+func TestBatchedAllUndecidedStart(t *testing.T) {
+	c := &conf.Config{Support: []int64{0, 0, 0}, Undecided: 1 << 12}
+	s, err := New(c, rng.New(1), WithKernel(KernelBatched(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(0)
+	if res.Outcome != OutcomeAllUndecided {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.Interactions != 0 {
+		t.Fatalf("clock advanced %d in an absorbing start", res.Interactions)
+	}
+}
+
+func TestBatchedDeterministicGivenSeed(t *testing.T) {
+	run := func() Result {
+		c, err := conf.Uniform(1<<15, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(c, rng.New(77), WithKernel(KernelBatched(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run(0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestBatchedRunUntil(t *testing.T) {
+	c, err := conf.Uniform(1<<15, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c, rng.New(5), WithKernel(KernelBatched(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	res := s.RunUntil(0, func(sim *Simulator) bool {
+		_, xmax := sim.Max()
+		return 3*xmax >= 2*n
+	})
+	if res.Outcome != OutcomeBudget {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if _, xmax := s.Max(); 3*xmax < 2*n {
+		t.Fatalf("stop condition not satisfied: xmax=%d n=%d", xmax, n)
+	}
+}
+
+func TestBatchedAndExactAgreeStatistically(t *testing.T) {
+	// The batched kernel is approximate within its drift tolerance; the
+	// mean consensus time over independent trials must match the exact
+	// kernel's within a few standard errors. The full distributional
+	// comparison (winner frequencies, phase-time quantiles, KS) is the
+	// K1-kernel-agreement experiment.
+	if testing.Short() {
+		t.Skip("statistical comparison skipped in -short mode")
+	}
+	const trials = 40
+	n := int64(1 << 14)
+	sample := func(kern Kernel, seedBase uint64) (mean, sd float64) {
+		var xs []float64
+		for i := 0; i < trials; i++ {
+			c, err := conf.Uniform(n, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(c, rng.New(rng.Derive(seedBase, uint64(i))), WithKernel(kern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Run(0)
+			if res.Outcome != OutcomeConsensus {
+				t.Fatalf("outcome %v", res.Outcome)
+			}
+			xs = append(xs, float64(res.Interactions))
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean = sum / trials
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		sd = math.Sqrt(ss / (trials - 1))
+		return mean, sd
+	}
+	m1, s1 := sample(KernelExact, 301)
+	m2, s2 := sample(KernelBatched(0), 402)
+	se := math.Sqrt(s1*s1/trials + s2*s2/trials)
+	if math.Abs(m1-m2) > 4*se {
+		t.Fatalf("kernel means differ: exact=%.0f batched=%.0f (se %.0f)", m1, m2, se)
+	}
+}

@@ -24,6 +24,39 @@
 // productive interaction ("skipping"); the resulting trajectory has exactly
 // the same distribution while being dramatically faster near consensus,
 // where almost all interactions are unproductive.
+//
+// # Stepping kernels
+//
+// Two stepping kernels are available (see WithKernel):
+//
+//   - KernelExact (the default) samples every productive interaction
+//     individually from the law above, in O(log k) per event. It is used
+//     whenever single-event resolution matters and by all correctness
+//     baselines.
+//
+//   - KernelBatched(tol) freezes the transition law at the start of an
+//     adaptively-sized window of m productive events, samples the whole
+//     window's per-opinion adopt/undecide counts at once (a multinomial
+//     over the 2k event categories, drawn by conditional binomial
+//     chaining), advances the clock by a NegativeBinomial(m, W/n²) span —
+//     the law of m consecutive geometric skips — and applies the window
+//     with one O(k) bulk Fenwick rebuild. Amortized cost is O(k/m + 1) per
+//     productive event, independent of k for large windows.
+//
+// The batched kernel's accuracy contract is the tau-leaping leap condition
+// (Cao–Gillespie–Petzold): the window m is capped at tol·u and at
+// tol·W/(5n), which bounds the relative drift of the undecided count, of
+// the productive weight W, and of every per-opinion rate with support at
+// least 1/tol by ~tol across the window (smaller supports are granted the
+// one-unit granularity floor). Windows therefore shrink automatically as u,
+// W, or the minority supports shrink; below minBatchWindow the kernel
+// degenerates to the exact law, so the endgame — where individual events
+// decide the winner — and small-support dynamics are simulated exactly.
+// Windows whose sampled net deltas would drive a support negative are
+// resampled at half the size, down to the exact law. The K1-kernel-
+// agreement experiment validates the contract empirically: winner
+// frequencies, consensus-time distributions (two-sample KS), and per-phase
+// median end times match the exact kernel at the default tolerance.
 package core
 
 import (
@@ -49,6 +82,9 @@ const (
 	// EventAbsorbed: the configuration is absorbing (consensus or
 	// all-undecided); no interaction can ever change it again.
 	EventAbsorbed
+	// EventBatch: a batched kernel applied Event.Count productive
+	// interactions in one bulk update; Event.Opinion is -1.
+	EventBatch
 )
 
 // String returns a short name for the event kind.
@@ -62,6 +98,8 @@ func (k EventKind) String() string {
 		return "none"
 	case EventAbsorbed:
 		return "absorbed"
+	case EventBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -77,6 +115,10 @@ type Event struct {
 	// Interactions is the interaction clock after the step, counting
 	// every interaction including skipped unproductive ones.
 	Interactions int64
+	// Count is the number of productive interactions the step applied:
+	// 1 for EventAdopt and EventUndecide, the window size for EventBatch,
+	// and 0 for EventNone and EventAbsorbed.
+	Count int64
 }
 
 // Outcome is the terminal state of a Run.
@@ -124,17 +166,37 @@ type Result struct {
 // simulator passed to the callback must not be mutated.
 type Observer func(s *Simulator, ev Event)
 
+// Watch makes an Observer usable as a Watcher.
+func (o Observer) Watch(s *Simulator, ev Event) { o(s, ev) }
+
+// Watcher is the interface form of Observer: RunWatched invokes Watch after
+// every applied event. Passing a long-lived pointer (for example a
+// *phase.Tracker) avoids the closure allocation of a func-valued Observer,
+// which keeps hot observed runs allocation-free after construction.
+type Watcher interface {
+	// Watch is called after every applied event; it must not mutate the
+	// simulator.
+	Watch(s *Simulator, ev Event)
+}
+
 // Simulator simulates the USD at configuration level. It is not safe for
 // concurrent use. Construct with New.
 type Simulator struct {
-	tree  *fenwick.Dual // per-opinion support with Σx and Σx² prefix sums
-	src   *rng.Source
-	n     int64
-	nSq   int64
-	u     int64
-	r2    int64 // Σ xᵢ², maintained incrementally
-	steps int64 // interaction clock
-	skip  bool
+	tree   *fenwick.Dual // per-opinion support with Σx and Σx² prefix sums
+	src    *rng.Source
+	n      int64
+	nSq    int64
+	u      int64
+	r2     int64 // Σ xᵢ², maintained incrementally
+	steps  int64 // interaction clock
+	skip   bool
+	kernel Kernel
+
+	// Scratch buffers of the batched kernel, allocated on first use.
+	batchVals      []int64
+	batchAdopts    []int64
+	batchUndecides []int64
+	batchWeights   []float64
 }
 
 // Option configures a Simulator.
@@ -271,12 +333,12 @@ func (s *Simulator) applyProductive(r int64) Event {
 		// the support descent.
 		j := s.tree.FindSupport(r / s.u)
 		s.adopt(j)
-		return Event{Kind: EventAdopt, Opinion: j}
+		return Event{Kind: EventAdopt, Opinion: j, Count: 1}
 	}
 	// Decided responder i ∝ xᵢ(D−xᵢ) becomes undecided.
 	i := s.tree.FindWeighted(d, r-wDown)
 	s.undecide(i)
-	return Event{Kind: EventUndecide, Opinion: i}
+	return Event{Kind: EventUndecide, Opinion: i, Count: 1}
 }
 
 // Step simulates a single interaction (without skipping) and returns the
@@ -325,7 +387,16 @@ func (s *Simulator) Run(budget int64) Result {
 // RunObserved is Run with an observer invoked after every event (including
 // EventNone events when skipping is disabled).
 func (s *Simulator) RunObserved(budget int64, obs Observer) Result {
-	return s.runLoop(budget, obs, nil)
+	var w Watcher
+	if obs != nil {
+		w = obs
+	}
+	return s.runLoop(budget, w, nil)
+}
+
+// RunWatched is RunObserved with an interface-valued observer; see Watcher.
+func (s *Simulator) RunWatched(budget int64, w Watcher) Result {
+	return s.runLoop(budget, w, nil)
 }
 
 // RunUntil simulates until stop returns true (checked after every event),
@@ -335,7 +406,10 @@ func (s *Simulator) RunUntil(budget int64, stop func(*Simulator) bool) Result {
 	return s.runLoop(budget, nil, stop)
 }
 
-func (s *Simulator) runLoop(budget int64, obs Observer, stop func(*Simulator) bool) Result {
+func (s *Simulator) runLoop(budget int64, obs Watcher, stop func(*Simulator) bool) Result {
+	if s.kernel.batched {
+		return s.runLoopBatched(budget, obs, stop)
+	}
 	for {
 		if s.IsConsensus() {
 			winner, _ := s.Max()
@@ -350,21 +424,18 @@ func (s *Simulator) runLoop(budget int64, obs Observer, stop func(*Simulator) bo
 		}
 		var ev Event
 		if s.skip {
-			jump := s.src.Geometric(float64(w) / float64(s.nSq))
-			if budget > 0 && s.steps+jump > budget {
-				// The next productive interaction falls beyond the
-				// budget: stop at the budget without applying it.
-				s.steps = budget
+			var ok bool
+			// A geometric jump that lands past the budget stops the run
+			// at the budget without applying the productive event.
+			ev, ok = s.stepSkip(w, budget)
+			if !ok {
 				return s.result(OutcomeBudget, -1)
 			}
-			s.steps += jump
-			ev = s.applyProductive(int64(s.src.Uint64n(uint64(w))))
-			ev.Interactions = s.steps
 		} else {
 			ev = s.Step()
 		}
 		if obs != nil {
-			obs(s, ev)
+			obs.Watch(s, ev)
 		}
 		if stop != nil && ev.Kind != EventNone && stop(s) {
 			winner := -1

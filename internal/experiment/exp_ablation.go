@@ -112,7 +112,7 @@ func a2Engine() Experiment {
 				return err
 			}
 			agg := Collect(trials, p.Parallelism, p.Seed+83, func(i int, src *rng.Source) float64 {
-				t, _, err := consensusTime(cfg, src, 0)
+				t, _, err := consensusTime(cfg, src, 0, p.Kernel)
 				if err != nil {
 					return math.NaN()
 				}

@@ -57,7 +57,7 @@ func x3Exact() Experiment {
 				}
 				outs := Collect(trials, p.Parallelism, p.Seed+uint64(idx)*107,
 					func(i int, src *rng.Source) obs {
-						t, winner, err := consensusTime(cfg, src, 0)
+						t, winner, err := consensusTime(cfg, src, 0, p.Kernel)
 						if err != nil {
 							return obs{t: math.NaN()}
 						}

@@ -64,7 +64,7 @@ func f7Fluid() Experiment {
 				}
 				var meanWorst float64
 				for trial := 0; trial < trials; trial++ {
-					sim, err := core.New(cfg, rng.New(rng.Derive(p.Seed+uint64(n), uint64(trial))))
+					sim, err := core.New(cfg, rng.New(rng.Derive(p.Seed+uint64(n), uint64(trial))), core.WithKernel(p.Kernel))
 					if err != nil {
 						return err
 					}

@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// k1KernelAgreement validates the batched kernel's accuracy contract
+// against the exact kernel: over paired trials from the same initial
+// configuration, the winner frequencies, the consensus-time distribution
+// (two-sample KS test), and the per-phase median end times must agree
+// within the stated tolerances. This is the empirical license for using
+// KernelBatched in every large-n experiment.
+func k1KernelAgreement() Experiment {
+	return Experiment{
+		ID:       "K1-kernel-agreement",
+		Title:    "Exact vs batched kernel distributional agreement",
+		Artifact: "batched-kernel accuracy contract (tau-leaping tolerance)",
+		Run: func(p Params, w io.Writer) error {
+			n := pick(p, int64(1<<13), int64(1<<14))
+			k := 8
+			trials := p.trials(200) // quick mode halves this; still >= 100 paired
+			thr := math.Sqrt(float64(n) * math.Log(float64(n)))
+			configs := []struct {
+				name string
+				mk   func() (*conf.Config, error)
+			}{
+				{"uniform", func() (*conf.Config, error) { return conf.Uniform(n, k, 0) }},
+				{"additive-2thr", func() (*conf.Config, error) { return conf.WithAdditiveBias(n, k, 2*int64(thr), 0) }},
+			}
+
+			type trial struct {
+				run USDRun
+				ok  bool
+			}
+			collect := func(cfg *conf.Config, kern core.Kernel, seedOff uint64) []trial {
+				return Collect(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source) trial {
+					r, err := runTracked(cfg, src, 0, 0, kern)
+					if err != nil || r.Result.Outcome != core.OutcomeConsensus {
+						return trial{}
+					}
+					return trial{run: r, ok: true}
+				})
+			}
+
+			const (
+				ksAlpha     = 0.01 // two-sample KS significance for consensus times
+				winTol      = 0.12 // max |leader-win-rate| gap (≈4σ at 200 trials)
+				medianTol   = 0.25 // max relative gap of per-phase median end times
+				minPerPhase = 20   // phases reached less often are not compared
+			)
+
+			tbl := NewTable(
+				fmt.Sprintf("Kernel agreement, n=%d k=%d, %d paired trials per config (tol %g):",
+					n, k, trials, core.DefaultTolerance),
+				"config", "metric", "exact", "batched", "gap", "tolerance", "verdict")
+			allPass := true
+			verdict := func(pass bool) string {
+				if pass {
+					return "agree"
+				}
+				allPass = false
+				return "DISAGREE"
+			}
+
+			for ci, c := range configs {
+				cfg, err := c.mk()
+				if err != nil {
+					return err
+				}
+				// Both arms share the same derived seed per trial index
+				// (common random numbers), so the comparison is genuinely
+				// paired; the kernels then consume the stream differently.
+				exact := collect(cfg, core.KernelExact, uint64(ci)*1000+1)
+				batched := collect(cfg, core.KernelBatched(0), uint64(ci)*1000+1)
+
+				var tExact, tBatched []float64
+				var winExact, winBatched, okExact, okBatched int
+				phaseExact := make([][]float64, 5)
+				phaseBatched := make([][]float64, 5)
+				gather := func(ts []trial, times *[]float64, wins, oks *int, phases [][]float64) {
+					for _, t := range ts {
+						if !t.ok {
+							continue
+						}
+						*oks++
+						*times = append(*times, float64(t.run.Result.Interactions))
+						if t.run.Result.Winner == t.run.InitialLeader {
+							*wins++
+						}
+						for ph := 1; ph <= 5; ph++ {
+							if t.run.Phases.Reached(ph) {
+								phases[ph-1] = append(phases[ph-1], float64(t.run.Phases.End[ph-1]))
+							}
+						}
+					}
+				}
+				gather(exact, &tExact, &winExact, &okExact, phaseExact)
+				gather(batched, &tBatched, &winBatched, &okBatched, phaseBatched)
+				if okExact == 0 || okBatched == 0 {
+					return fmt.Errorf("no successful runs for config %s", c.name)
+				}
+
+				// Leader win frequency.
+				we := float64(winExact) / float64(okExact)
+				wb := float64(winBatched) / float64(okBatched)
+				tbl.AddRowf(c.name, "leader win rate", we, wb, math.Abs(we-wb), winTol,
+					verdict(math.Abs(we-wb) <= winTol))
+
+				// Consensus-time distribution: two-sample KS.
+				d, err := stats.KSTwoSample(tExact, tBatched)
+				if err != nil {
+					return err
+				}
+				crit := stats.KSCriticalValue(len(tExact), len(tBatched), ksAlpha)
+				tbl.AddRowf(c.name, "consensus time KS", "-", "-", d, crit, verdict(d <= crit))
+
+				// Per-phase median end times.
+				for ph := 1; ph <= 5; ph++ {
+					if len(phaseExact[ph-1]) < minPerPhase || len(phaseBatched[ph-1]) < minPerPhase {
+						continue
+					}
+					me, err := stats.Quantile(phaseExact[ph-1], 0.5)
+					if err != nil {
+						return err
+					}
+					mb, err := stats.Quantile(phaseBatched[ph-1], 0.5)
+					if err != nil {
+						return err
+					}
+					gap := 0.0
+					if me > 0 {
+						gap = math.Abs(mb-me) / me
+					}
+					tbl.AddRowf(c.name, fmt.Sprintf("phase %d median end", ph), me, mb, gap, medianTol,
+						verdict(gap <= medianTol))
+				}
+			}
+			if err := tbl.Fprint(w); err != nil {
+				return err
+			}
+			summary := "PASS: batched kernel matches the exact kernel within tolerance on every metric."
+			if !allPass {
+				summary = "FAIL: at least one metric disagrees; inspect the table."
+			}
+			_, err := fmt.Fprintf(w, "\n%s\n", summary)
+			return err
+		},
+	}
+}
+
+// k2NScaling exercises the batched kernel in the regime the exact kernel
+// cannot reach in reasonable wall-clock time: uniform no-bias starts with
+// k = 32 at n up to 10⁹ agents. It reports consensus interactions against
+// the Theorem 2 shape n²·ln n/x₁ (= k·n·ln n for the uniform start, which
+// dominates the n·ln n + n²/x₁ multiplicative-regime bound once a leader
+// emerges) and fits interactions ~ a·n^b, whose exponent should be ~1
+// (quasi-linear scaling, the paper's headline result).
+func k2NScaling() Experiment {
+	return Experiment{
+		ID:       "K2-n-scaling",
+		Title:    "Batched-kernel consensus scaling up to n = 1e9",
+		Artifact: "Theorem 2 shape at population scales beyond the exact kernel",
+		Run: func(p Params, w io.Writer) error {
+			ns := pick(p,
+				[]int64{100_000, 1_000_000, 10_000_000},
+				[]int64{1_000_000, 10_000_000, 100_000_000, 1_000_000_000})
+			k := 32
+			trials := p.trials(5)
+			tbl := NewTable(
+				fmt.Sprintf("Batched kernel (tol %g), uniform start, k=%d, %d trials per n:",
+					core.DefaultTolerance, k, trials),
+				"n", "mean T", "std", "par. time", "T/(k n ln n)", "leader wins")
+			var xs, ys []float64
+			for _, n := range ns {
+				cfg, err := conf.Uniform(n, k, 0)
+				if err != nil {
+					return err
+				}
+				type out struct {
+					t   float64
+					won bool
+					ok  bool
+				}
+				outs := Collect(trials, p.Parallelism, p.Seed+uint64(n), func(i int, src *rng.Source) out {
+					t, winner, err := consensusTime(cfg, src, 0, core.KernelBatched(0))
+					if err != nil {
+						return out{}
+					}
+					return out{t: float64(t), won: winner == 0, ok: true}
+				})
+				var times []float64
+				wins := 0
+				for _, o := range outs {
+					if !o.ok {
+						continue
+					}
+					times = append(times, o.t)
+					if o.won {
+						wins++
+					}
+				}
+				s, err := stats.Summarize(times)
+				if err != nil {
+					return fmt.Errorf("n=%d: %w", n, err)
+				}
+				norm := s.Mean / (float64(k) * float64(n) * math.Log(float64(n)))
+				tbl.AddRowf(n, s.Mean, s.Std, s.Mean/float64(n), norm,
+					fmt.Sprintf("%d/%d", wins, len(times)))
+				xs = append(xs, float64(n))
+				ys = append(ys, s.Mean)
+			}
+			if err := tbl.Fprint(w); err != nil {
+				return err
+			}
+			a, b, r2, err := stats.PowerFit(xs, ys)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w,
+				"\nPower fit: T ~ %.3g * n^%.3f (R² %.4f); exponent ~1 confirms the\n"+
+					"quasi-linear k·n·ln n scaling at populations the exact kernel cannot reach.\n",
+				a, b, r2)
+			return err
+		},
+	}
+}

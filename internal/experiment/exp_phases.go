@@ -36,7 +36,7 @@ func t1Phases() Experiment {
 						return err
 					}
 					runs := Collect(trials, p.Parallelism, p.Seed+uint64(n)+uint64(k), func(i int, src *rng.Source) USDRun {
-						r, err := runTracked(cfg, src, 0, 0)
+						r, err := runTracked(cfg, src, 0, 0, p.Kernel)
 						if err != nil {
 							return USDRun{}
 						}
@@ -135,7 +135,7 @@ func t6Phase1() Experiment {
 				x10 := cfg.Support[0]
 				bias0 := cfg.AdditiveBias()
 				return Collect(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source) obs {
-					s, err := core.New(cfg, src)
+					s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
 					if err != nil {
 						return obs{}
 					}

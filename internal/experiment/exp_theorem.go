@@ -19,7 +19,7 @@ func timeStats(p Params, seed uint64, cfg *conf.Config, trials int, budget int64
 		ok  bool
 	}
 	outs := Collect(trials, p.Parallelism, seed, func(i int, src *rng.Source) outcome {
-		t, winner, err := consensusTime(cfg, src, budget)
+		t, winner, err := consensusTime(cfg, src, budget, p.Kernel)
 		if err != nil {
 			return outcome{}
 		}
@@ -165,7 +165,7 @@ func t4NoBias() Experiment {
 					return err
 				}
 				runs := Collect(trials, p.Parallelism, p.Seed+uint64(n)*41, func(i int, src *rng.Source) USDRun {
-					r, err := runTracked(cfg, src, 0, 0)
+					r, err := runTracked(cfg, src, 0, 0, p.Kernel)
 					if err != nil {
 						return USDRun{}
 					}

@@ -32,7 +32,7 @@ func f1Undecided() Experiment {
 
 			// One traced trajectory.
 			src := rng.New(p.Seed + 1)
-			s, err := core.New(cfg, src)
+			s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
 			if err != nil {
 				return err
 			}
@@ -73,7 +73,7 @@ func f1Undecided() Experiment {
 			}
 			outs := Collect(trials, p.Parallelism, p.Seed+2, func(i int, src *rng.Source) bandObs {
 				var o bandObs
-				s, err := core.New(cfg, src)
+				s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
 				if err != nil {
 					return o
 				}
@@ -143,7 +143,7 @@ func f2GapGrowth() Experiment {
 				return math.Abs(float64(s.Support(0) - s.Support(1)))
 			}
 			outs := Collect(trials, p.Parallelism, p.Seed+3, func(i int, src *rng.Source) gapObs {
-				s, err := core.New(cfg, src)
+				s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
 				if err != nil {
 					return gapObs{}
 				}
@@ -180,7 +180,7 @@ func f2GapGrowth() Experiment {
 
 			// One gap trajectory for the figure.
 			src := rng.New(p.Seed + 4)
-			s, err := core.New(cfg, src)
+			s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
 			if err != nil {
 				return err
 			}

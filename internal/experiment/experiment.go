@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // Params controls an experiment run.
@@ -22,6 +24,14 @@ type Params struct {
 	Trials int
 	// Parallelism bounds concurrent trials; 0 means GOMAXPROCS.
 	Parallelism int
+	// Kernel selects the stepping kernel for the configuration-level USD
+	// simulations the experiments perform. The zero value is
+	// core.KernelExact. Experiments whose subject is a specific stepping
+	// variant ignore it: K1 compares both kernels, K2 always runs batched,
+	// and A1-skip ablates geometric skipping within the exact kernel.
+	// Engine-comparison baselines (agent-level, gossip, exact chain) are
+	// not configuration-level USD runs and are unaffected.
+	Kernel core.Kernel
 }
 
 // trials returns the effective trial count given a default.
@@ -80,6 +90,8 @@ func All() []Experiment {
 		x3Exact(),
 		x4Scheduler(),
 		x5UndecidedStart(),
+		k1KernelAgreement(),
+		k2NScaling(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

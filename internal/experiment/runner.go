@@ -56,37 +56,32 @@ type USDRun struct {
 }
 
 // runTracked simulates the USD from c to consensus (or budget) with phase
-// tracking. checkEvery controls how often the O(k) phase conditions are
-// evaluated; 0 picks a resolution-preserving default.
-func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int) (USDRun, error) {
+// tracking under the given stepping kernel. checkEvery controls how often
+// the O(k) phase conditions are evaluated; 0 picks a resolution-preserving
+// default — per-interval for the exact kernel, per-window for a batched
+// kernel (whose observations already cover many events each).
+func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
 	if checkEvery <= 0 {
-		// One check per ~n/64 productive events keeps tracking overhead
-		// sublinear while resolving phase times to <<1% of any phase bound.
-		checkEvery = int(c.N()/64) + 1
-		if checkEvery > 256 {
-			checkEvery = 256
-		}
+		checkEvery = phase.CheckIntervalFor(c.N(), kern)
 	}
 	leader, _ := c.Max()
-	s, err := core.New(c, src)
+	s, err := core.New(c, src, core.WithKernel(kern))
 	if err != nil {
 		return USDRun{}, err
 	}
 	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
 	tr.ObserveNow(s)
-	res := s.RunObserved(budget, func(sim *core.Simulator, _ core.Event) {
-		tr.Observe(sim)
-	})
+	res := s.RunWatched(budget, tr)
 	// Force a final check so interval skipping cannot miss phase ends that
 	// occurred in the last few events.
 	tr.ObserveNow(s)
 	return USDRun{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
 }
 
-// consensusTime runs the USD from c to consensus and returns the
-// interaction count. It fails if the budget is exhausted first.
-func consensusTime(c *conf.Config, src *rng.Source, budget int64) (int64, int, error) {
-	s, err := core.New(c, src)
+// consensusTime runs the USD from c to consensus under the given kernel and
+// returns the interaction count. It fails if the budget is exhausted first.
+func consensusTime(c *conf.Config, src *rng.Source, budget int64, kern core.Kernel) (int64, int, error) {
+	s, err := core.New(c, src, core.WithKernel(kern))
 	if err != nil {
 		return 0, -1, err
 	}

@@ -248,6 +248,36 @@ func (d *Dual) FindSupport(r int64) int {
 	return pos
 }
 
+// SetAll replaces every value with xs in O(n), rebuilding both component
+// trees in one pass. It is the bulk counterpart of n point Adds: the batched
+// simulation kernel applies a whole window of per-opinion deltas with a
+// single rebuild instead of one O(log n) update per event. xs must have
+// exactly Len() non-negative values.
+func (d *Dual) SetAll(xs []int64) {
+	if len(xs) != d.n {
+		panic("fenwick: SetAll called with wrong length")
+	}
+	// Validate before mutating so a contract panic leaves the tree intact.
+	for _, v := range xs {
+		if v < 0 {
+			panic("fenwick: SetAll called with negative value")
+		}
+	}
+	copy(d.vals, xs)
+	for i := range d.sx {
+		d.sx[i] = 0
+		d.sx2[i] = 0
+	}
+	for i, v := range xs {
+		d.sx[i+1] += v
+		d.sx2[i+1] += v * v
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
+			d.sx[parent] += d.sx[i+1]
+			d.sx2[parent] += d.sx2[i+1]
+		}
+	}
+}
+
 // Values appends a copy of the current values to dst and returns it.
 func (d *Dual) Values(dst []int64) []int64 {
 	return append(dst, d.vals...)

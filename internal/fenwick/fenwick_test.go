@@ -207,6 +207,56 @@ func TestDualFromSliceMatchesIncremental(t *testing.T) {
 	}
 }
 
+func TestDualSetAllMatchesFromSlice(t *testing.T) {
+	d := DualFromSlice([]int64{2, 0, 7, 1, 1, 0, 9})
+	xs := []int64{5, 3, 0, 0, 11, 2, 4}
+	d.SetAll(xs)
+	ref := DualFromSlice(xs)
+	if d.Sum() != ref.Sum() || d.SumSquares() != ref.SumSquares() {
+		t.Fatalf("SetAll (%d,%d) != fresh (%d,%d)",
+			d.Sum(), d.SumSquares(), ref.Sum(), ref.SumSquares())
+	}
+	for i := range xs {
+		if d.Get(i) != xs[i] {
+			t.Fatalf("Get(%d) = %d, want %d", i, d.Get(i), xs[i])
+		}
+	}
+	for r := int64(0); r < d.Sum(); r++ {
+		if d.FindSupport(r) != ref.FindSupport(r) {
+			t.Fatalf("FindSupport diverges at r=%d", r)
+		}
+	}
+	dTotal := d.Sum()
+	for r := int64(0); r < d.TotalWeighted(dTotal); r++ {
+		if d.FindWeighted(dTotal, r) != ref.FindWeighted(dTotal, r) {
+			t.Fatalf("FindWeighted diverges at r=%d", r)
+		}
+	}
+	// Point updates after a bulk rebuild stay consistent.
+	d.Add(2, 6)
+	ref.Add(2, 6)
+	if d.Sum() != ref.Sum() || d.SumSquares() != ref.SumSquares() {
+		t.Fatal("Add after SetAll diverged from reference")
+	}
+}
+
+func TestDualSetAllPanics(t *testing.T) {
+	d := DualFromSlice([]int64{1, 2, 3})
+	for name, xs := range map[string][]int64{
+		"wrong length": {1, 2},
+		"negative":     {1, -2, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetAll %s did not panic", name)
+				}
+			}()
+			d.SetAll(xs)
+		}()
+	}
+}
+
 func naiveFindWeighted(xs []int64, dTotal, r int64) int {
 	var s int64
 	for i, v := range xs {

@@ -18,6 +18,8 @@ package phase
 
 import (
 	"math"
+
+	"repro/internal/core"
 )
 
 // Count is the number of analysis phases.
@@ -75,6 +77,31 @@ func (t Times) Duration(p int) int64 {
 		start = t.End[p-2]
 	}
 	return t.End[p-1] - start
+}
+
+// DefaultCheckInterval returns the default number of observations between
+// full evaluations of the O(k) phase end conditions for a run over n agents:
+// one check per ~n/64 productive events, capped at 256. This keeps tracking
+// overhead sublinear in the run length while still resolving phase end times
+// to well under 1% of any phase bound.
+func DefaultCheckInterval(n int64) int {
+	c := int(n/64) + 1
+	if c > 256 {
+		c = 256
+	}
+	return c
+}
+
+// CheckIntervalFor returns the default tracker check interval for a run
+// over n agents under the given kernel: every observation for a batched
+// kernel (each observation already covers a whole window of events, so
+// skipping any would cost window-level resolution), DefaultCheckInterval(n)
+// for the per-event exact kernel.
+func CheckIntervalFor(n int64, kern core.Kernel) int {
+	if kern.Batched() {
+		return 1
+	}
+	return DefaultCheckInterval(n)
 }
 
 // Option configures a Tracker.
@@ -140,6 +167,12 @@ func (tr *Tracker) Observe(v View) {
 	}
 	tr.check(v)
 }
+
+// Watch implements core.Watcher, so a *Tracker can be passed directly to
+// core.Simulator.RunWatched: the phase-tracking path then runs without any
+// observer closure and allocates nothing after construction. The event is
+// ignored — the tracker inspects the simulator state.
+func (tr *Tracker) Watch(s *core.Simulator, _ core.Event) { tr.Observe(s) }
 
 // ObserveNow evaluates the end conditions immediately, bypassing the check
 // interval. Use it to classify the initial configuration and the final one,

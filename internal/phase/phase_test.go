@@ -244,3 +244,31 @@ func TestObserveAfterDoneIsNoop(t *testing.T) {
 		t.Fatal("Observe after done mutated times")
 	}
 }
+
+func TestDefaultCheckInterval(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1, 1},
+		{63, 1},
+		{64, 2},
+		{6400, 101},
+		{1 << 20, 256}, // capped
+		{1 << 40, 256}, // cap holds for huge n
+	}
+	for _, tc := range cases {
+		if got := DefaultCheckInterval(tc.n); got != tc.want {
+			t.Errorf("DefaultCheckInterval(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestCheckIntervalFor(t *testing.T) {
+	if got := CheckIntervalFor(1<<20, core.KernelBatched(0)); got != 1 {
+		t.Fatalf("batched interval = %d, want 1", got)
+	}
+	if got, want := CheckIntervalFor(1<<20, core.KernelExact), DefaultCheckInterval(1<<20); got != want {
+		t.Fatalf("exact interval = %d, want %d", got, want)
+	}
+}

@@ -166,10 +166,29 @@ func (r *Source) Exponential(rate float64) float64 {
 	return -math.Log1p(-r.Float64()) / rate
 }
 
+// Normal returns a standard normal variate via the Marsaglia polar method.
+func (r *Source) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// btrsThreshold is the smallest n·min(p,1−p) for which Binomial uses the
+// transformed-rejection sampler; below it the classic exact paths are both
+// correct and faster.
+const btrsThreshold = 10
+
 // Binomial returns a Binomial(n, p) variate by exact methods: direct
-// Bernoulli summation for small n and the geometric waiting-time method
-// otherwise. The expected cost is O(min(n, n*min(p,1-p)+1)), which is cheap
-// for the moderate n*p values used in this repository.
+// Bernoulli summation for small n, the geometric waiting-time method for
+// small n·p, and Hörmann's BTRS transformed-rejection sampler for
+// n·min(p,1−p) >= 10. All three paths sample the exact distribution; the
+// expected cost is O(min(n, n·min(p,1−p)+1)) for the classic paths and O(1)
+// for BTRS, so the cost is bounded in every regime.
 func (r *Source) Binomial(n int64, p float64) int64 {
 	switch {
 	case n < 0:
@@ -180,6 +199,8 @@ func (r *Source) Binomial(n int64, p float64) int64 {
 		return n
 	case p > 0.5:
 		return n - r.Binomial(n, 1-p)
+	case n > 64 && float64(n)*p >= btrsThreshold:
+		return r.binomialBTRS(n, p)
 	case n <= 64:
 		var successes int64
 		for i := int64(0); i < n; i++ {
@@ -200,6 +221,179 @@ func (r *Source) Binomial(n int64, p float64) int64 {
 			successes++
 		}
 	}
+}
+
+// stirlingTailValues[k] = log(k!) − Stirling's approximation of log(k!), for
+// the small arguments where the asymptotic series is least accurate.
+var stirlingTailValues = [...]float64{
+	0.0810614667953272, 0.0413406959554092, 0.0276779256849983,
+	0.02079067210376509, 0.0166446911898211, 0.0138761288230707,
+	0.0118967099458917, 0.0104112652619720, 0.00925546218271273,
+	0.00833056343336287,
+}
+
+// stirlingTail returns log(k!) − [log(√(2π)) + (k+½)log(k+1) − (k+1)], the
+// correction term of the Stirling series used in the BTRS acceptance test.
+func stirlingTail(k float64) float64 {
+	if k <= 9 {
+		return stirlingTailValues[int(k)]
+	}
+	kp1 := k + 1
+	kp1sq := kp1 * kp1
+	return (1.0/12 - (1.0/360-1.0/1260/kp1sq)/kp1sq) / kp1
+}
+
+// binomialBTRS samples Binomial(n, p) exactly for 0 < p <= 0.5 and
+// n·p >= btrsThreshold using the BTRS transformed-rejection algorithm of
+// Hörmann ("The generation of binomial random variates", JSCS 1993): a
+// candidate is produced by an affine transformation of a uniform pair that
+// closely matches the binomial shape, a cheap squeeze accepts ~86% of
+// candidates immediately, and the rest are resolved by an exact
+// Stirling-corrected log-density ratio. The expected number of uniform
+// pairs per variate is O(1), independent of n and p.
+func (r *Source) binomialBTRS(n int64, p float64) int64 {
+	nf := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(nf * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lratio := p / q
+	m := math.Floor((nf + 1) * p)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || k > nf {
+			continue
+		}
+		// Exact acceptance test in log space against the binomial pmf,
+		// with log(k!) terms expanded via the Stirling correction.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		bound := (m+0.5)*math.Log((m+1)/(lratio*(nf-m+1))) +
+			(nf+1)*math.Log((nf-m+1)/(nf-k+1)) +
+			(k+0.5)*math.Log(lratio*(nf-k+1)/(k+1)) +
+			stirlingTail(m) + stirlingTail(nf-m) -
+			stirlingTail(k) - stirlingTail(nf-k)
+		if v <= bound {
+			return int64(k)
+		}
+	}
+}
+
+// nbExactLimit is the largest success count for which NegativeBinomial sums
+// geometric variates exactly.
+const nbExactLimit = 256
+
+// NegativeBinomial returns the number of independent Bernoulli(p) trials up
+// to and including the m-th success (the sum of m Geometric(p) variates),
+// for m >= 0 and p in (0, 1]. For m <= nbExactLimit the sum is formed
+// exactly; above it the sample is drawn from the normal approximation with
+// the exact mean m/p and variance m(1−p)/p², whose relative error is
+// O(1/√m). Results are clamped to [m, MaxInt64] so interaction-clock
+// arithmetic cannot overflow.
+func (r *Source) NegativeBinomial(m int64, p float64) int64 {
+	switch {
+	case m < 0:
+		panic("rng: NegativeBinomial called with m < 0")
+	case m == 0:
+		return 0
+	case p <= 0:
+		panic("rng: NegativeBinomial called with p <= 0")
+	case p >= 1:
+		return m
+	case m <= nbExactLimit:
+		var total int64
+		for i := int64(0); i < m; i++ {
+			total += r.Geometric(p)
+		}
+		return total
+	default:
+		mf := float64(m)
+		mean := mf / p
+		std := math.Sqrt(mf*(1-p)) / p
+		t := math.Round(mean + std*r.Normal())
+		if t < mf {
+			return m
+		}
+		// This path only runs for m > nbExactLimit, where 2^56·m already
+		// exceeds MaxInt64 — so the effective clamp is MaxInt64 itself,
+		// saturating rather than wrapping negative.
+		if t >= float64(math.MaxInt64) || math.IsNaN(t) {
+			return math.MaxInt64
+		}
+		return int64(t)
+	}
+}
+
+// Multinomial samples category counts (c₀, …, c_{k−1}) distributed
+// Multinomial(m; w/Σw) by conditional binomial chaining: cᵢ is
+// Binomial(m − Σ_{j<i} cⱼ, wᵢ/Σ_{j>=i} wⱼ), which is the exact conditional
+// law of category i given the earlier categories. With the O(1) BTRS path
+// in Binomial the expected cost is O(k), independent of m.
+//
+// Weights must be non-negative and finite; zero-weight categories receive a
+// zero count. If m > 0 the weights must not all be zero. The counts are
+// written into dst when it has capacity for len(weights) values (allocating
+// otherwise) and the filled slice is returned; m = 0 or an empty weight
+// vector yields all-zero counts.
+func (r *Source) Multinomial(m int64, weights []float64, dst []int64) []int64 {
+	if m < 0 {
+		panic("rng: Multinomial called with m < 0")
+	}
+	k := len(weights)
+	if cap(dst) < k {
+		dst = make([]int64, k)
+	}
+	dst = dst[:k]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if m == 0 || k == 0 {
+		return dst
+	}
+	var wsum float64
+	last := -1
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("rng: Multinomial called with negative or non-finite weight")
+		}
+		if w > 0 {
+			last = i
+		}
+		wsum += w
+	}
+	if last < 0 {
+		panic("rng: Multinomial called with all-zero weights and m > 0")
+	}
+	wrem := wsum
+	rem := m
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if i == last {
+			// The final positive-weight category takes every remaining
+			// trial, so floating-point drift in wrem cannot leak counts
+			// into zero-weight categories.
+			dst[i] = rem
+			break
+		}
+		c := r.Binomial(rem, w/wrem)
+		dst[i] = c
+		rem -= c
+		if rem == 0 {
+			break
+		}
+		wrem -= w
+	}
+	return dst
 }
 
 // Shuffle pseudo-randomizes the order of n elements using swap, via the

@@ -274,6 +274,294 @@ func TestBinomialMoments(t *testing.T) {
 	}
 }
 
+func TestNormalMoments(t *testing.T) {
+	src := New(41)
+	const trials = 200000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := src.Normal()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Normal mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Normal variance = %.4f, want ~1", variance)
+	}
+}
+
+// binomialPMF returns the Binomial(n, p) probabilities for k = 0..n via the
+// standard ratio recurrence.
+func binomialPMF(n int64, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	// Start from the log of P[0] to stay in range for moderate n.
+	logP := float64(n) * math.Log1p(-p)
+	pmf[0] = math.Exp(logP)
+	for k := int64(1); k <= n; k++ {
+		pmf[k] = pmf[k-1] * float64(n-k+1) / float64(k) * p / (1 - p)
+	}
+	return pmf
+}
+
+// chiSquareGoF pools cells with small expectation and returns the
+// chi-square statistic and degrees of freedom.
+func chiSquareGoF(counts []int64, probs []float64, total int64) (float64, int) {
+	var stat float64
+	dof := -1
+	var poolObs, poolExp float64
+	for i, c := range counts {
+		exp := probs[i] * float64(total)
+		poolObs += float64(c)
+		poolExp += exp
+		if poolExp >= 5 {
+			d := poolObs - poolExp
+			stat += d * d / poolExp
+			dof++
+			poolObs, poolExp = 0, 0
+		}
+	}
+	if poolExp > 0 {
+		d := poolObs - poolExp
+		stat += d * d / poolExp
+		dof++
+	}
+	return stat, dof
+}
+
+func TestBinomialBTRSGoodnessOfFit(t *testing.T) {
+	// n > 64 and n·p >= 10 exercise the BTRS transformed-rejection path;
+	// the empirical distribution must match the exact pmf.
+	src := New(91)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{100, 0.25},
+		{500, 0.5},
+		{10000, 0.002}, // n·p = 20, BTRS with a skewed pmf
+	}
+	for _, tc := range cases {
+		const trials = 100000
+		counts := make([]int64, tc.n+1)
+		for i := 0; i < trials; i++ {
+			v := src.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, v)
+			}
+			counts[v]++
+		}
+		stat, dof := chiSquareGoF(counts, binomialPMF(tc.n, tc.p), trials)
+		// Accept below mean + 5 std of the chi-square distribution
+		// (dof + 5·√(2·dof)), a ~1e-6 false-failure rate per case.
+		limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+		if stat > limit {
+			t.Errorf("Binomial(%d,%v) chi-square = %.1f exceeds %.1f (dof %d)",
+				tc.n, tc.p, stat, limit, dof)
+		}
+	}
+}
+
+func TestNegativeBinomialMoments(t *testing.T) {
+	src := New(53)
+	cases := []struct {
+		m int64
+		p float64
+	}{
+		{10, 0.3},   // exact path
+		{1000, 0.2}, // normal-approximation path
+	}
+	for _, tc := range cases {
+		const trials = 20000
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			v := src.NegativeBinomial(tc.m, tc.p)
+			if v < tc.m {
+				t.Fatalf("NegativeBinomial(%d,%v) = %d < m", tc.m, tc.p, v)
+			}
+			f := float64(v)
+			sum += f
+			sum2 += f * f
+		}
+		mean := sum / trials
+		variance := sum2/trials - mean*mean
+		wantMean := float64(tc.m) / tc.p
+		wantVar := float64(tc.m) * (1 - tc.p) / (tc.p * tc.p)
+		if math.Abs(mean-wantMean) > 6*math.Sqrt(wantVar/trials) {
+			t.Errorf("NegativeBinomial(%d,%v) mean = %.1f, want %.1f", tc.m, tc.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("NegativeBinomial(%d,%v) variance = %.1f, want %.1f", tc.m, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestNegativeBinomialEdges(t *testing.T) {
+	src := New(8)
+	if got := src.NegativeBinomial(0, 0.5); got != 0 {
+		t.Fatalf("NegativeBinomial(0, .5) = %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		if got := src.NegativeBinomial(7, 1); got != 7 {
+			t.Fatalf("NegativeBinomial(7, 1) = %d, want 7", got)
+		}
+	}
+}
+
+func TestNegativeBinomialClampNeverNegative(t *testing.T) {
+	// Tiny p with large m drives the normal-approximation mean past both
+	// 2^56·m and MaxInt64; the clamp must saturate, never wrap negative.
+	src := New(12)
+	for _, tc := range []struct {
+		m int64
+		p float64
+	}{
+		{1000, 1e-16}, // mean 1e19 > MaxInt64; 2^56·m overflows int64
+		{300, 1e-300}, // astronomically past every bound
+		{500, 1e-14},  // mean 5e16 within range, cap overflows
+	} {
+		for i := 0; i < 50; i++ {
+			got := src.NegativeBinomial(tc.m, tc.p)
+			if got < tc.m {
+				t.Fatalf("NegativeBinomial(%d, %g) = %d < m (overflowed clamp?)",
+					tc.m, tc.p, got)
+			}
+		}
+	}
+}
+
+func TestMultinomialGoodnessOfFit(t *testing.T) {
+	// Pooled totals over many draws are Multinomial(trials·m, p), so a
+	// chi-square of the totals against the weight proportions checks the
+	// chained-binomial marginals.
+	src := New(67)
+	weights := []float64{5, 0, 1, 3, 0.5}
+	const m, trials = 40, 20000
+	totals := make([]int64, len(weights))
+	var buf []int64
+	for i := 0; i < trials; i++ {
+		buf = src.Multinomial(m, weights, buf)
+		var rowSum int64
+		for j, c := range buf {
+			if c < 0 {
+				t.Fatalf("negative count %d in category %d", c, j)
+			}
+			if weights[j] == 0 && c != 0 {
+				t.Fatalf("zero-weight category %d received %d trials", j, c)
+			}
+			totals[j] += c
+			rowSum += c
+		}
+		if rowSum != m {
+			t.Fatalf("counts sum to %d, want %d", rowSum, m)
+		}
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	var stat float64
+	dof := 0
+	for j, w := range weights {
+		if w == 0 {
+			continue
+		}
+		exp := float64(trials) * m * w / wsum
+		d := float64(totals[j]) - exp
+		stat += d * d / exp
+		dof++
+	}
+	dof--
+	limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+	if stat > limit {
+		t.Errorf("Multinomial totals chi-square = %.1f exceeds %.1f (dof %d)", stat, limit, dof)
+	}
+}
+
+func TestMultinomialMarginalVariance(t *testing.T) {
+	// Each marginal count is Binomial(m, w_i/Σw); check mean and variance
+	// of a middle category (the one most affected by chaining drift).
+	src := New(29)
+	weights := []float64{2, 3, 5}
+	const m, trials = 100, 30000
+	p := weights[1] / 10.0
+	var sum, sum2 float64
+	var buf []int64
+	for i := 0; i < trials; i++ {
+		buf = src.Multinomial(m, weights, buf)
+		f := float64(buf[1])
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	wantMean := float64(m) * p
+	wantVar := float64(m) * p * (1 - p)
+	if math.Abs(mean-wantMean) > 6*math.Sqrt(wantVar/trials) {
+		t.Errorf("marginal mean = %.3f, want %.3f", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Errorf("marginal variance = %.3f, want %.3f", variance, wantVar)
+	}
+}
+
+func TestMultinomialEdges(t *testing.T) {
+	src := New(3)
+	// m = 0: all-zero counts, even with zero weights present.
+	out := src.Multinomial(0, []float64{1, 0, 2}, nil)
+	for i, c := range out {
+		if c != 0 {
+			t.Fatalf("m=0 category %d = %d, want 0", i, c)
+		}
+	}
+	// k = 1: the single category takes every trial.
+	if out := src.Multinomial(17, []float64{0.3}, nil); out[0] != 17 {
+		t.Fatalf("k=1 count = %d, want 17", out[0])
+	}
+	// Empty weight vector with m = 0 is fine.
+	if out := src.Multinomial(0, nil, nil); len(out) != 0 {
+		t.Fatalf("empty weights returned %v", out)
+	}
+	// dst is reused when it has capacity.
+	dst := make([]int64, 3)
+	out = src.Multinomial(5, []float64{1, 1, 1}, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("Multinomial did not reuse dst")
+	}
+	// A single positive weight among zeros takes every trial.
+	out = src.Multinomial(9, []float64{0, 4, 0}, out)
+	if out[0] != 0 || out[1] != 9 || out[2] != 0 {
+		t.Fatalf("counts %v, want [0 9 0]", out)
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	src := New(1)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"negative m", func() { src.Multinomial(-1, []float64{1}, nil) }},
+		{"negative weight", func() { src.Multinomial(1, []float64{1, -2}, nil) }},
+		{"NaN weight", func() { src.Multinomial(1, []float64{math.NaN()}, nil) }},
+		{"all-zero weights", func() { src.Multinomial(1, []float64{0, 0}, nil) }},
+		{"NegativeBinomial m<0", func() { src.NegativeBinomial(-1, 0.5) }},
+		{"NegativeBinomial p=0", func() { src.NegativeBinomial(1, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	src := New(13)
 	check := func(n uint8) bool {

@@ -191,6 +191,49 @@ func PowerFit(xs, ys []float64) (a, b, r2 float64, err error) {
 	return math.Exp(intercept), slope, r2, nil
 }
 
+// KSTwoSample returns the two-sample Kolmogorov-Smirnov statistic
+// D = sup_t |F_xs(t) − F_ys(t)|, the largest vertical distance between the
+// empirical CDFs of the two samples. Both samples must be non-empty.
+func KSTwoSample(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, ErrEmpty
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance past every copy of the smaller value in both samples so
+		// the CDF gap is measured between jump points, never mid-tie.
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the large-sample critical value of the two-sample
+// KS statistic at significance level alpha (0 < alpha < 1) for sample sizes
+// n and m: c(α)·√((n+m)/(n·m)) with c(α) = √(−ln(α/2)/2). A statistic above
+// this value rejects "same distribution" at level alpha.
+func KSCriticalValue(n, m int, alpha float64) float64 {
+	if n <= 0 || m <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
 // ChiSquare returns the chi-square statistic of observed counts against
 // expected probabilities (which must sum to ~1) and the degrees of freedom.
 func ChiSquare(observed []int64, expectedProb []float64) (stat float64, dof int, err error) {

@@ -314,3 +314,69 @@ func TestSummaryString(t *testing.T) {
 		t.Fatalf("String = %q", str)
 	}
 }
+
+func TestKSTwoSampleIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KSTwoSample(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KS of a sample against itself = %v, want 0", d)
+	}
+}
+
+func TestKSTwoSampleDisjoint(t *testing.T) {
+	d, err := KSTwoSample([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSTwoSampleKnownValue(t *testing.T) {
+	// F_xs jumps at 1,2,3,4 (steps of 1/4); F_ys jumps at 2.5,3.5,4.5,5.5.
+	// Just before 2.5 the gap is |2/4 - 0| = 0.5, the supremum.
+	d, err := KSTwoSample([]float64{1, 2, 3, 4}, []float64{2.5, 3.5, 4.5, 5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSTwoSampleUnsortedInput(t *testing.T) {
+	a := []float64{3, 1, 2}
+	b := []float64{2, 3, 1}
+	d, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KS of permuted identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Fatal("expected error for empty first sample")
+	}
+	if _, err := KSTwoSample([]float64{1}, nil); err == nil {
+		t.Fatal("expected error for empty second sample")
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// c(0.05) = sqrt(-ln(0.025)/2) ~ 1.358; with n = m = 100 the critical
+	// value is 1.358*sqrt(2/100) ~ 0.192.
+	got := KSCriticalValue(100, 100, 0.05)
+	if math.Abs(got-0.19206) > 1e-3 {
+		t.Fatalf("KSCriticalValue(100,100,0.05) = %v, want ~0.192", got)
+	}
+	if !math.IsNaN(KSCriticalValue(0, 10, 0.05)) {
+		t.Fatal("expected NaN for invalid sample size")
+	}
+}

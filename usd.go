@@ -43,6 +43,28 @@ const (
 // Option configures a Simulator.
 type Option = core.Option
 
+// Kernel selects the stepping implementation of a Simulator; see
+// KernelExact and KernelBatched.
+type Kernel = core.Kernel
+
+// KernelExact samples every productive interaction individually from the
+// exact transition law. It is the default.
+var KernelExact = core.KernelExact
+
+// DefaultTolerance is the drift tolerance KernelBatched uses for tol <= 0.
+const DefaultTolerance = core.DefaultTolerance
+
+// KernelBatched returns the batched stepping kernel with the given drift
+// tolerance (tol <= 0 selects DefaultTolerance): windows of productive
+// interactions are sampled in bulk via multinomial chaining and applied in
+// O(k), keeping every per-opinion rate within a ~tol relative drift and
+// reverting to the exact law near absorption. See the core package
+// documentation for the full accuracy contract.
+func KernelBatched(tol float64) Kernel { return core.KernelBatched(tol) }
+
+// WithKernel selects the stepping kernel (default KernelExact).
+func WithKernel(k Kernel) Option { return core.WithKernel(k) }
+
 // PhaseTimes records the end times of the paper's five analysis phases.
 type PhaseTimes = phase.Times
 
@@ -115,20 +137,41 @@ func Run(cfg *Config, seed uint64) (Report, error) {
 // RunWithBudget is Run with an interaction budget; budget <= 0 simulates
 // until an absorbing configuration is reached.
 func RunWithBudget(cfg *Config, seed uint64, budget int64) (Report, error) {
-	s, err := NewSimulator(cfg, seed)
+	return RunWithKernel(cfg, seed, budget, KernelExact)
+}
+
+// RunFast is Run with the batched kernel at the default drift tolerance: it
+// samples windows of productive interactions in bulk, which is orders of
+// magnitude faster at large n while staying within the kernel's stated
+// accuracy contract (the endgame is still simulated exactly, so winner and
+// phase-time distributions agree with Run within tolerance; see the
+// K1-kernel-agreement experiment).
+func RunFast(cfg *Config, seed uint64) (Report, error) {
+	return RunFastWithBudget(cfg, seed, 0)
+}
+
+// RunFastWithBudget is RunFast with an interaction budget; budget <= 0
+// simulates until an absorbing configuration is reached.
+func RunFastWithBudget(cfg *Config, seed uint64, budget int64) (Report, error) {
+	return RunWithKernel(cfg, seed, budget, KernelBatched(0))
+}
+
+// RunWithKernel is the kernel-parameterized tracked run behind Run and
+// RunFast: it simulates cfg under kern until consensus, absorption, or the
+// budget (<= 0 means none) and reports the outcome with phase end times.
+// Callers that thread kernel selection through (for example from a -kernel
+// flag) use this directly instead of branching between Run and RunFast.
+func RunWithKernel(cfg *Config, seed uint64, budget int64, kern Kernel) (Report, error) {
+	s, err := NewSimulator(cfg, seed, WithKernel(kern))
 	if err != nil {
 		return Report{}, err
 	}
 	leader, _ := cfg.Max()
-	checkEvery := int(cfg.N()/64) + 1
-	if checkEvery > 256 {
-		checkEvery = 256
-	}
-	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
+	tr := phase.NewTracker(phase.WithCheckInterval(phase.CheckIntervalFor(cfg.N(), kern)))
 	tr.ObserveNow(s)
-	res := s.RunObserved(budget, func(sim *core.Simulator, _ core.Event) {
-		tr.Observe(sim)
-	})
+	// The tracker is its own core.Watcher, so the phase-tracking hot path
+	// runs without an observer closure.
+	res := s.RunWatched(budget, tr)
 	tr.ObserveNow(s)
 	return Report{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
 }
