@@ -1,5 +1,6 @@
 // Command bench measures the per-interaction cost of the two stepping
 // kernels on the uniform-start k=32 workload at n ∈ {10⁴, 10⁶, 10⁸} and
+// the Monte-Carlo trial throughput of the shared-arena trial engine, and
 // writes the results to BENCH_core.json, giving future changes a perf
 // trajectory to compare against.
 //
@@ -11,6 +12,16 @@
 // densest regime (almost every interaction is productive) and the batched
 // kernel's weakest (windows ramp up from the all-decided start), so the
 // reported speedup is conservative.
+//
+// The trial-throughput section runs the same tracked-trial fleet twice —
+// once allocating a fresh simulator and tracker per trial (the pre-engine
+// cost model) and once reusing one arena across all trials — and reports
+// trials/sec for each plus the arena speedup. The dispatch workload uses a
+// one-interaction budget so the per-trial engine overhead dominates: its
+// ratio is the ceiling arena reuse buys a fleet of short trials, while the
+// consensus workload shows the (near-1×) effect on long simulation-bound
+// trials. Both arms must produce byte-identical results; the benchmark
+// fails otherwise.
 //
 // Usage:
 //
@@ -30,6 +41,7 @@ import (
 	usd "repro"
 	"repro/internal/conf"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/rng"
 )
 
@@ -50,12 +62,30 @@ type Entry struct {
 	InteractionsPerNs float64 `json:"interactions_per_ns"`
 }
 
+// TrialEntry is one trial-throughput measurement: the same Monte-Carlo
+// fleet with and without arena reuse.
+type TrialEntry struct {
+	Workload        string  `json:"workload"`
+	N               int64   `json:"n"`
+	K               int     `json:"k"`
+	Kernel          string  `json:"kernel"`
+	Trials          int     `json:"trials"`
+	BudgetPerTrial  int64   `json:"budget_interactions_per_trial"`
+	FreshWallNanos  int64   `json:"fresh_wall_ns"`
+	ArenaWallNanos  int64   `json:"arena_wall_ns"`
+	FreshTrialsPerS float64 `json:"fresh_trials_per_sec"`
+	ArenaTrialsPerS float64 `json:"arena_trials_per_sec"`
+	ArenaSpeedup    float64 `json:"arena_speedup"`
+	Identical       bool    `json:"results_identical"`
+}
+
 // Report is the BENCH_core.json schema.
 type Report struct {
-	Workload  string             `json:"workload"`
-	GoVersion string             `json:"go_version"`
-	Entries   []Entry            `json:"entries"`
-	Speedups  map[string]float64 `json:"batched_speedup_by_n"`
+	Workload     string             `json:"workload"`
+	GoVersion    string             `json:"go_version"`
+	Entries      []Entry            `json:"entries"`
+	Speedups     map[string]float64 `json:"batched_speedup_by_n"`
+	TrialEntries []TrialEntry       `json:"trial_throughput"`
 }
 
 func main() {
@@ -120,6 +150,32 @@ func run(args []string) error {
 		fmt.Printf("n=%-12s batched speedup: %.1fx\n", nKey, s)
 	}
 
+	trialCells := []struct {
+		workload string
+		n        int64
+		trials   int
+		budget   int64
+	}{
+		// Dispatch-bound fleet: a one-interaction budget isolates the
+		// per-trial engine overhead that arena reuse removes.
+		{"trial-dispatch", 1_000_000, 1000, 1},
+		// Simulation-bound fleet: full consensus runs at small n, where
+		// per-trial setup is negligible next to the simulation itself.
+		{"trial-consensus", 10_000, 200, 0},
+	}
+	if *quick {
+		trialCells[1].trials = 20
+	}
+	for _, c := range trialCells {
+		te, err := measureTrials(c.workload, c.n, k, core.KernelBatched(0), c.trials, c.budget, *seed)
+		if err != nil {
+			return err
+		}
+		rep.TrialEntries = append(rep.TrialEntries, te)
+		fmt.Printf("%-16s n=%-9d trials=%-5d budget=%-8d fresh %10.0f trials/s, arena %10.0f trials/s, speedup %.1fx\n",
+			te.Workload, te.N, te.Trials, te.BudgetPerTrial, te.FreshTrialsPerS, te.ArenaTrialsPerS, te.ArenaSpeedup)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -130,6 +186,70 @@ func run(args []string) error {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// measureTrials times the same tracked Monte-Carlo fleet twice through the
+// trial engine — allocating per trial versus reusing one arena — at
+// parallelism 1 so the wall-clock difference is exactly the per-trial
+// setup cost. Both arms must produce identical results; Identical records
+// the check and the benchmark errors if it fails.
+func measureTrials(workload string, n int64, k int, kern core.Kernel, trials int, budget int64, seed uint64) (TrialEntry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return TrialEntry{}, err
+	}
+	te := TrialEntry{
+		Workload:       workload,
+		N:              n,
+		K:              k,
+		Kernel:         kern.String(),
+		Trials:         trials,
+		BudgetPerTrial: budget,
+	}
+
+	runFleet := func(useArena bool) ([]experiment.USDRun, int64, error) {
+		var firstErr error
+		start := time.Now()
+		runs := experiment.CollectArena(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) experiment.USDRun {
+			if !useArena {
+				// Pre-engine cost model: a fresh source, simulator, and
+				// tracker per trial. rng.New(Derive(seed, i)) is the exact
+				// state of the engine-reseeded src, so both arms simulate
+				// identical trials.
+				a = nil
+				src = rng.New(rng.Derive(seed, uint64(i)))
+			}
+			r, err := experiment.RunTracked(a, cfg, src, budget, 0, kern)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return r
+		})
+		return runs, time.Since(start).Nanoseconds(), firstErr
+	}
+
+	freshRuns, freshNs, err := runFleet(false)
+	if err != nil {
+		return TrialEntry{}, err
+	}
+	arenaRuns, arenaNs, err := runFleet(true)
+	if err != nil {
+		return TrialEntry{}, err
+	}
+	te.FreshWallNanos, te.ArenaWallNanos = freshNs, arenaNs
+	te.FreshTrialsPerS = float64(trials) / (float64(freshNs) / 1e9)
+	te.ArenaTrialsPerS = float64(trials) / (float64(arenaNs) / 1e9)
+	if arenaNs > 0 {
+		te.ArenaSpeedup = float64(freshNs) / float64(arenaNs)
+	}
+	te.Identical = true
+	for i := range freshRuns {
+		if freshRuns[i] != arenaRuns[i] {
+			te.Identical = false
+			return te, fmt.Errorf("bench: trial %d diverged between fresh and arena arms", i)
+		}
+	}
+	return te, nil
 }
 
 // measure times `runs` budgeted runs of the kernel and aggregates them.

@@ -8,10 +8,16 @@
 //	sweep -param k -values 2,4,8,16,32 -n 16384 -csv
 //	sweep -param bias -values 0,64,128,256,512 -n 16384 -k 2
 //	sweep -param n -values 1e7,1e8,1e9 -k 32 -kernel batched
+//	sweep -param n -values 1e6,1e8,1e9 -keps 0.25 -kernel batched
+//	sweep -param eps -values 0.1,0.25,0.5 -n 1e6 -kernel batched
 //
 // -kernel batched selects the bulk stepping kernel for large-n sweeps; it
 // trades a bounded per-rate drift (-tol, default 0.05) for orders of
-// magnitude in throughput.
+// magnitude in throughput. The many-opinions regime k = Θ(n^ε) (Cooper et
+// al.) is swept either by -param eps (ε varies at fixed n) or by -param n
+// with -keps (n varies, k = n^ε follows). Trials run on the shared-arena
+// trial engine; -parallelism bounds the workers and results are identical
+// at every parallelism level.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	usd "repro"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -38,16 +45,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		param  = fs.String("param", "n", "swept parameter: n, k, bias (additive), or mult (ratio)")
-		values = fs.String("values", "", "comma-separated values for the swept parameter")
-		n      = fs.Int64("n", 1<<14, "population size (fixed unless swept)")
-		k      = fs.Int("k", 8, "number of opinions (fixed unless swept)")
-		u0     = fs.Int64("u0", 0, "initially undecided agents")
-		trials = fs.Int("trials", 10, "trials per sweep point")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of a table")
-		kernel = fs.String("kernel", "exact", "stepping kernel: exact or batched")
-		tol    = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		param   = fs.String("param", "n", "swept parameter: n, k, bias (additive), mult (ratio), or eps (k = n^eps)")
+		values  = fs.String("values", "", "comma-separated values for the swept parameter")
+		nFlag   = fs.String("n", "16384", "population size, integer or scientific like 1e9 (fixed unless swept)")
+		k       = fs.Int("k", 8, "number of opinions (fixed unless swept or derived via -keps)")
+		keps    = fs.Float64("keps", 0, "with -param n: derive k = n^keps per point (0 = use -k)")
+		u0      = fs.Int64("u0", 0, "initially undecided agents")
+		trials  = fs.Int("trials", 10, "trials per sweep point")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		workers = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		asCSV   = fs.Bool("csv", false, "emit CSV instead of a table")
+		kernel  = fs.String("kernel", "exact", "stepping kernel: exact or batched")
+		tol     = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,13 +65,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	n, err := parseCount(*nFlag)
+	if err != nil {
+		return fmt.Errorf("bad -n value %q: %w", *nFlag, err)
+	}
 	if *values == "" {
 		return fmt.Errorf("-values is required")
+	}
+	if *keps != 0 && *param != "n" {
+		return fmt.Errorf("-keps only applies to -param n (got -param %s)", *param)
+	}
+	if *keps < 0 || *keps >= 1 {
+		return fmt.Errorf("-keps %v out of range [0, 1)", *keps)
 	}
 	raw := strings.Split(*values, ",")
 
 	type row struct {
 		value        string
+		k            int
 		mean, median float64
 		std          float64
 		parallel     float64
@@ -71,22 +91,37 @@ func run(args []string) error {
 	var rows []row
 	for vi, vs := range raw {
 		vs = strings.TrimSpace(vs)
-		cfg, err := buildConfig(*param, vs, *n, *k, *u0)
+		cfg, err := buildConfig(*param, vs, n, *k, *keps, *u0)
 		if err != nil {
 			return err
 		}
+		type out struct {
+			t    float64
+			won  bool
+			fail string
+		}
+		outs := experiment.CollectArena(*trials, *workers, *seed+uint64(vi)*1_000_003,
+			func(i int, src *rng.Source, a *experiment.Arena) out {
+				report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
+				if err != nil {
+					return out{fail: err.Error()}
+				}
+				if report.Result.Outcome != usd.OutcomeConsensus {
+					return out{fail: report.Result.Outcome.String()}
+				}
+				return out{
+					t:   float64(report.Result.Interactions),
+					won: report.Result.Winner == report.InitialLeader,
+				}
+			})
 		var times []float64
 		wins := 0
-		for i := 0; i < *trials; i++ {
-			report, err := usd.RunWithKernel(cfg, rng.Derive(*seed, uint64(vi*100000+i)), 0, kern)
-			if err != nil {
-				return err
+		for i, o := range outs {
+			if o.fail != "" {
+				return fmt.Errorf("value %s trial %d: %s", vs, i, o.fail)
 			}
-			if report.Result.Outcome != usd.OutcomeConsensus {
-				return fmt.Errorf("value %s trial %d: %v", vs, i, report.Result.Outcome)
-			}
-			times = append(times, float64(report.Result.Interactions))
-			if report.Result.Winner == report.InitialLeader {
+			times = append(times, o.t)
+			if o.won {
 				wins++
 			}
 		}
@@ -96,6 +131,7 @@ func run(args []string) error {
 		}
 		rows = append(rows, row{
 			value:    vs,
+			k:        cfg.K(),
 			mean:     s.Mean,
 			median:   s.Median,
 			std:      s.Std,
@@ -105,36 +141,49 @@ func run(args []string) error {
 	}
 
 	if *asCSV {
-		fmt.Println("value,mean_interactions,median,std,parallel_time,initial_leader_win_rate")
+		fmt.Println("value,k,mean_interactions,median,std,parallel_time,initial_leader_win_rate")
 		for _, r := range rows {
-			fmt.Printf("%s,%g,%g,%g,%g,%g\n", r.value, r.mean, r.median, r.std, r.parallel, r.winRate)
+			fmt.Printf("%s,%d,%g,%g,%g,%g,%g\n", r.value, r.k, r.mean, r.median, r.std, r.parallel, r.winRate)
 		}
 		return nil
 	}
 	fmt.Printf("sweep over %s (%d trials per point):\n\n", *param, *trials)
-	fmt.Printf("%-10s %-14s %-14s %-12s %-14s %s\n",
-		*param, "mean T", "median", "std", "parallel time", "leader wins")
+	fmt.Printf("%-10s %-6s %-14s %-14s %-12s %-14s %s\n",
+		*param, "k", "mean T", "median", "std", "parallel time", "leader wins")
 	for _, r := range rows {
-		fmt.Printf("%-10s %-14.6g %-14.6g %-12.4g %-14.4g %.0f%%\n",
-			r.value, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
+		fmt.Printf("%-10s %-6d %-14.6g %-14.6g %-12.4g %-14.4g %.0f%%\n",
+			r.value, r.k, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
 	}
 	return nil
 }
 
-func buildConfig(param, value string, n int64, k int, u0 int64) (*usd.Config, error) {
+func buildConfig(param, value string, n int64, k int, keps float64, u0 int64) (*usd.Config, error) {
 	switch param {
 	case "n":
 		v, err := parseCount(value)
 		if err != nil {
 			return nil, fmt.Errorf("bad n value %q: %w", value, err)
 		}
-		return usd.Uniform(v, k, scaleU(u0, n, v))
+		kk := k
+		if keps > 0 {
+			kk = experiment.KForEps(v, keps)
+		}
+		return usd.Uniform(v, kk, scaleU(u0, n, v))
 	case "k":
 		v, err := strconv.Atoi(value)
 		if err != nil {
 			return nil, fmt.Errorf("bad k value %q: %w", value, err)
 		}
 		return usd.Uniform(n, v, u0)
+	case "eps":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad eps value %q: %w", value, err)
+		}
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("bad eps value %q: want a float in [0, 1)", value)
+		}
+		return usd.Uniform(n, experiment.KForEps(n, v), u0)
 	case "bias":
 		v, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {
@@ -148,7 +197,7 @@ func buildConfig(param, value string, n int64, k int, u0 int64) (*usd.Config, er
 		}
 		return usd.WithMultiplicativeBias(n, k, v, u0)
 	default:
-		return nil, fmt.Errorf("unknown -param %q (want n, k, bias, or mult)", param)
+		return nil, fmt.Errorf("unknown -param %q (want n, k, eps, bias, or mult)", param)
 	}
 }
 

@@ -98,3 +98,48 @@ func TestScaleU(t *testing.T) {
 		t.Fatalf("scaleU with nOld=0 = %d", got)
 	}
 }
+
+func TestSweepEpsParam(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "eps", "-values", "0.1,0.5", "-n", "4096", "-trials", "2", "-kernel", "batched"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepNWithKeps(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "n", "-values", "1024,4096", "-keps", "0.5", "-trials", "2", "-kernel", "batched"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepKepsValidation(t *testing.T) {
+	if err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2", "-keps", "0.5"})
+	}); err == nil || !strings.Contains(err.Error(), "-keps") {
+		t.Fatalf("keps with param k accepted: %v", err)
+	}
+	if err := silence(t, func() error {
+		return run([]string{"-param", "n", "-values", "1024", "-keps", "1.5"})
+	}); err == nil || !strings.Contains(err.Error(), "-keps") {
+		t.Fatalf("out-of-range keps accepted: %v", err)
+	}
+	if err := silence(t, func() error {
+		return run([]string{"-param", "eps", "-values", "1.5", "-n", "1024"})
+	}); err == nil {
+		t.Fatal("out-of-range eps value accepted")
+	}
+}
+
+func TestSweepParallelismFlag(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2,4", "-n", "1024", "-trials", "4", "-parallelism", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

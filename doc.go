@@ -46,4 +46,8 @@
 // RunGossip and the internal/gossip package; the experiment suite that
 // regenerates every table and figure of the paper lives in
 // internal/experiment and is driven by cmd/experiments.
+//
+// See README.md for the repository-level tour: quickstart, the batched
+// kernel's accuracy contract, the experiment catalog (including the
+// K1–K3 kernel experiments), and the cmd/bench perf-trajectory workflow.
 package usd

@@ -1,0 +1,77 @@
+// Package examples holds compile-and-run smoke tests for the example
+// programs. Each example is a standalone main package, so a breaking API
+// change would otherwise ship silently: `go test ./...` only type-checks
+// packages with tests, and nothing executed the examples.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// contextWithTimeout bounds a single example run so a hung example fails
+// the test instead of wedging the suite.
+func contextWithTimeout(t *testing.T, d time.Duration) (context.Context, context.CancelFunc) {
+	t.Helper()
+	if dl, ok := t.Deadline(); ok {
+		if until := time.Until(dl) - 10*time.Second; until > 0 && until < d {
+			d = until
+		}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// exampleDirs lists every example program; keep in sync with the
+// subdirectories of examples/.
+var exampleDirs = []string{
+	"exactsmall",
+	"modelcompare",
+	"nobias",
+	"plurality",
+	"quickstart",
+}
+
+func TestExampleListComplete(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, d := range exampleDirs {
+		want[d] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !want[e.Name()] {
+			t.Errorf("examples/%s is not covered by the smoke test; add it to exampleDirs", e.Name())
+		}
+	}
+}
+
+func TestExamplesCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples invoke the go toolchain; skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := contextWithTimeout(t, 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+dir)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s produced no output", dir)
+			}
+		})
+	}
+}

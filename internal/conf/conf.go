@@ -18,9 +18,12 @@ import (
 	"strings"
 )
 
-// MaxN is the largest population size the simulators support. The bound
-// guarantees that n² fits in an int64, which the aggregate sampler relies on.
-const MaxN = int64(1) << 31
+// MaxN is the largest population size the simulators support:
+// ⌊√MaxInt64⌋ = 3037000499, the largest n for which the n² ordered-pair
+// interaction clock fits in an int64. One agent more and n² wraps negative,
+// silently corrupting every probability derived from it, so the simulators
+// reject larger populations up front.
+const MaxN = int64(3037000499)
 
 // Config is an aggregate opinion configuration. The zero value is invalid;
 // use a generator or FromSupport.
@@ -63,15 +66,25 @@ func (c *Config) Validate() error {
 	if c.Undecided < 0 {
 		return fmt.Errorf("%w: undecided = %d", ErrNegative, c.Undecided)
 	}
+	// Reject each addend before accumulating: any single count above MaxN
+	// is already invalid, and with every addend and the running sum capped
+	// at MaxN the sum never exceeds 2·MaxN, so it cannot wrap int64 and
+	// sneak a negative population past the checks.
 	var n int64
 	for i, x := range c.Support {
 		if x < 0 {
 			return fmt.Errorf("%w: opinion %d has support %d", ErrNegative, i, x)
 		}
+		if x > MaxN {
+			return ErrTooLarge
+		}
 		n += x
 		if n > MaxN {
 			return ErrTooLarge
 		}
+	}
+	if c.Undecided > MaxN {
+		return ErrTooLarge
 	}
 	n += c.Undecided
 	if n > MaxN {

@@ -51,6 +51,25 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
+func TestMaxNBoundary(t *testing.T) {
+	// MaxN is exactly ⌊√MaxInt64⌋: the n² interaction clock fits at MaxN
+	// and wraps negative one agent later, so the bound must sit precisely
+	// on that edge — large enough for the 2·10⁹–3·10⁹ regime the
+	// lower-bound comparisons need, and not one agent larger.
+	if MaxN*MaxN <= 0 {
+		t.Fatalf("MaxN² = %d overflowed; MaxN too large", MaxN*MaxN)
+	}
+	if over := MaxN + 1; over*over > 0 {
+		t.Fatalf("(MaxN+1)² = %d did not overflow; MaxN too conservative", over*over)
+	}
+	if _, err := Uniform(MaxN, 2, 0); err != nil {
+		t.Fatalf("Uniform(MaxN) rejected: %v", err)
+	}
+	if _, err := Uniform(MaxN+1, 2, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Uniform(MaxN+1) = %v, want ErrTooLarge", err)
+	}
+}
+
 func TestUniform(t *testing.T) {
 	c, err := Uniform(100, 3, 10)
 	if err != nil {
@@ -328,5 +347,22 @@ func TestStringTruncates(t *testing.T) {
 	short := &Config{Support: []int64{1, 2}, Undecided: 3}
 	if got := short.String(); got != "n=6 k=2 u=3 x=[1 2]" {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestValidateSumCannotWrap(t *testing.T) {
+	// Addends near MaxInt64 used to wrap the running population sum
+	// negative before the > MaxN check could fire, accepting a garbage
+	// population. Every wrapping combination must now be rejected.
+	cases := []Config{
+		{Support: []int64{1, math.MaxInt64}},
+		{Support: []int64{math.MaxInt64, math.MaxInt64}},
+		{Support: []int64{50}, Undecided: math.MaxInt64 - 10},
+		{Support: []int64{MaxN, MaxN, MaxN, MaxN}},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("case %d: Validate() = %v, want ErrTooLarge", i, err)
+		}
 	}
 }

@@ -127,11 +127,16 @@ func (s *Simulator) batchWindow(w int64) int64 {
 // is applied, exactly as if simulation had stopped mid-jump.
 func (s *Simulator) stepSkip(w, budget int64) (Event, bool) {
 	jump := s.src.Geometric(float64(w) / float64(s.nSq))
-	if budget > 0 && s.steps+jump > budget {
+	// The comparison is jump > budget−steps, not steps+jump > budget: the
+	// run loop guarantees steps < budget here, so the subtraction cannot
+	// overflow, whereas steps+jump can wrap negative for a saturated jump
+	// and silently skip the budget check. Without a budget the clock
+	// saturates at MaxInt64 instead of wrapping.
+	if budget > 0 && jump > budget-s.steps {
 		s.steps = budget
 		return Event{}, false
 	}
-	s.steps += jump
+	s.steps = satAdd(s.steps, jump)
 	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
 	ev.Interactions = s.steps
 	return ev, true
@@ -160,6 +165,14 @@ func (s *Simulator) batchStep(w, m, budget int64) (Event, bool) {
 		s.batchUndecides = make([]int64, k)
 		s.batchWeights = make([]float64, k)
 	}
+	// Reset can shrink the opinion count below a previous trial's k while
+	// the scratch capacity still suffices; the weight slice's *length*
+	// drives Multinomial's category count, so reslice all scratch to the
+	// live k or stale trailing weights would leak window events onto
+	// phantom opinions.
+	s.batchAdopts = s.batchAdopts[:k]
+	s.batchUndecides = s.batchUndecides[:k]
+	s.batchWeights = s.batchWeights[:k]
 	pAdopt := float64(s.u*d) / float64(w)
 	for {
 		s.batchVals = s.tree.Values(s.batchVals[:0])
@@ -198,11 +211,15 @@ func (s *Simulator) batchStep(w, m, budget int64) (Event, bool) {
 		// rng.NegativeBinomial, whose large-m normal approximation carries
 		// O(1/√m) relative error, well inside the kernel's tolerance).
 		span := s.src.NegativeBinomial(m, float64(w)/float64(s.nSq))
-		if budget > 0 && s.steps+span > budget {
+		// Saturating comparison, as in stepSkip: rng.NegativeBinomial can
+		// return MaxInt64 for extreme parameters, and steps+span would then
+		// wrap negative, pass the budget check, and drive the clock
+		// backwards. steps < budget holds here, so budget−steps is safe.
+		if budget > 0 && span > budget-s.steps {
 			s.steps = budget
 			return Event{}, false
 		}
-		s.steps += span
+		s.steps = satAdd(s.steps, span)
 		s.tree.SetAll(s.batchVals)
 		s.r2 = r2
 		s.u += (m - adopts) - adopts

@@ -250,3 +250,97 @@ func TestBatchedAndExactAgreeStatistically(t *testing.T) {
 		t.Fatalf("kernel means differ: exact=%.0f batched=%.0f (se %.0f)", m1, m2, se)
 	}
 }
+
+// forceClock pins the interaction clock near a boundary; the regression
+// tests below stand in for a forced-saturation randomness source by placing
+// the clock where any realistic jump or span crosses the boundary.
+func forceClock(s *Simulator, steps int64) { s.steps = steps }
+
+func TestBatchedBudgetComparisonDoesNotWrap(t *testing.T) {
+	// Regression: with the clock a few ticks under a huge budget, the old
+	// check `steps+span > budget` wrapped negative whenever the sampled
+	// span was large (rng.NegativeBinomial saturates at MaxInt64), skipped
+	// the budget clamp, and drove the clock negative. The saturating
+	// comparison must clamp to the budget instead. The configuration keeps
+	// the productive probability ~6·10⁻³ so every jump and window span is
+	// orders of magnitude larger than the remaining budget.
+	cfg := mustConfig(t, []int64{995_000, 1000}, 4000)
+	for _, kern := range []Kernel{KernelExact, KernelBatched(0)} {
+		s := newSim(t, cfg, 11, WithKernel(kern))
+		const budget = int64(math.MaxInt64 - 7)
+		forceClock(s, budget-3)
+		res := s.Run(budget)
+		if res.Interactions < 0 {
+			t.Fatalf("kernel %v: clock wrapped negative: %d", kern, res.Interactions)
+		}
+		if res.Outcome == OutcomeBudget && res.Interactions != budget {
+			t.Fatalf("kernel %v: budget stop at %d, want exactly %d", kern, res.Interactions, budget)
+		}
+		if res.Interactions > budget {
+			t.Fatalf("kernel %v: clock %d overran budget %d", kern, res.Interactions, budget)
+		}
+	}
+}
+
+func TestUnbudgetedClockSaturatesAtMaxInt64(t *testing.T) {
+	// Regression for the budget-0 path: without a budget there is no clamp
+	// to hide behind, so a clock near MaxInt64 must saturate there — never
+	// wrap — while the run still finishes by absorption.
+	cfg := mustConfig(t, []int64{900, 100}, 24)
+	for _, kern := range []Kernel{KernelExact, KernelBatched(0)} {
+		s := newSim(t, cfg, 5, WithKernel(kern))
+		forceClock(s, math.MaxInt64-2)
+		res := s.Run(0)
+		if res.Interactions < 0 {
+			t.Fatalf("kernel %v: clock wrapped negative: %d", kern, res.Interactions)
+		}
+		if res.Outcome != OutcomeConsensus {
+			t.Fatalf("kernel %v: outcome %v, want consensus", kern, res.Outcome)
+		}
+		if res.Interactions != math.MaxInt64 {
+			t.Fatalf("kernel %v: clock %d, want saturation at MaxInt64", kern, res.Interactions)
+		}
+	}
+}
+
+func TestBatchedClockMonotoneAcrossWindows(t *testing.T) {
+	cfg := mustConfig(t, []int64{30000, 20000, 10000}, 5000)
+	s := newSim(t, cfg, 17, WithKernel(KernelBatched(0)))
+	last := int64(0)
+	s.RunWatched(0, Observer(func(_ *Simulator, ev Event) {
+		if ev.Interactions < last {
+			t.Fatalf("clock moved backwards: %d after %d", ev.Interactions, last)
+		}
+		last = ev.Interactions
+	}))
+}
+
+func TestResetShrinksBatchScratch(t *testing.T) {
+	// Regression: Reset to fewer opinions while the batch scratch capacity
+	// still sufficed left the weight slices at the old length, so
+	// Multinomial spread window events over stale phantom opinions and
+	// agents silently vanished. Population conservation must hold after
+	// every window, and the run must match a fresh simulator exactly.
+	large := mustConfig(t, []int64{10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000}, 0)
+	small := mustConfig(t, []int64{25000, 25000, 25000, 25000}, 0)
+	s := newSim(t, large, 3, WithKernel(KernelBatched(0)))
+	s.Run(0) // allocate and dirty the k=10 scratch
+	if err := s.Reset(small, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	n := small.N()
+	conserve := Observer(func(s *Simulator, _ Event) {
+		var total int64 = s.Undecided()
+		for i := 0; i < s.K(); i++ {
+			total += s.Support(i)
+		}
+		if total != n {
+			t.Fatalf("population not conserved: %d agents, want %d", total, n)
+		}
+	})
+	got := s.RunWatched(0, conserve)
+	fresh := newSim(t, small, 4, WithKernel(KernelBatched(0)))
+	if want := fresh.Run(0); got != want {
+		t.Fatalf("reset-shrunk run %+v != fresh %+v", got, want)
+	}
+}

@@ -61,6 +61,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/conf"
 	"repro/internal/fenwick"
@@ -179,6 +180,37 @@ type Watcher interface {
 	Watch(s *Simulator, ev Event)
 }
 
+// MultiWatcher broadcasts every applied event to each watcher in order.
+type MultiWatcher []Watcher
+
+// Watch implements Watcher.
+func (m MultiWatcher) Watch(s *Simulator, ev Event) {
+	for _, w := range m {
+		w.Watch(s, ev)
+	}
+}
+
+// Watchers combines watchers into one, so a single observed run can feed
+// several observers (for example a phase tracker and a trajectory sampler).
+// Nil entries are dropped; with zero or one non-nil watcher no wrapper is
+// allocated.
+func Watchers(ws ...Watcher) Watcher {
+	var m MultiWatcher
+	for _, w := range ws {
+		if w != nil {
+			m = append(m, w)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	default:
+		return m
+	}
+}
+
 // Simulator simulates the USD at configuration level. It is not safe for
 // concurrent use. Construct with New.
 type Simulator struct {
@@ -210,28 +242,54 @@ func WithSkipping(enabled bool) Option {
 	return func(s *Simulator) { s.skip = enabled }
 }
 
+// MaxN is the largest population size the simulator accepts: ⌊√MaxInt64⌋,
+// the largest n whose n² ordered-pair count still fits in an int64. Beyond
+// it nSq would wrap negative and corrupt every transition probability, so
+// New and Reset reject larger populations with a clear error.
+const MaxN = conf.MaxN
+
 // New returns a simulator initialized with a copy of the configuration c,
 // drawing randomness from src.
 func New(c *conf.Config, src *rng.Source, opts ...Option) (*Simulator, error) {
+	s := &Simulator{skip: true}
+	if err := s.Reset(c, src, opts...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset re-initializes the simulator in place to a copy of configuration c,
+// drawing randomness from src, and rewinds the interaction clock to zero.
+// Options given here are applied after the state reset; previously
+// configured options (kernel, skipping) are preserved when none are given.
+// All allocated state — the Fenwick tree when the opinion count matches,
+// and the batched kernel's scratch buffers — is reused, so Monte-Carlo
+// trial engines can run millions of trials on one simulator without
+// allocating. A Reset simulator is indistinguishable from a freshly
+// constructed one. The MaxN population bound is enforced by c.Validate,
+// whose running-sum checks are wrap-proof.
+func (s *Simulator) Reset(c *conf.Config, src *rng.Source, opts ...Option) error {
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid configuration: %w", err)
+		return fmt.Errorf("core: invalid configuration: %w", err)
 	}
 	if src == nil {
-		return nil, fmt.Errorf("core: nil randomness source")
+		return fmt.Errorf("core: nil randomness source")
 	}
-	s := &Simulator{
-		tree: fenwick.DualFromSlice(c.Support),
-		src:  src,
-		n:    c.N(),
-		u:    c.Undecided,
-		r2:   c.SumSquares(),
-		skip: true,
+	if s.tree != nil && s.tree.Len() == len(c.Support) {
+		s.tree.SetAll(c.Support)
+	} else {
+		s.tree = fenwick.DualFromSlice(c.Support)
 	}
+	s.src = src
+	s.n = c.N()
 	s.nSq = s.n * s.n
+	s.u = c.Undecided
+	s.r2 = c.SumSquares()
+	s.steps = 0
 	for _, opt := range opts {
 		opt(s)
 	}
-	return s, nil
+	return nil
 }
 
 // N returns the population size.
@@ -349,7 +407,7 @@ func (s *Simulator) Step() Event {
 	if w == 0 {
 		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
 	}
-	s.steps++
+	s.steps = satAdd(s.steps, 1)
 	r := int64(s.src.Uint64n(uint64(s.nSq)))
 	if r >= w {
 		return Event{Kind: EventNone, Opinion: -1, Interactions: s.steps}
@@ -369,7 +427,7 @@ func (s *Simulator) StepProductive() Event {
 		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
 	}
 	p := float64(w) / float64(s.nSq)
-	s.steps += s.src.Geometric(p)
+	s.steps = satAdd(s.steps, s.src.Geometric(p))
 	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
 	ev.Interactions = s.steps
 	return ev
@@ -447,6 +505,18 @@ func (s *Simulator) runLoop(budget int64, obs Watcher, stop func(*Simulator) boo
 			return s.result(outcome, winner)
 		}
 	}
+}
+
+// satAdd returns a+b clamped to MaxInt64, for non-negative a and b. Every
+// advance of the interaction clock goes through it (or through the
+// saturating budget comparison span > budget−steps), so the clock can
+// saturate but never wrap negative — geometric jumps and negative-binomial
+// spans both clamp at extreme values rather than staying bounded.
+func satAdd(a, b int64) int64 {
+	if sum := a + b; sum >= a {
+		return sum
+	}
+	return math.MaxInt64
 }
 
 func (s *Simulator) result(o Outcome, winner int) Result {

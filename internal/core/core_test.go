@@ -518,3 +518,144 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+func TestNewRejectsOverflowingN(t *testing.T) {
+	// One agent past MaxN the n² clock wraps int64; New must refuse rather
+	// than corrupt every downstream probability. The config is built as a
+	// raw literal so the check is exercised even for callers that bypass
+	// the conf generators.
+	over := &conf.Config{Support: []int64{MaxN, 1}}
+	if _, err := New(over, rng.New(1)); err == nil {
+		t.Fatal("New accepted n = MaxN+1; nSq would have wrapped negative")
+	}
+	s := &Simulator{}
+	if err := s.Reset(over, rng.New(1)); err == nil {
+		t.Fatal("Reset accepted n = MaxN+1")
+	}
+}
+
+func TestNewAtMaxNIsUsable(t *testing.T) {
+	// At exactly MaxN the clock arithmetic is still safe: the simulator
+	// must construct and step without negative probabilities or panics.
+	c := mustConfig(t, []int64{MaxN - 3, 2}, 1)
+	s := newSim(t, c, 9)
+	if s.N() != MaxN {
+		t.Fatalf("N = %d, want MaxN", s.N())
+	}
+	if p := s.ProductiveProbability(); p <= 0 || p > 1 || math.IsNaN(p) {
+		t.Fatalf("productive probability %v out of range at n = MaxN", p)
+	}
+	for i := 0; i < 4; i++ {
+		ev := s.StepProductive()
+		if ev.Interactions < 0 {
+			t.Fatalf("clock went negative: %d", ev.Interactions)
+		}
+	}
+}
+
+func TestResetMatchesFreshSimulator(t *testing.T) {
+	cfg := mustConfig(t, []int64{400, 300, 200, 100}, 24)
+	for _, kern := range []Kernel{KernelExact, KernelBatched(0)} {
+		reused, err := New(cfg, rng.New(1), WithKernel(kern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused.Run(0) // dirty every piece of reusable state
+		for trial := uint64(0); trial < 5; trial++ {
+			fresh, err := New(cfg, rng.New(trial), WithKernel(kern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(cfg, rng.New(trial)); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := reused.Interactions(), int64(0); got != want {
+				t.Fatalf("Reset clock = %d", got)
+			}
+			a, b := fresh.Run(0), reused.Run(0)
+			if a != b {
+				t.Fatalf("kernel %v trial %d: fresh %+v != reset %+v", kern, trial, a, b)
+			}
+		}
+	}
+}
+
+func TestResetChangesOpinionCount(t *testing.T) {
+	small := mustConfig(t, []int64{60, 40}, 0)
+	large := mustConfig(t, []int64{30, 30, 20, 10, 5, 5}, 0)
+	s := newSim(t, small, 3)
+	s.Run(0)
+	if err := s.Reset(large, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 6 || s.N() != 100 {
+		t.Fatalf("after Reset: k=%d n=%d", s.K(), s.N())
+	}
+	fresh := newSim(t, large, 4)
+	if a, b := fresh.Run(0), s.Run(0); a != b {
+		t.Fatalf("fresh %+v != reset-across-k %+v", a, b)
+	}
+}
+
+func TestResetPreservesOptions(t *testing.T) {
+	cfg := mustConfig(t, []int64{500, 500}, 0)
+	s := newSim(t, cfg, 1, WithKernel(KernelBatched(0.1)), WithSkipping(false))
+	if err := s.Reset(cfg, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.kernel.batched || s.kernel.tol != 0.1 || s.skip {
+		t.Fatalf("Reset dropped options: kernel=%v skip=%v", s.kernel, s.skip)
+	}
+}
+
+func TestWatchersBroadcast(t *testing.T) {
+	cfg := mustConfig(t, []int64{50, 30}, 20)
+	s := newSim(t, cfg, 2)
+	var a, b int
+	w := Watchers(nil, Observer(func(*Simulator, Event) { a++ }), nil,
+		Observer(func(*Simulator, Event) { b++ }))
+	s.RunWatched(0, w)
+	if a == 0 || a != b {
+		t.Fatalf("watcher counts diverge: %d vs %d", a, b)
+	}
+	if Watchers() != nil || Watchers(nil, nil) != nil {
+		t.Fatal("empty Watchers must collapse to nil")
+	}
+	single := Observer(func(*Simulator, Event) {})
+	if got := Watchers(nil, single); got == nil {
+		t.Fatal("single watcher dropped")
+	} else if _, wrapped := got.(MultiWatcher); wrapped {
+		t.Fatal("single watcher needlessly wrapped")
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{math.MaxInt64, 0, math.MaxInt64},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64 - 5, 10, math.MaxInt64},
+		{math.MaxInt64 / 2, math.MaxInt64/2 + 2, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		if got := satAdd(tc.a, tc.b); got != tc.want {
+			t.Fatalf("satAdd(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNewRejectsWrappedPopulationSum(t *testing.T) {
+	// Regression: support/undecided sums that wrap int64 produced a
+	// negative n that slipped past the n > MaxN guard, and nSq became
+	// garbage. Every wrapping combination must be rejected.
+	for i, cfg := range []*conf.Config{
+		{Support: []int64{50}, Undecided: math.MaxInt64 - 10},
+		{Support: []int64{1, math.MaxInt64}},
+		{Support: []int64{MaxN, MaxN, MaxN, MaxN}},
+	} {
+		if _, err := New(cfg, rng.New(1)); err == nil {
+			t.Errorf("case %d: New accepted a wrapped population sum", i)
+		}
+	}
+}

@@ -111,8 +111,8 @@ func a2Engine() Experiment {
 			if err != nil {
 				return err
 			}
-			agg := Collect(trials, p.Parallelism, p.Seed+83, func(i int, src *rng.Source) float64 {
-				t, _, err := consensusTime(cfg, src, 0, p.Kernel)
+			agg := CollectArena(trials, p.Parallelism, p.Seed+83, func(i int, src *rng.Source, a *Arena) float64 {
+				t, _, err := consensusTime(a, cfg, src, 0, p.Kernel)
 				if err != nil {
 					return math.NaN()
 				}

@@ -55,9 +55,9 @@ func x3Exact() Experiment {
 					t   float64
 					won bool
 				}
-				outs := Collect(trials, p.Parallelism, p.Seed+uint64(idx)*107,
-					func(i int, src *rng.Source) obs {
-						t, winner, err := consensusTime(cfg, src, 0, p.Kernel)
+				outs := CollectArena(trials, p.Parallelism, p.Seed+uint64(idx)*107,
+					func(i int, src *rng.Source, a *Arena) obs {
+						t, winner, err := consensusTime(a, cfg, src, 0, p.Kernel)
 						if err != nil {
 							return obs{t: math.NaN()}
 						}

@@ -40,8 +40,8 @@ func k1KernelAgreement() Experiment {
 				ok  bool
 			}
 			collect := func(cfg *conf.Config, kern core.Kernel, seedOff uint64) []trial {
-				return Collect(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source) trial {
-					r, err := runTracked(cfg, src, 0, 0, kern)
+				return CollectArena(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source, a *Arena) trial {
+					r, err := RunTracked(a, cfg, src, 0, 0, kern)
 					if err != nil || r.Result.Outcome != core.OutcomeConsensus {
 						return trial{}
 					}
@@ -188,8 +188,8 @@ func k2NScaling() Experiment {
 					won bool
 					ok  bool
 				}
-				outs := Collect(trials, p.Parallelism, p.Seed+uint64(n), func(i int, src *rng.Source) out {
-					t, winner, err := consensusTime(cfg, src, 0, core.KernelBatched(0))
+				outs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n), func(i int, src *rng.Source, a *Arena) out {
+					t, winner, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
 					if err != nil {
 						return out{}
 					}

@@ -35,8 +35,8 @@ func t1Phases() Experiment {
 					if err != nil {
 						return err
 					}
-					runs := Collect(trials, p.Parallelism, p.Seed+uint64(n)+uint64(k), func(i int, src *rng.Source) USDRun {
-						r, err := runTracked(cfg, src, 0, 0, p.Kernel)
+					runs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n)+uint64(k), func(i int, src *rng.Source, a *Arena) USDRun {
+						r, err := RunTracked(a, cfg, src, 0, 0, p.Kernel)
 						if err != nil {
 							return USDRun{}
 						}
@@ -134,8 +134,8 @@ func t6Phase1() Experiment {
 			measure := func(cfg *conf.Config, seedOff uint64) []obs {
 				x10 := cfg.Support[0]
 				bias0 := cfg.AdditiveBias()
-				return Collect(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source) obs {
-					s, err := core.New(cfg, src, core.WithKernel(p.Kernel))
+				return CollectArena(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source, a *Arena) obs {
+					s, err := a.Simulator(cfg, src, core.WithKernel(p.Kernel))
 					if err != nil {
 						return obs{}
 					}

@@ -18,8 +18,8 @@ func timeStats(p Params, seed uint64, cfg *conf.Config, trials int, budget int64
 		won bool
 		ok  bool
 	}
-	outs := Collect(trials, p.Parallelism, seed, func(i int, src *rng.Source) outcome {
-		t, winner, err := consensusTime(cfg, src, budget, p.Kernel)
+	outs := CollectArena(trials, p.Parallelism, seed, func(i int, src *rng.Source, a *Arena) outcome {
+		t, winner, err := consensusTime(a, cfg, src, budget, p.Kernel)
 		if err != nil {
 			return outcome{}
 		}
@@ -164,8 +164,8 @@ func t4NoBias() Experiment {
 				if err != nil {
 					return err
 				}
-				runs := Collect(trials, p.Parallelism, p.Seed+uint64(n)*41, func(i int, src *rng.Source) USDRun {
-					r, err := runTracked(cfg, src, 0, 0, p.Kernel)
+				runs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n)*41, func(i int, src *rng.Source, a *Arena) USDRun {
+					r, err := RunTracked(a, cfg, src, 0, 0, p.Kernel)
 					if err != nil {
 						return USDRun{}
 					}

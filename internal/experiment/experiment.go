@@ -92,6 +92,7 @@ func All() []Experiment {
 		x5UndecidedStart(),
 		k1KernelAgreement(),
 		k2NScaling(),
+		k3ManyOpinions(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

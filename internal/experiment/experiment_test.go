@@ -110,15 +110,15 @@ func TestConsensusTimeBudgetError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := consensusTime(cfg, rng.New(1), 10, core.KernelExact); err == nil {
+	if _, _, err := consensusTime(nil, cfg, rng.New(1), 10, core.KernelExact); err == nil {
 		t.Fatal("budget exhaustion not reported")
 	}
 }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -138,7 +138,7 @@ func TestRegistry(t *testing.T) {
 		"A1-skip", "A2-agent-vs-aggregate", "A3-self-interaction",
 		"X1-synchronized", "X2-large-k", "X3-exact-validation",
 		"X4-scheduler-robustness", "X5-undecided-start",
-		"K1-kernel-agreement", "K2-n-scaling",
+		"K1-kernel-agreement", "K2-n-scaling", "K3-many-opinions",
 	}
 	for _, id := range wantIDs {
 		if _, ok := Find(id); !ok {

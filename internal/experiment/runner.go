@@ -11,29 +11,112 @@ import (
 	"repro/internal/rng"
 )
 
-// Collect runs fn for every trial index in [0, trials) across a bounded
-// worker pool and returns the outputs in trial order. Each trial receives
-// an independent random stream derived deterministically from (seed, i), so
-// results do not depend on scheduling.
-func Collect[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source) T) []T {
-	if trials <= 0 {
-		return nil
+// The trial engine runs Monte-Carlo trials across a bounded worker pool.
+// Each worker owns an Arena — a simulator, a phase tracker, and a
+// randomness source that are re-seeded in place between trials — so
+// fleet-scale sweeps pay the allocation cost of core.New once per worker
+// instead of once per trial. Every trial draws its randomness from an
+// independent stream derived deterministically from (seed, index), and
+// core.Simulator.Reset re-initializes state exhaustively, so the outputs
+// are byte-identical at every parallelism level (see the determinism test).
+
+// Arena is the per-worker reusable state of the trial engine. Trial
+// callbacks may use its Simulator and Tracker helpers instead of core.New
+// and phase.NewTracker to run allocation-free after the first trial; the
+// zero value is ready to use. An Arena must not be shared between
+// goroutines.
+type Arena struct {
+	src     rng.Source
+	sim     *core.Simulator
+	tracker *phase.Tracker
+}
+
+// source re-seeds the arena's randomness source in place for trial i of the
+// stream family seed; the state is exactly rng.New(rng.Derive(seed, i)).
+func (a *Arena) source(seed uint64, i int) *rng.Source {
+	a.src.Reseed(rng.Derive(seed, uint64(i)))
+	return &a.src
+}
+
+// Simulator returns the arena's simulator re-initialized to configuration c
+// and source src with the given options applied. The first call constructs
+// it; later calls reuse its Fenwick tree and batch scratch via core.Reset,
+// re-applying the options, so trials may vary configuration and options
+// freely within one engine invocation.
+func (a *Arena) Simulator(c *conf.Config, src *rng.Source, opts ...core.Option) (*core.Simulator, error) {
+	if a.sim == nil {
+		sim, err := core.New(c, src, opts...)
+		if err != nil {
+			return nil, err
+		}
+		a.sim = sim
+		return sim, nil
 	}
+	if err := a.sim.Reset(c, src, opts...); err != nil {
+		return nil, err
+	}
+	return a.sim, nil
+}
+
+// Tracker returns the arena's phase tracker reset for a new run with the
+// given options applied, keeping only its allocated scratch across trials.
+func (a *Arena) Tracker(opts ...phase.Option) *phase.Tracker {
+	if a.tracker == nil {
+		a.tracker = phase.NewTracker(opts...)
+		return a.tracker
+	}
+	a.tracker.Reset(opts...)
+	return a.tracker
+}
+
+// clampParallelism resolves the worker count.
+func clampParallelism(trials, parallelism int) int {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > trials {
 		parallelism = trials
 	}
+	return parallelism
+}
+
+// Collect runs fn for every trial index in [0, trials) across the worker
+// pool and returns the outputs in trial order. Each trial receives an
+// independent random stream derived deterministically from (seed, i), so
+// results do not depend on scheduling or parallelism. The source is owned
+// by the engine and must not be retained past the callback.
+func Collect[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source) T) []T {
+	return CollectArena(trials, parallelism, seed, func(i int, src *rng.Source, _ *Arena) T {
+		return fn(i, src)
+	})
+}
+
+// CollectArena is Collect with access to the worker's Arena, so trial
+// bodies can reuse the worker's simulator and tracker across trials. The
+// arena (and everything obtained from it) must not be retained past the
+// callback.
+func CollectArena[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source, a *Arena) T) []T {
+	if trials <= 0 {
+		return nil
+	}
+	parallelism = clampParallelism(trials, parallelism)
 	out := make([]T, trials)
+	if parallelism == 1 {
+		var a Arena
+		for i := 0; i < trials; i++ {
+			out[i] = fn(i, a.source(seed, i), &a)
+		}
+		return out
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var a Arena
 			for i := range next {
-				out[i] = fn(i, rng.New(rng.Derive(seed, uint64(i))))
+				out[i] = fn(i, a.source(seed, i), &a)
 			}
 		}()
 	}
@@ -43,6 +126,75 @@ func Collect[T any](trials, parallelism int, seed uint64, fn func(i int, src *rn
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// Stream runs fn for every trial index in [0, trials) across the worker
+// pool and delivers each output to sink exactly once, in trial-index order,
+// on the calling goroutine. Unlike Collect it never materializes the full
+// result slice: at most O(parallelism) outputs are in flight (a trial is
+// dispatched only after trial i−window has been consumed), so million-trial
+// sweeps can fold into online aggregators (stats.Online, stats.P2) in
+// constant memory. In-order delivery makes order-sensitive floating-point
+// aggregation byte-identical at every parallelism level.
+func Stream[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source, a *Arena) T, sink func(i int, v T)) {
+	if trials <= 0 {
+		return
+	}
+	parallelism = clampParallelism(trials, parallelism)
+	if parallelism == 1 {
+		var a Arena
+		for i := 0; i < trials; i++ {
+			sink(i, fn(i, a.source(seed, i), &a))
+		}
+		return
+	}
+
+	type slot struct {
+		i int
+		v T
+	}
+	// The dispatch window caps how far ahead of the sink trials may run,
+	// bounding both the reorder buffer and the number of buffered results.
+	window := parallelism * 4
+	tickets := make(chan struct{}, window)
+	next := make(chan int)
+	results := make(chan slot, window)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a Arena
+			for i := range next {
+				results <- slot{i, fn(i, a.source(seed, i), &a)}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < trials; i++ {
+			tickets <- struct{}{}
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]T, window)
+	done := 0
+	for s := range results {
+		pending[s.i] = s.v
+		for {
+			v, ok := pending[done]
+			if !ok {
+				break
+			}
+			delete(pending, done)
+			sink(done, v)
+			done++
+			<-tickets
+		}
+	}
 }
 
 // USDRun is the outcome of one tracked USD run.
@@ -55,21 +207,32 @@ type USDRun struct {
 	InitialLeader int
 }
 
-// runTracked simulates the USD from c to consensus (or budget) with phase
-// tracking under the given stepping kernel. checkEvery controls how often
-// the O(k) phase conditions are evaluated; 0 picks a resolution-preserving
-// default — per-interval for the exact kernel, per-window for a batched
-// kernel (whose observations already cover many events each).
-func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
+// RunTracked simulates the USD from c to consensus (or budget) with phase
+// tracking under the given stepping kernel, reusing the arena's simulator
+// and tracker when a is non-nil (pass the *Arena handed to a CollectArena
+// or Stream callback; nil allocates fresh state). checkEvery controls how
+// often the O(k) phase conditions are evaluated; 0 picks a
+// resolution-preserving default — per-interval for the exact kernel,
+// per-window for a batched kernel (whose observations already cover many
+// events each).
+func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
 	if checkEvery <= 0 {
 		checkEvery = phase.CheckIntervalFor(c.N(), kern)
 	}
 	leader, _ := c.Max()
-	s, err := core.New(c, src, core.WithKernel(kern))
+	var s *core.Simulator
+	var tr *phase.Tracker
+	var err error
+	if a != nil {
+		s, err = a.Simulator(c, src, core.WithKernel(kern))
+		tr = a.Tracker(phase.WithCheckInterval(checkEvery))
+	} else {
+		s, err = core.New(c, src, core.WithKernel(kern))
+		tr = phase.NewTracker(phase.WithCheckInterval(checkEvery))
+	}
 	if err != nil {
 		return USDRun{}, err
 	}
-	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
 	tr.ObserveNow(s)
 	res := s.RunWatched(budget, tr)
 	// Force a final check so interval skipping cannot miss phase ends that
@@ -78,10 +241,23 @@ func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int, k
 	return USDRun{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
 }
 
-// consensusTime runs the USD from c to consensus under the given kernel and
-// returns the interaction count. It fails if the budget is exhausted first.
-func consensusTime(c *conf.Config, src *rng.Source, budget int64, kern core.Kernel) (int64, int, error) {
-	s, err := core.New(c, src, core.WithKernel(kern))
+// runTracked is RunTracked without an arena, kept for call sites outside
+// the trial engine.
+func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
+	return RunTracked(nil, c, src, budget, checkEvery, kern)
+}
+
+// consensusTime runs the USD from c to consensus under the given kernel,
+// reusing the arena's simulator when a is non-nil, and returns the
+// interaction count and winner. It fails if the budget is exhausted first.
+func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget int64, kern core.Kernel) (int64, int, error) {
+	var s *core.Simulator
+	var err error
+	if a != nil {
+		s, err = a.Simulator(c, src, core.WithKernel(kern))
+	} else {
+		s, err = core.New(c, src, core.WithKernel(kern))
+	}
 	if err != nil {
 		return 0, -1, err
 	}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// renderRuns serializes tracked-run outputs byte-for-byte, so the
+// determinism tests below compare complete trial outcomes, not summaries.
+func renderRuns(runs []USDRun) []byte {
+	var b bytes.Buffer
+	for i, r := range runs {
+		fmt.Fprintf(&b, "%d %+v %+v %d\n", i, r.Result, r.Phases, r.InitialLeader)
+	}
+	return b.Bytes()
+}
+
+// TestCollectByteIdenticalAcrossParallelism is the arena-safety contract:
+// with a fixed seed, Collect output must be byte-identical at parallelism
+// 1, 4, and GOMAXPROCS, for both kernels. Any state leaking between trials
+// through a reused simulator, tracker, or source would break this.
+func TestCollectByteIdenticalAcrossParallelism(t *testing.T) {
+	cfg, err := conf.Uniform(2000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, kern := range []core.Kernel{core.KernelExact, core.KernelBatched(0)} {
+		var want []byte
+		for _, par := range levels {
+			runs := CollectArena(60, par, 99, func(i int, src *rng.Source, a *Arena) USDRun {
+				r, err := RunTracked(a, cfg, src, 0, 0, kern)
+				if err != nil {
+					t.Errorf("trial %d: %v", i, err)
+				}
+				return r
+			})
+			got := renderRuns(runs)
+			if want == nil {
+				want = got
+			} else if !bytes.Equal(got, want) {
+				t.Fatalf("kernel %v: parallelism %d diverged from parallelism %d\n%s\nvs\n%s",
+					kern, par, levels[0], got[:200], want[:200])
+			}
+		}
+	}
+}
+
+// TestArenaReuseMatchesFreshAllocation pins Collect's arena path to the
+// no-arena path: reusing a worker's simulator and tracker must be
+// observationally identical to allocating per trial.
+func TestArenaReuseMatchesFreshAllocation(t *testing.T) {
+	cfg, err := conf.WithAdditiveBias(3000, 6, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range []core.Kernel{core.KernelExact, core.KernelBatched(0)} {
+		reused := CollectArena(40, 1, 7, func(i int, src *rng.Source, a *Arena) USDRun {
+			r, err := RunTracked(a, cfg, src, 0, 0, kern)
+			if err != nil {
+				t.Errorf("trial %d: %v", i, err)
+			}
+			return r
+		})
+		fresh := Collect(40, 1, 7, func(i int, src *rng.Source) USDRun {
+			r, err := RunTracked(nil, cfg, src, 0, 0, kern)
+			if err != nil {
+				t.Errorf("trial %d: %v", i, err)
+			}
+			return r
+		})
+		if !bytes.Equal(renderRuns(reused), renderRuns(fresh)) {
+			t.Fatalf("kernel %v: arena reuse changed trial outcomes", kern)
+		}
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		var got []int
+		Stream(200, par, 1, func(i int, src *rng.Source, _ *Arena) int {
+			return i
+		}, func(i int, v int) {
+			if i != v {
+				t.Fatalf("sink got (%d, %d)", i, v)
+			}
+			got = append(got, v)
+		})
+		if len(got) != 200 {
+			t.Fatalf("parallelism %d: %d deliveries, want 200", par, len(got))
+		}
+		for i, v := range got {
+			if i != v {
+				t.Fatalf("parallelism %d: out-of-order delivery at %d: %d", par, i, v)
+			}
+		}
+	}
+}
+
+// TestStreamAggregationByteIdentical checks that order-sensitive streamed
+// aggregation (Welford mean/variance and a P² sketch) is bit-identical
+// across parallelism levels — the property that lets streamed sweeps
+// replace slice-collecting ones without changing any reported number.
+func TestStreamAggregationByteIdentical(t *testing.T) {
+	run := func(par int) string {
+		var o stats.Online
+		med := stats.NewP2(0.5)
+		Stream(500, par, 3, func(i int, src *rng.Source, _ *Arena) float64 {
+			return src.Normal()*10 + float64(i%7)
+		}, func(_ int, v float64) {
+			o.Add(v)
+			med.Add(v)
+		})
+		return fmt.Sprintf("%v %v %v %v %v", o.N(), o.Mean(), o.Var(), o.Min(), med.Value())
+	}
+	want := run(1)
+	for _, par := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := run(par); got != want {
+			t.Fatalf("parallelism %d: %s != %s", par, got, want)
+		}
+	}
+}
+
+func TestStreamBoundedInFlight(t *testing.T) {
+	const par = 4
+	var inFlight, maxSeen atomic.Int64
+	Stream(300, par, 1, func(i int, src *rng.Source, _ *Arena) int {
+		n := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		return i
+	}, func(i int, v int) {
+		inFlight.Add(-1)
+	})
+	// The dispatch window is parallelism*4; anything wildly beyond it means
+	// the engine materialized unconsumed results.
+	if maxSeen.Load() > par*4+par {
+		t.Fatalf("max in-flight %d exceeds dispatch window", maxSeen.Load())
+	}
+}
+
+func TestStreamEdgeCases(t *testing.T) {
+	calls := 0
+	Stream(0, 4, 1, func(i int, src *rng.Source, _ *Arena) int { return i },
+		func(int, int) { calls++ })
+	if calls != 0 {
+		t.Fatal("zero trials must not call sink")
+	}
+	Stream(3, 100, 1, func(i int, src *rng.Source, _ *Arena) int { return i },
+		func(int, int) { calls++ })
+	if calls != 3 {
+		t.Fatalf("delivered %d, want 3", calls)
+	}
+}
+
+func TestArenaSimulatorAcrossConfigs(t *testing.T) {
+	// One arena must survive trials over configurations with different
+	// opinion counts (the tree is rebuilt) and still match fresh state.
+	small, _ := conf.Uniform(500, 2, 0)
+	large, _ := conf.Uniform(500, 10, 0)
+	var a Arena
+	for trial, cfg := range []*conf.Config{small, large, small} {
+		seed := uint64(trial)
+		s, err := a.Simulator(cfg, rng.New(seed), core.WithKernel(core.KernelExact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := core.New(cfg, rng.New(seed), core.WithKernel(core.KernelExact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.Run(0), fresh.Run(0); got != want {
+			t.Fatalf("trial %d: arena %+v != fresh %+v", trial, got, want)
+		}
+	}
+}

@@ -152,6 +152,21 @@ func NewTracker(opts ...Option) *Tracker {
 // Times returns the phase end times recorded so far.
 func (tr *Tracker) Times() Times { return tr.times }
 
+// Reset rewinds the tracker to the freshly constructed state, keeping the
+// supports scratch buffer, so trial engines can reuse one tracker across
+// many runs without allocating. Options given here are re-applied after the
+// rewind; the existing configuration (alpha, check interval) is kept when
+// none are given. A Reset tracker is indistinguishable from a new one with
+// the same options.
+func (tr *Tracker) Reset(opts ...Option) {
+	tr.seen = 0
+	tr.next = 0
+	tr.times = NewTimes()
+	for _, opt := range opts {
+		opt(tr)
+	}
+}
+
 // Done reports whether all five phases have ended.
 func (tr *Tracker) Done() bool { return tr.next >= Count }
 

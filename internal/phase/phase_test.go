@@ -272,3 +272,40 @@ func TestCheckIntervalFor(t *testing.T) {
 		t.Fatalf("exact interval = %d, want %d", got, want)
 	}
 }
+
+func TestTrackerReset(t *testing.T) {
+	v := &fakeView{n: 100, u: 60, xs: []int64{30, 10}, t: 0}
+	tr := NewTracker(WithAlpha(2), WithCheckInterval(3))
+	fresh := NewTracker(WithAlpha(2), WithCheckInterval(3))
+
+	// Dirty the tracker: walk it to full consensus so every phase ends.
+	tr.ObserveNow(v)
+	v.xs = []int64{100, 0}
+	v.u = 0
+	v.t = 500
+	tr.ObserveNow(v)
+	if !tr.Done() {
+		t.Fatalf("setup: tracker not done: %+v", tr.Times())
+	}
+
+	tr.Reset()
+	if tr.Done() || tr.Times() != NewTimes() {
+		t.Fatalf("Reset left state behind: %+v", tr.Times())
+	}
+	// A Reset tracker must behave exactly like a fresh one with the same
+	// options, including interval skipping driven by the observation count:
+	// the phase-1 condition holds from the start, so both must stamp End[0]
+	// at the first *checked* observation.
+	v2 := &fakeView{n: 100, u: 60, xs: []int64{30, 10}}
+	for i := 0; i < 10; i++ {
+		v2.t = int64(i + 1)
+		tr.Observe(v2)
+		fresh.Observe(v2)
+		if tr.Times() != fresh.Times() {
+			t.Fatalf("observation %d: reset %+v != fresh %+v", i, tr.Times(), fresh.Times())
+		}
+	}
+	if !tr.Times().Reached(1) {
+		t.Fatal("phase 1 never detected after Reset")
+	}
+}

@@ -46,11 +46,19 @@ type Source struct {
 // Every seed, including zero, yields a valid non-degenerate state.
 func New(seed uint64) *Source {
 	var src Source
-	sm := seed
-	for i := range src.s {
-		src.s[i] = SplitMix64(&sm)
-	}
+	src.Reseed(seed)
 	return &src
+}
+
+// Reseed resets the source in place to the exact state New(seed) would
+// produce, without allocating. Trial engines that reuse one Source per
+// worker reseed it with a per-trial derived seed, so results are identical
+// to fresh per-trial New calls.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
 }
 
 // NewFromState returns a Source with exactly the given xoshiro256** state.
@@ -309,9 +317,12 @@ func (r *Source) NegativeBinomial(m int64, p float64) int64 {
 	case p >= 1:
 		return m
 	case m <= nbExactLimit:
+		// Each Geometric is capped at 2^56, but nbExactLimit of them can
+		// still sum past MaxInt64 for extreme p, so accumulate saturating —
+		// the documented clamp — instead of wrapping negative.
 		var total int64
 		for i := int64(0); i < m; i++ {
-			total += r.Geometric(p)
+			total = satAddInt64(total, r.Geometric(p))
 		}
 		return total
 	default:
@@ -330,6 +341,14 @@ func (r *Source) NegativeBinomial(m int64, p float64) int64 {
 		}
 		return int64(t)
 	}
+}
+
+// satAddInt64 returns a+b clamped to MaxInt64 for non-negative a and b.
+func satAddInt64(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
 }
 
 // Multinomial samples category counts (c₀, …, c_{k−1}) distributed

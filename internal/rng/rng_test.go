@@ -432,6 +432,38 @@ func TestNegativeBinomialClampNeverNegative(t *testing.T) {
 	}
 }
 
+func TestNegativeBinomialExactPathSaturates(t *testing.T) {
+	// The exact path (m <= 256) sums Geometric draws that individually cap
+	// at 2^56; with p small enough that most draws hit the cap, the running
+	// sum crosses MaxInt64 and must saturate there instead of wrapping.
+	src := New(3)
+	for i := 0; i < 20; i++ {
+		got := src.NegativeBinomial(256, 1e-18)
+		if got < 256 {
+			t.Fatalf("NegativeBinomial(256, 1e-18) = %d, wrapped negative or below m", got)
+		}
+	}
+	// With p this extreme every draw caps, so the sum deterministically
+	// saturates regardless of the stream.
+	if got := src.NegativeBinomial(256, 1e-300); got != math.MaxInt64 {
+		t.Fatalf("NegativeBinomial(256, 1e-300) = %d, want MaxInt64 saturation", got)
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		fresh := New(seed)
+		reused := New(seed ^ 0xdeadbeef)
+		reused.Uint64() // desynchronize before reseeding
+		reused.Reseed(seed)
+		for i := 0; i < 100; i++ {
+			if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("seed %d output %d: Reseed diverged from New (%d vs %d)", seed, i, a, b)
+			}
+		}
+	}
+}
+
 func TestMultinomialGoodnessOfFit(t *testing.T) {
 	// Pooled totals over many draws are Multinomial(trials·m, p), so a
 	// chi-square of the totals against the weight proportions checks the

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Online accumulates mean, variance, and extrema of a stream one value at a
+// time (Welford's algorithm), so million-trial sweeps can be summarized
+// without holding the samples. The zero value is an empty accumulator.
+//
+// Welford's update is sequential and order-sensitive in its floating-point
+// rounding; the trial engine therefore feeds aggregators in trial-index
+// order regardless of parallelism, keeping streamed summaries byte-stable.
+type Online struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		o.min = math.Min(o.min, x)
+		o.max = math.Max(o.max, x)
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the sample variance (n−1 denominator; 0 for n < 2).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest sample (0 for an empty accumulator).
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.min
+}
+
+// Max returns the largest sample (0 for an empty accumulator).
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.max
+}
+
+// P2 estimates a single quantile of a stream in O(1) memory with the P²
+// algorithm of Jain & Chlamtac (CACM 1985): five markers track the minimum,
+// the maximum, the target quantile, and the two midpoints, and each
+// observation nudges the interior markers toward their desired positions
+// with a piecewise-parabolic height update. The first five samples are
+// stored exactly, so small streams return exact quantiles. Construct with
+// NewP2.
+type P2 struct {
+	q    float64
+	h    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions, 1-based
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+	n    int64
+}
+
+// NewP2 returns a P² estimator of the q-quantile, 0 <= q <= 1.
+func NewP2(q float64) *P2 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: NewP2 called with quantile outside [0, 1]")
+	}
+	return &P2{
+		q:   q,
+		inc: [5]float64{0, q / 2, q, (1 + q) / 2, 1},
+	}
+}
+
+// Quantile returns the quantile the estimator tracks.
+func (p *P2) Quantile() float64 { return p.q }
+
+// N returns the number of samples seen.
+func (p *P2) N() int64 { return p.n }
+
+// Add folds one sample into the estimator.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		// Insertion-sort the first five samples into the marker heights.
+		i := int(p.n)
+		for i > 0 && p.h[i-1] > x {
+			p.h[i] = p.h[i-1]
+			i--
+		}
+		p.h[i] = x
+		p.n++
+		if p.n == 5 {
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+	p.n++
+
+	// Locate the marker cell containing x, extending the extremes.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.h[i-1] < h && h < p.h[i+1] {
+				p.h[i] = h
+			} else {
+				p.h[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i one position in direction d (±1).
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.h[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabolic one would
+// break marker monotonicity.
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.h[i] + d*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five samples
+// it is the exact quantile of what has been seen; an empty estimator
+// returns NaN.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if p.n < 5 {
+		sorted := append([]float64(nil), p.h[:p.n]...)
+		sort.Float64s(sorted)
+		return quantileSorted(sorted, p.q)
+	}
+	switch p.q {
+	case 0:
+		return p.h[0] // the minimum marker is tracked exactly
+	case 1:
+		return p.h[4] // as is the maximum
+	default:
+		return p.h[2]
+	}
+}
