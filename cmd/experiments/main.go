@@ -5,9 +5,15 @@
 //	experiments -list
 //	experiments -run T1-phases,F3-majority-threshold
 //	experiments -all -quick
+//	experiments -run K4-lower-bound -maxtrials 32 -rel 0.03
+//	experiments -run K3-many-opinions -adaptive
 //
 // Every experiment is deterministic given -seed; see DESIGN.md for the
-// experiment index mapping IDs to paper artifacts.
+// experiment index mapping IDs to paper artifacts. -adaptive switches
+// experiments that support it (K3) to sequential stopping: each cell keeps
+// sampling until the consensus-time confidence interval closes below -rel,
+// up to -maxtrials. K4-lower-bound is adaptive by construction and reads
+// -rel/-maxtrials directly.
 package main
 
 import (
@@ -30,15 +36,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		runIDs  = fs.String("run", "", "comma-separated experiment IDs to run")
-		all     = fs.Bool("all", false, "run every experiment")
-		quick   = fs.Bool("quick", false, "smaller grids and trial counts")
-		seed    = fs.Uint64("seed", 1, "base random seed")
-		trials  = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
-		workers = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
-		kernel  = fs.String("kernel", "exact", "stepping kernel for USD runs: exact or batched")
-		tol     = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		runIDs   = fs.String("run", "", "comma-separated experiment IDs to run")
+		all      = fs.Bool("all", false, "run every experiment")
+		quick    = fs.Bool("quick", false, "smaller grids and trial counts")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		trials   = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
+		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		kernel   = fs.String("kernel", "exact", "stepping kernel for USD runs: exact or batched")
+		tol      = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		adaptive = fs.Bool("adaptive", false, "adaptive trial counts where supported (K3): stop each cell once its CI closes")
+		rel      = fs.Float64("rel", 0, "adaptive stopping target: relative CI half-width (0 = default 0.05)")
+		maxTri   = fs.Int("maxtrials", 0, "adaptive per-cell trial cap (0 = experiment default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +55,12 @@ func run(args []string) error {
 	kern, err := core.ParseKernel(*kernel, *tol)
 	if err != nil {
 		return err
+	}
+	if *rel < 0 || *rel >= 1 {
+		return fmt.Errorf("-rel %v out of range [0, 1)", *rel)
+	}
+	if *maxTri < 0 {
+		return fmt.Errorf("-maxtrials %d must be non-negative", *maxTri)
 	}
 
 	if *list {
@@ -62,6 +77,9 @@ func run(args []string) error {
 		Trials:      *trials,
 		Parallelism: *workers,
 		Kernel:      kern,
+		Adaptive:    *adaptive,
+		RelWidth:    *rel,
+		MaxTrials:   *maxTri,
 	}
 
 	if *all || *runIDs == "" {

@@ -57,3 +57,30 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestAdaptiveFlagValidation(t *testing.T) {
+	if err := silence(t, func() error {
+		return run([]string{"-run", "K3-many-opinions", "-rel", "2"})
+	}); err == nil || !strings.Contains(err.Error(), "-rel") {
+		t.Fatalf("out-of-range -rel accepted: %v", err)
+	}
+	if err := silence(t, func() error {
+		return run([]string{"-run", "K3-many-opinions", "-maxtrials", "-1"})
+	}); err == nil || !strings.Contains(err.Error(), "-maxtrials") {
+		t.Fatalf("negative -maxtrials accepted: %v", err)
+	}
+}
+
+// TestRunK4Adaptive exercises the lower-bound experiment end to end through
+// the CLI, with the adaptive knobs it reads.
+func TestRunK4Adaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K4 quick cells are seconds-scale; skipped in -short mode")
+	}
+	err := silence(t, func() error {
+		return run([]string{"-run", "K4-lower-bound", "-quick", "-maxtrials", "3", "-rel", "0.3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

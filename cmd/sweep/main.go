@@ -10,6 +10,7 @@
 //	sweep -param n -values 1e7,1e8,1e9 -k 32 -kernel batched
 //	sweep -param n -values 1e6,1e8,1e9 -keps 0.25 -kernel batched
 //	sweep -param eps -values 0.1,0.25,0.5 -n 1e6 -kernel batched
+//	sweep -param n -values 2.2e9,2.6e9,3e9 -k 512 -kernel batched -adaptive -rel 0.03
 //
 // -kernel batched selects the bulk stepping kernel for large-n sweeps; it
 // trades a bounded per-rate drift (-tol, default 0.05) for orders of
@@ -17,7 +18,11 @@
 // al.) is swept either by -param eps (ε varies at fixed n) or by -param n
 // with -keps (n varies, k = n^ε follows). Trials run on the shared-arena
 // trial engine; -parallelism bounds the workers and results are identical
-// at every parallelism level.
+// at every parallelism level. -adaptive replaces the fixed -trials count
+// with sequential stopping: each point keeps sampling until the 95%
+// consensus-time confidence interval has relative half-width below -rel,
+// capped at -maxtrials — billion-agent points where trials cost seconds
+// then spend exactly as many trials as their variance demands.
 package main
 
 import (
@@ -45,18 +50,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		param   = fs.String("param", "n", "swept parameter: n, k, bias (additive), mult (ratio), or eps (k = n^eps)")
-		values  = fs.String("values", "", "comma-separated values for the swept parameter")
-		nFlag   = fs.String("n", "16384", "population size, integer or scientific like 1e9 (fixed unless swept)")
-		k       = fs.Int("k", 8, "number of opinions (fixed unless swept or derived via -keps)")
-		keps    = fs.Float64("keps", 0, "with -param n: derive k = n^keps per point (0 = use -k)")
-		u0      = fs.Int64("u0", 0, "initially undecided agents")
-		trials  = fs.Int("trials", 10, "trials per sweep point")
-		seed    = fs.Uint64("seed", 1, "base random seed")
-		workers = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
-		asCSV   = fs.Bool("csv", false, "emit CSV instead of a table")
-		kernel  = fs.String("kernel", "exact", "stepping kernel: exact or batched")
-		tol     = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		param    = fs.String("param", "n", "swept parameter: n, k, bias (additive), mult (ratio), or eps (k = n^eps)")
+		values   = fs.String("values", "", "comma-separated values for the swept parameter")
+		nFlag    = fs.String("n", "16384", "population size, integer or scientific like 1e9 (fixed unless swept)")
+		k        = fs.Int("k", 8, "number of opinions (fixed unless swept or derived via -keps)")
+		keps     = fs.Float64("keps", 0, "with -param n: derive k = n^keps per point (0 = use -k)")
+		u0       = fs.Int64("u0", 0, "initially undecided agents")
+		trials   = fs.Int("trials", 10, "trials per sweep point")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		asCSV    = fs.Bool("csv", false, "emit CSV instead of a table")
+		kernel   = fs.String("kernel", "exact", "stepping kernel: exact or batched")
+		tol      = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		adaptive = fs.Bool("adaptive", false, "adaptive trial counts: stop each point once the consensus-time CI closes")
+		rel      = fs.Float64("rel", 0.05, "adaptive stopping target: relative CI half-width")
+		maxTri   = fs.Int("maxtrials", 0, "adaptive per-point trial cap (0 = 4x -trials)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +72,16 @@ func run(args []string) error {
 	kern, err := core.ParseKernel(*kernel, *tol)
 	if err != nil {
 		return err
+	}
+	if *rel <= 0 || *rel >= 1 {
+		return fmt.Errorf("-rel %v out of range (0, 1)", *rel)
+	}
+	if *maxTri < 0 {
+		return fmt.Errorf("-maxtrials %d must be non-negative", *maxTri)
+	}
+	adaptiveCap := *maxTri
+	if adaptiveCap == 0 {
+		adaptiveCap = 4 * *trials
 	}
 	n, err := parseCount(*nFlag)
 	if err != nil {
@@ -83,6 +101,7 @@ func run(args []string) error {
 	type row struct {
 		value        string
 		k            int
+		trials       int
 		mean, median float64
 		std          float64
 		parallel     float64
@@ -100,30 +119,59 @@ func run(args []string) error {
 			won  bool
 			fail string
 		}
-		outs := experiment.CollectArena(*trials, *workers, *seed+uint64(vi)*1_000_003,
-			func(i int, src *rng.Source, a *experiment.Arena) out {
-				report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
-				if err != nil {
-					return out{fail: err.Error()}
-				}
-				if report.Result.Outcome != usd.OutcomeConsensus {
-					return out{fail: report.Result.Outcome.String()}
-				}
-				return out{
-					t:   float64(report.Result.Interactions),
-					won: report.Result.Winner == report.InitialLeader,
-				}
-			})
+		trial := func(i int, src *rng.Source, a *experiment.Arena) out {
+			report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
+			if err != nil {
+				return out{fail: err.Error()}
+			}
+			if report.Result.Outcome != usd.OutcomeConsensus {
+				return out{fail: report.Result.Outcome.String()}
+			}
+			return out{
+				t:   float64(report.Result.Interactions),
+				won: report.Result.Winner == report.InitialLeader,
+			}
+		}
+		seed := *seed + uint64(vi)*1_000_003
 		var times []float64
 		wins := 0
-		for i, o := range outs {
+		firstFail := ""
+		fold := func(i int, o out) {
 			if o.fail != "" {
-				return fmt.Errorf("value %s trial %d: %s", vs, i, o.fail)
+				if firstFail == "" {
+					firstFail = fmt.Sprintf("value %s trial %d: %s", vs, i, o.fail)
+				}
+				return
 			}
 			times = append(times, o.t)
 			if o.won {
 				wins++
 			}
+		}
+		if *adaptive {
+			// Sequential stopping: keep sampling this point until the
+			// consensus-time CI closes below -rel or the cap is hit. The
+			// win-rate estimate simply uses however many trials that took.
+			metric := experiment.NewAdaptiveMetric("consensus T",
+				experiment.ConsensusRule(*rel, adaptiveCap))
+			experiment.StreamAdaptive(
+				experiment.AdaptiveOptions{MaxTrials: adaptiveCap, Parallelism: *workers, Seed: seed},
+				trial,
+				func(i int, o out) {
+					fold(i, o)
+					if o.fail == "" {
+						metric.Add(o.t)
+					}
+				},
+				experiment.StopWhenAll(metric))
+		} else {
+			outs := experiment.CollectArena(*trials, *workers, seed, trial)
+			for i, o := range outs {
+				fold(i, o)
+			}
+		}
+		if firstFail != "" {
+			return fmt.Errorf("%s", firstFail)
 		}
 		s, err := stats.Summarize(times)
 		if err != nil {
@@ -132,27 +180,32 @@ func run(args []string) error {
 		rows = append(rows, row{
 			value:    vs,
 			k:        cfg.K(),
+			trials:   len(times),
 			mean:     s.Mean,
 			median:   s.Median,
 			std:      s.Std,
 			parallel: s.Mean / float64(cfg.N()),
-			winRate:  float64(wins) / float64(*trials),
+			winRate:  float64(wins) / float64(len(times)),
 		})
 	}
 
 	if *asCSV {
-		fmt.Println("value,k,mean_interactions,median,std,parallel_time,initial_leader_win_rate")
+		fmt.Println("value,k,trials,mean_interactions,median,std,parallel_time,initial_leader_win_rate")
 		for _, r := range rows {
-			fmt.Printf("%s,%d,%g,%g,%g,%g,%g\n", r.value, r.k, r.mean, r.median, r.std, r.parallel, r.winRate)
+			fmt.Printf("%s,%d,%d,%g,%g,%g,%g,%g\n", r.value, r.k, r.trials, r.mean, r.median, r.std, r.parallel, r.winRate)
 		}
 		return nil
 	}
-	fmt.Printf("sweep over %s (%d trials per point):\n\n", *param, *trials)
-	fmt.Printf("%-10s %-6s %-14s %-14s %-12s %-14s %s\n",
-		*param, "k", "mean T", "median", "std", "parallel time", "leader wins")
+	if *adaptive {
+		fmt.Printf("sweep over %s (adaptive trials, ±%.0f%% CI, cap %d per point):\n\n", *param, 100**rel, adaptiveCap)
+	} else {
+		fmt.Printf("sweep over %s (%d trials per point):\n\n", *param, *trials)
+	}
+	fmt.Printf("%-10s %-6s %-8s %-14s %-14s %-12s %-14s %s\n",
+		*param, "k", "trials", "mean T", "median", "std", "parallel time", "leader wins")
 	for _, r := range rows {
-		fmt.Printf("%-10s %-6d %-14.6g %-14.6g %-12.4g %-14.4g %.0f%%\n",
-			r.value, r.k, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
+		fmt.Printf("%-10s %-6d %-8d %-14.6g %-14.6g %-12.4g %-14.4g %.0f%%\n",
+			r.value, r.k, r.trials, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
 	}
 	return nil
 }

@@ -135,6 +135,39 @@ func TestSweepKepsValidation(t *testing.T) {
 	}
 }
 
+func TestSweepAdaptive(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2,4", "-n", "1024",
+			"-adaptive", "-rel", "0.2", "-maxtrials", "12", "-kernel", "batched"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAdaptiveCSV(t *testing.T) {
+	err := silence(t, func() error {
+		return run([]string{"-param", "n", "-values", "512,1024", "-k", "2",
+			"-adaptive", "-rel", "0.25", "-trials", "3", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAdaptiveValidation(t *testing.T) {
+	if err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2", "-adaptive", "-rel", "1.5"})
+	}); err == nil || !strings.Contains(err.Error(), "-rel") {
+		t.Fatalf("out-of-range -rel accepted: %v", err)
+	}
+	if err := silence(t, func() error {
+		return run([]string{"-param", "k", "-values", "2", "-adaptive", "-maxtrials", "-3"})
+	}); err == nil || !strings.Contains(err.Error(), "-maxtrials") {
+		t.Fatalf("negative -maxtrials accepted: %v", err)
+	}
+}
+
 func TestSweepParallelismFlag(t *testing.T) {
 	err := silence(t, func() error {
 		return run([]string{"-param", "k", "-values", "2,4", "-n", "1024", "-trials", "4", "-parallelism", "2"})

@@ -49,5 +49,6 @@
 //
 // See README.md for the repository-level tour: quickstart, the batched
 // kernel's accuracy contract, the experiment catalog (including the
-// K1–K3 kernel experiments), and the cmd/bench perf-trajectory workflow.
+// K1–K4 kernel experiments), the adaptive sequential-stopping trial
+// engine, and the cmd/bench perf-trajectory workflow.
 package usd

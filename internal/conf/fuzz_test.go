@@ -1,0 +1,89 @@
+package conf
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzValidate decodes an arbitrary byte string into a configuration and
+// checks Validate's contract from both sides: it must never panic, and
+// whenever it accepts, every derived quantity must actually be well-formed —
+// in particular the population sum must be positive and ≤ MaxN with no int64
+// wrap hiding inside it (the exact bug class PR 2 fixed for adversarial
+// support vectors). The seed corpus pins the boundary cases the unit tests
+// already know about; `go test -fuzz=FuzzValidate` explores from there.
+func FuzzValidate(f *testing.F) {
+	encode := func(undecided int64, support ...int64) []byte {
+		data := make([]byte, 8*(len(support)+1))
+		binary.LittleEndian.PutUint64(data, uint64(undecided))
+		for i, s := range support {
+			binary.LittleEndian.PutUint64(data[8*(i+1):], uint64(s))
+		}
+		return data
+	}
+	f.Add(encode(0))                    // no opinions
+	f.Add(encode(0, 1, 2, 3))           // plain valid
+	f.Add(encode(MaxN, 1))              // sum just past MaxN
+	f.Add(encode(0, MaxN, MaxN, MaxN))  // would wrap without the running cap
+	f.Add(encode(0, math.MaxInt64, 10)) // single count past MaxN
+	f.Add(encode(-1, 5))                // negative undecided
+	f.Add(encode(0, -3))                // negative support
+	f.Add(encode(3, MaxN-3))            // exactly MaxN
+	f.Add(encode(0, math.MinInt64, 1))  // most-negative count
+	f.Add(encode(math.MaxInt64, 1, 1))  // huge undecided
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		undecided := int64(binary.LittleEndian.Uint64(data))
+		rest := data[8:]
+		support := make([]int64, 0, len(rest)/8)
+		for len(rest) >= 8 && len(support) < 64 {
+			support = append(support, int64(binary.LittleEndian.Uint64(rest)))
+			rest = rest[8:]
+		}
+		c := &Config{Support: support, Undecided: undecided}
+		if err := c.Validate(); err != nil {
+			return
+		}
+		// Accepted configurations must satisfy every invariant the
+		// simulators rely on.
+		if len(c.Support) == 0 {
+			t.Fatal("Validate accepted a configuration with no opinions")
+		}
+		if c.Undecided < 0 {
+			t.Fatalf("Validate accepted undecided = %d", c.Undecided)
+		}
+		var sum int64
+		for i, x := range c.Support {
+			if x < 0 {
+				t.Fatalf("Validate accepted support[%d] = %d", i, x)
+			}
+			sum += x // cannot wrap: each addend and the total are ≤ MaxN
+		}
+		n := c.N()
+		if n != sum+c.Undecided {
+			t.Fatalf("N() = %d, want %d", n, sum+c.Undecided)
+		}
+		if n <= 0 || n > MaxN {
+			t.Fatalf("Validate accepted population %d outside (0, MaxN]", n)
+		}
+		// Derived views must agree with each other on accepted inputs.
+		if got := c.Decided() + c.Undecided; got != n {
+			t.Fatalf("Decided()+Undecided = %d, want N() = %d", got, n)
+		}
+		_, xmax := c.Max()
+		first, second := c.TopTwo()
+		if first != xmax {
+			t.Fatalf("Max support %d disagrees with TopTwo first %d", xmax, first)
+		}
+		if second > first {
+			t.Fatalf("TopTwo returned second %d > first %d", second, first)
+		}
+		if clone := c.Clone(); clone.N() != n || clone.Validate() != nil {
+			t.Fatal("Clone of a valid configuration is invalid")
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// StreamAdaptive is the sequential-stopping layer over the worker-pool trial
+// engine: instead of a fixed trial count, the caller supplies a hard cap and
+// a stopping predicate over the streamed aggregates, and the engine runs
+// only as many trials as the predicate demands. Trials are dispatched in
+// waves; results are folded into the sink strictly in trial-index order and
+// the predicate is consulted after every fold, so the number of folded
+// trials is a pure function of (seed, predicate) — never of parallelism or
+// scheduling. Billion-agent sweeps, where a trial costs seconds, become
+// self-budgeting: cells with low variance stop after a handful of trials,
+// cells near a phase boundary keep sampling until their confidence interval
+// closes.
+
+// DefaultWave is the dispatch wave size when AdaptiveOptions.Wave is zero:
+// large enough to keep a typical worker pool busy between stop checks, small
+// enough that at most a handful of in-flight trials are discarded when the
+// predicate fires mid-wave.
+const DefaultWave = 16
+
+// AdaptiveOptions configure StreamAdaptive.
+type AdaptiveOptions struct {
+	// MaxTrials is the hard trial cap; the engine never folds more. It must
+	// be positive.
+	MaxTrials int
+	// Parallelism bounds concurrent trials; 0 means GOMAXPROCS. It affects
+	// wall-clock only, never the folded results.
+	Parallelism int
+	// Wave is the dispatch wave size; 0 means DefaultWave, and waves below
+	// the worker count are raised to it so no worker idles at the wave
+	// barrier. The wave bounds the work wasted when the predicate fires
+	// mid-wave; it never influences the stop point.
+	Wave int
+	// Seed is the stream-family seed; trial i draws from rng.Derive(Seed, i)
+	// exactly as in Collect and Stream, so an adaptive run that folds T
+	// trials is byte-identical to Stream with trials = T.
+	Seed uint64
+}
+
+// AdaptiveResult reports how an adaptive stream ended.
+type AdaptiveResult struct {
+	// Trials is the number of trials folded into the sink.
+	Trials int
+	// Stopped reports whether the stopping predicate fired; false means the
+	// MaxTrials cap was exhausted with the predicate still unsatisfied.
+	Stopped bool
+}
+
+// StreamAdaptive runs fn for trial indices 0, 1, 2, … until stop() reports
+// the streamed aggregates have converged or opts.MaxTrials trials have been
+// folded. Results are delivered to sink exactly once each, in trial-index
+// order, on the calling goroutine, and stop() is evaluated after every
+// sink call — both exactly as a fixed-count Stream would behave, so the
+// folded prefix is byte-identical to Stream(result.Trials, …) at every
+// parallelism level (the determinism regression test pins this).
+//
+// Dispatch happens in waves of opts.Wave trials (DefaultWave when zero,
+// raised to the worker count so no worker idles at the wave barrier).
+// Trials of the final wave that were computed but not folded when the
+// predicate fired are discarded, so at most one wave of work is wasted per
+// adaptive run.
+func StreamAdaptive[T any](opts AdaptiveOptions, fn func(i int, src *rng.Source, a *Arena) T, sink func(i int, v T), stop func() bool) AdaptiveResult {
+	max := opts.MaxTrials
+	if max <= 0 {
+		return AdaptiveResult{}
+	}
+	wave := opts.Wave
+	if wave <= 0 {
+		wave = DefaultWave
+	}
+	parallelism := clampParallelism(max, opts.Parallelism)
+	// A wave below the worker count would leave workers idle at every
+	// barrier, so waves grow to the parallelism. This never moves the stop
+	// point — that depends only on the in-order fold sequence — it only
+	// widens the bounded waste, which is inherently >= parallelism−1
+	// in-flight trials anyway.
+	if wave < parallelism {
+		wave = parallelism
+	}
+	if wave > max {
+		wave = max
+	}
+	if parallelism == 1 {
+		var a Arena
+		for i := 0; i < max; i++ {
+			sink(i, fn(i, a.source(opts.Seed, i), &a))
+			if stop() {
+				return AdaptiveResult{Trials: i + 1, Stopped: true}
+			}
+		}
+		return AdaptiveResult{Trials: max, Stopped: false}
+	}
+
+	type slot struct {
+		i int
+		v T
+	}
+	next := make(chan int)
+	// The buffer holds a full wave, so workers never block on the results
+	// channel mid-wave and the dispatch loop cannot deadlock against them.
+	results := make(chan slot, wave)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a Arena
+			for i := range next {
+				results <- slot{i, fn(i, a.source(opts.Seed, i), &a)}
+			}
+		}()
+	}
+	// On every return path: stop feeding workers, then drain whatever the
+	// final wave still has in flight so no goroutine leaks.
+	defer func() {
+		close(next)
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+		for range results {
+		}
+	}()
+
+	pending := make(map[int]T, wave)
+	for lo := 0; lo < max; lo += wave {
+		hi := lo + wave
+		if hi > max {
+			hi = max
+		}
+		for i := lo; i < hi; i++ {
+			next <- i
+		}
+		for done := lo; done < hi; {
+			s := <-results
+			pending[s.i] = s.v
+			for {
+				v, ok := pending[done]
+				if !ok {
+					break
+				}
+				delete(pending, done)
+				sink(done, v)
+				done++
+				if stop() {
+					return AdaptiveResult{Trials: done, Stopped: true}
+				}
+			}
+		}
+	}
+	return AdaptiveResult{Trials: max, Stopped: false}
+}
+
+// AdaptiveMetric is one named measurement of an adaptive stream: a Welford
+// aggregator and a P² median sketch fed by every folded trial, plus the
+// stopping rule that decides when this metric has been resolved tightly
+// enough. A metric latches: once its rule first holds it is recorded as
+// halted at that trial count (StoppedAt) and no longer gates the run, even
+// if later folds widen its interval again — the standard group-sequential
+// convention, and the reason a finished run can report per-metric stopping
+// trials individually.
+type AdaptiveMetric struct {
+	// Name labels the metric in reports.
+	Name string
+	// Rule decides when the metric needs no more samples.
+	Rule stats.StoppingRule
+	// Online accumulates mean/variance/extrema of the folded values.
+	Online stats.Online
+	// Median is the P² sketch of the 0.5 quantile.
+	Median *stats.P2
+	// StoppedAt is the trial count after which Rule first held; 0 while the
+	// metric is still open.
+	StoppedAt int64
+}
+
+// NewAdaptiveMetric returns a metric with the given stopping rule.
+func NewAdaptiveMetric(name string, rule stats.StoppingRule) *AdaptiveMetric {
+	return &AdaptiveMetric{Name: name, Rule: rule, Median: stats.NewP2(0.5)}
+}
+
+// Add folds one value into the metric's aggregators and updates the latch.
+func (m *AdaptiveMetric) Add(x float64) {
+	m.Online.Add(x)
+	m.Median.Add(x)
+	if m.StoppedAt == 0 && m.Rule != nil && m.Rule.Stop(&m.Online) {
+		m.StoppedAt = m.Online.N()
+	}
+}
+
+// Done reports whether the metric has halted.
+func (m *AdaptiveMetric) Done() bool { return m.StoppedAt > 0 }
+
+// StopWhenAll returns a StreamAdaptive predicate that fires once every
+// metric has halted. Metrics with a nil rule never halt on their own, so
+// including one turns the run into a fixed-MaxTrials run.
+func StopWhenAll(metrics ...*AdaptiveMetric) func() bool {
+	return func() bool {
+		for _, m := range metrics {
+			if !m.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// adaptiveAggregates runs StreamAdaptive over real tracked USD trials with a
+// predicate that stops after exactly stopAt folds, and serializes every
+// order-sensitive aggregate byte-for-byte.
+func adaptiveAggregates(t *testing.T, cfg *conf.Config, par, maxTrials, stopAt int) (string, AdaptiveResult) {
+	t.Helper()
+	var o stats.Online
+	med := stats.NewP2(0.5)
+	folded := 0
+	res := StreamAdaptive(AdaptiveOptions{MaxTrials: maxTrials, Parallelism: par, Seed: 99},
+		func(i int, src *rng.Source, a *Arena) USDRun {
+			r, err := RunTracked(a, cfg, src, 0, 0, core.KernelBatched(0))
+			if err != nil {
+				t.Errorf("trial %d: %v", i, err)
+			}
+			return r
+		},
+		func(i int, r USDRun) {
+			folded++
+			o.Add(float64(r.Result.Interactions))
+			med.Add(float64(r.Result.Interactions))
+		},
+		func() bool { return folded >= stopAt })
+	return fmt.Sprintf("%v %v %v %v %v %v", o.N(), o.Mean(), o.Var(), o.Min(), o.Max(), med.Value()), res
+}
+
+// TestStreamAdaptiveByteIdenticalToStream is the adaptive engine's
+// determinism contract (the ISSUE 3 regression test): StreamAdaptive with a
+// rule that stops at exactly T trials must produce byte-identical aggregates
+// to a fixed Stream of T trials, at parallelism 1, 4, and 16.
+func TestStreamAdaptiveByteIdenticalToStream(t *testing.T) {
+	cfg, err := conf.Uniform(2000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stopAt = 37
+	// The fixed-count reference, parallelism 1.
+	var o stats.Online
+	med := stats.NewP2(0.5)
+	Stream(stopAt, 1, 99, func(i int, src *rng.Source, a *Arena) USDRun {
+		r, err := RunTracked(a, cfg, src, 0, 0, core.KernelBatched(0))
+		if err != nil {
+			t.Errorf("trial %d: %v", i, err)
+		}
+		return r
+	}, func(i int, r USDRun) {
+		o.Add(float64(r.Result.Interactions))
+		med.Add(float64(r.Result.Interactions))
+	})
+	want := fmt.Sprintf("%v %v %v %v %v %v", o.N(), o.Mean(), o.Var(), o.Min(), o.Max(), med.Value())
+
+	for _, par := range []int{1, 4, 16} {
+		got, res := adaptiveAggregates(t, cfg, par, 200, stopAt)
+		if got != want {
+			t.Fatalf("parallelism %d: adaptive aggregates diverged from fixed Stream:\n%s\nvs\n%s", par, got, want)
+		}
+		if res.Trials != stopAt || !res.Stopped {
+			t.Fatalf("parallelism %d: result %+v, want {Trials: %d, Stopped: true}", par, res, stopAt)
+		}
+	}
+}
+
+// TestStreamAdaptiveWaveIndependence pins the stop point across wave sizes:
+// the wave is a dispatch detail, so only wasted work may change with it.
+func TestStreamAdaptiveWaveIndependence(t *testing.T) {
+	for _, wave := range []int{1, 3, 16, 64} {
+		var sum float64
+		folded := 0
+		res := StreamAdaptive(AdaptiveOptions{MaxTrials: 100, Parallelism: 4, Wave: wave, Seed: 5},
+			func(i int, src *rng.Source, _ *Arena) float64 { return src.Float64() },
+			func(i int, v float64) { folded++; sum += v },
+			func() bool { return folded >= 23 })
+		if res.Trials != 23 || !res.Stopped {
+			t.Fatalf("wave %d: result %+v", wave, res)
+		}
+	}
+}
+
+// TestStreamAdaptiveBoundedWaste checks the wave contract: when the
+// predicate fires after trial T, no trial beyond the end of T's wave is ever
+// computed.
+func TestStreamAdaptiveBoundedWaste(t *testing.T) {
+	const (
+		wave   = 8
+		stopAt = 20 // fires mid-wave: trials 0..23 may compute, 24+ must not
+	)
+	var maxIndex atomic.Int64
+	maxIndex.Store(-1)
+	folded := 0
+	StreamAdaptive(AdaptiveOptions{MaxTrials: 1000, Parallelism: 4, Wave: wave, Seed: 1},
+		func(i int, src *rng.Source, _ *Arena) int {
+			for {
+				cur := maxIndex.Load()
+				if int64(i) <= cur || maxIndex.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+			return i
+		},
+		func(i int, v int) { folded++ },
+		func() bool { return folded >= stopAt })
+	waveEnd := int64(((stopAt-1)/wave + 1) * wave)
+	if got := maxIndex.Load(); got >= waveEnd {
+		t.Fatalf("trial %d computed; waves should have stopped dispatch before %d", got, waveEnd)
+	}
+}
+
+func TestStreamAdaptiveMaxTrialsCap(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		calls := 0
+		res := StreamAdaptive(AdaptiveOptions{MaxTrials: 50, Parallelism: par, Seed: 2},
+			func(i int, src *rng.Source, _ *Arena) int { return i },
+			func(i int, v int) {
+				if i != v {
+					t.Fatalf("out-of-order fold (%d, %d)", i, v)
+				}
+				calls++
+			},
+			func() bool { return false })
+		if calls != 50 || res.Trials != 50 || res.Stopped {
+			t.Fatalf("parallelism %d: calls=%d result=%+v", par, calls, res)
+		}
+	}
+}
+
+func TestStreamAdaptiveEdgeCases(t *testing.T) {
+	res := StreamAdaptive(AdaptiveOptions{MaxTrials: 0},
+		func(i int, src *rng.Source, _ *Arena) int { return i },
+		func(int, int) { t.Fatal("sink called with no trials") },
+		func() bool { return true })
+	if res != (AdaptiveResult{}) {
+		t.Fatalf("zero-cap result %+v", res)
+	}
+	// Wave larger than the cap, predicate immediately satisfied after the
+	// first fold.
+	folded := 0
+	res = StreamAdaptive(AdaptiveOptions{MaxTrials: 3, Wave: 100, Parallelism: 8, Seed: 1},
+		func(i int, src *rng.Source, _ *Arena) int { return i },
+		func(int, int) { folded++ },
+		func() bool { return true })
+	if folded != 1 || res.Trials != 1 || !res.Stopped {
+		t.Fatalf("immediate-stop result %+v after %d folds", res, folded)
+	}
+}
+
+// TestStreamAdaptiveCIStopsEarly runs the engine the way experiments do — a
+// relative-CI stopping rule over a low-variance metric — and checks it stops
+// well before the cap while a high-variance metric spends more trials.
+func TestStreamAdaptiveCIStopsEarly(t *testing.T) {
+	run := func(noise float64) int {
+		m := NewAdaptiveMetric("t", stats.All(stats.AfterN(5), stats.RelWidth(0.02, 0.95)))
+		res := StreamAdaptive(AdaptiveOptions{MaxTrials: 2000, Parallelism: 4, Seed: 17},
+			func(i int, src *rng.Source, _ *Arena) float64 { return 100 + noise*src.Normal() },
+			func(i int, v float64) { m.Add(v) },
+			StopWhenAll(m))
+		if !res.Stopped {
+			t.Fatalf("noise %v: cap hit, rel width %v", noise, stats.StudentTCI(&m.Online, 0.95).Rel())
+		}
+		if got := int(m.StoppedAt); got != res.Trials {
+			t.Fatalf("noise %v: metric stopped at %d but engine at %d", noise, got, res.Trials)
+		}
+		return res.Trials
+	}
+	low, high := run(1), run(20)
+	if low >= high {
+		t.Fatalf("low-variance run used %d trials, high-variance %d; want fewer", low, high)
+	}
+	if low > 20 {
+		t.Fatalf("low-variance run used %d trials; expected a handful", low)
+	}
+}
+
+func TestAdaptiveMetricLatch(t *testing.T) {
+	m := NewAdaptiveMetric("x", stats.All(stats.AfterN(3), stats.RelWidth(0.5, 0.95)))
+	if m.Done() {
+		t.Fatal("fresh metric already done")
+	}
+	for _, v := range []float64{10, 10.1, 9.9} {
+		m.Add(v)
+	}
+	if !m.Done() || m.StoppedAt != 3 {
+		t.Fatalf("metric not latched: %+v", m)
+	}
+	// A wild outlier widens the interval, but the latch must hold.
+	m.Add(1e6)
+	if !m.Done() || m.StoppedAt != 3 {
+		t.Fatalf("latch broken: StoppedAt = %d", m.StoppedAt)
+	}
+	if m.Online.N() != 4 {
+		t.Fatalf("halted metric stopped aggregating: n = %d", m.Online.N())
+	}
+	if math.IsNaN(m.Median.Value()) {
+		t.Fatal("median sketch unfed")
+	}
+}
+
+func TestStopWhenAll(t *testing.T) {
+	a := NewAdaptiveMetric("a", stats.AfterN(2))
+	b := NewAdaptiveMetric("b", stats.AfterN(4))
+	pred := StopWhenAll(a, b)
+	for i := 0; i < 3; i++ {
+		a.Add(1)
+		b.Add(1)
+	}
+	if pred() {
+		t.Fatal("predicate fired with metric b open")
+	}
+	b.Add(1)
+	if !pred() {
+		t.Fatal("predicate must fire once every metric halted")
+	}
+	// A nil-rule metric never halts by itself.
+	c := NewAdaptiveMetric("c", nil)
+	c.Add(1)
+	if c.Done() || StopWhenAll(c)() {
+		t.Fatal("nil-rule metric halted")
+	}
+}
+
+// TestStreamAdaptiveParallelismInvariance repeats the engine's core
+// guarantee on the GOMAXPROCS level used by the -race CI job.
+func TestStreamAdaptiveParallelismInvariance(t *testing.T) {
+	cfg, err := conf.Uniform(1500, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantRes := adaptiveAggregates(t, cfg, 1, 80, 29)
+	for _, par := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, res := adaptiveAggregates(t, cfg, par, 80, 29)
+		if got != want || res != wantRes {
+			t.Fatalf("parallelism %d diverged: %s %+v vs %s %+v", par, got, res, want, wantRes)
+		}
+	}
+}

@@ -60,10 +60,20 @@ func k3ManyOpinions() Experiment {
 					{0.5, []int64{10_000, 100_000, 1_000_000}},
 				})
 			trials := p.trials(5)
+			// Adaptive mode (Params.Adaptive) replaces the fixed per-cell
+			// count with sequential stopping: a higher cap, spent only where
+			// the consensus-time CI stays wide — the cheap way to tighten
+			// the per-ε exponent fits below.
+			adaptiveCap := p.maxTrials(20)
+			trialDesc := fmt.Sprintf("%d trials per cell", trials)
+			if p.Adaptive {
+				trialDesc = fmt.Sprintf("adaptive trials (±%.0f%% CI, cap %d) per cell",
+					100*p.relWidth(), adaptiveCap)
+			}
 			tbl := NewTable(
-				fmt.Sprintf("Many-opinions regime, uniform start, batched kernel (tol %g), %d trials per cell:",
-					core.DefaultTolerance, trials),
-				"eps", "n", "k", "mean T", "std", "median", "par. time", "T/(k n ln n)")
+				fmt.Sprintf("Many-opinions regime, uniform start, batched kernel (tol %g), %s:",
+					core.DefaultTolerance, trialDesc),
+				"eps", "n", "k", "trials", "mean T", "std", "median", "par. time", "T/(k n ln n)")
 
 			type fitData struct {
 				eps    float64
@@ -83,32 +93,50 @@ func k3ManyOpinions() Experiment {
 					var agg stats.Online
 					med := stats.NewP2(0.5)
 					failed := 0
-					Stream(trials, p.Parallelism,
-						p.Seed+uint64(n)*13+uint64(g.eps*1000),
-						func(i int, src *rng.Source, a *Arena) float64 {
-							t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
-							if err != nil {
-								return math.NaN()
-							}
-							return float64(t)
-						},
-						func(_ int, t float64) {
-							if math.IsNaN(t) {
-								failed++
-								return
-							}
-							agg.Add(t)
-							med.Add(t)
-						})
+					seed := p.Seed + uint64(n)*13 + uint64(g.eps*1000)
+					trial := func(i int, src *rng.Source, a *Arena) float64 {
+						t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+						if err != nil {
+							return math.NaN()
+						}
+						return float64(t)
+					}
+					trialCell := fmt.Sprintf("%d", trials)
+					if p.Adaptive {
+						metric := NewAdaptiveMetric("consensus T", p.consensusRule(adaptiveCap))
+						res := StreamAdaptive(
+							AdaptiveOptions{MaxTrials: adaptiveCap, Parallelism: p.Parallelism, Seed: seed},
+							trial,
+							func(_ int, t float64) {
+								if math.IsNaN(t) {
+									failed++
+									return
+								}
+								metric.Add(t)
+							},
+							StopWhenAll(metric))
+						agg, med = metric.Online, metric.Median
+						trialCell = fmt.Sprintf("%d/%d", res.Trials, adaptiveCap)
+					} else {
+						Stream(trials, p.Parallelism, seed, trial,
+							func(_ int, t float64) {
+								if math.IsNaN(t) {
+									failed++
+									return
+								}
+								agg.Add(t)
+								med.Add(t)
+							})
+					}
 					if agg.N() == 0 {
-						return fmt.Errorf("eps=%g n=%d: all %d trials failed", g.eps, n, trials)
+						return fmt.Errorf("eps=%g n=%d: all trials failed", g.eps, n)
 					}
 					if failed > 0 {
-						fmt.Fprintf(w, "note: eps=%g n=%d: %d/%d trials did not reach consensus\n",
-							g.eps, n, failed, trials)
+						fmt.Fprintf(w, "note: eps=%g n=%d: %d trials did not reach consensus\n",
+							g.eps, n, failed)
 					}
 					norm := agg.Mean() / (float64(k) * float64(n) * math.Log(float64(n)))
-					tbl.AddRowf(g.eps, n, k, agg.Mean(), agg.Std(), med.Value(),
+					tbl.AddRowf(g.eps, n, k, trialCell, agg.Mean(), agg.Std(), med.Value(),
 						agg.Mean()/float64(n), norm)
 					fd.xs = append(fd.xs, float64(n))
 					fd.ys = append(fd.ys, agg.Mean())

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Params controls an experiment run.
@@ -32,6 +33,73 @@ type Params struct {
 	// Engine-comparison baselines (agent-level, gossip, exact chain) are
 	// not configuration-level USD runs and are unaffected.
 	Kernel core.Kernel
+	// Adaptive switches per-cell trial counts to sequential stopping where
+	// an experiment supports it (K3, and cmd/sweep points): trials run in
+	// waves until the consensus-time CI closes below RelWidth or MaxTrials
+	// is reached. K4-lower-bound is adaptive by construction and only reads
+	// RelWidth/MaxTrials from here.
+	Adaptive bool
+	// RelWidth is the adaptive stopping target: the relative half-width of
+	// the 95% Student-t CI below which a metric halts. 0 means
+	// DefaultRelWidth.
+	RelWidth float64
+	// MaxTrials caps adaptive trials per cell; 0 means an experiment-chosen
+	// default. A positive Trials overrides both (fixed and adaptive runs
+	// then use the same count ceiling, which keeps -quick smoke runs cheap).
+	MaxTrials int
+}
+
+// Adaptive stopping defaults shared by experiments and the CLIs.
+const (
+	// DefaultRelWidth is the target relative CI half-width: ±5%.
+	DefaultRelWidth = 0.05
+	// DefaultCILevel is the two-sided confidence level of the stopping CIs.
+	DefaultCILevel = 0.95
+	// MinAdaptiveTrials guards width rules against lucky early agreement:
+	// no metric halts before this many trials (or the cap, if smaller).
+	MinAdaptiveTrials = 5
+)
+
+// relWidth returns the effective adaptive stopping target.
+func (p Params) relWidth() float64 {
+	if p.RelWidth > 0 {
+		return p.RelWidth
+	}
+	return DefaultRelWidth
+}
+
+// maxTrials returns the effective adaptive trial cap given a default,
+// honoring the Trials override ahead of MaxTrials.
+func (p Params) maxTrials(def int) int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
+	if p.MaxTrials > 0 {
+		return p.MaxTrials
+	}
+	if p.Quick && def > 10 {
+		return def / 2
+	}
+	return def
+}
+
+// ConsensusRule is the standard adaptive stopping rule for a consensus-time
+// metric under the given trial cap: at least MinAdaptiveTrials trials
+// (clamped to the cap), then stop once the DefaultCILevel Student-t CI has
+// relative half-width at most rel. The experiments and the CLIs
+// (cmd/sweep -adaptive, cmd/bench's adaptive arm) all build their rules
+// here, so retuning the shared defaults cannot diverge them.
+func ConsensusRule(rel float64, cap int) stats.StoppingRule {
+	minTrials := int64(MinAdaptiveTrials)
+	if int64(cap) < minTrials {
+		minTrials = int64(cap)
+	}
+	return stats.All(stats.AfterN(minTrials), stats.RelWidth(rel, DefaultCILevel))
+}
+
+// consensusRule is ConsensusRule at the Params' effective width target.
+func (p Params) consensusRule(cap int) stats.StoppingRule {
+	return ConsensusRule(p.relWidth(), cap)
 }
 
 // trials returns the effective trial count given a default.
@@ -93,6 +161,7 @@ func All() []Experiment {
 		k1KernelAgreement(),
 		k2NScaling(),
 		k3ManyOpinions(),
+		k4LowerBound(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

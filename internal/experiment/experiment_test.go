@@ -8,6 +8,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 func TestTableFormatting(t *testing.T) {
@@ -117,8 +118,8 @@ func TestConsensusTimeBudgetError(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("registry has %d experiments, want 24", len(all))
+	if len(all) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -139,6 +140,7 @@ func TestRegistry(t *testing.T) {
 		"X1-synchronized", "X2-large-k", "X3-exact-validation",
 		"X4-scheduler-robustness", "X5-undecided-start",
 		"K1-kernel-agreement", "K2-n-scaling", "K3-many-opinions",
+		"K4-lower-bound",
 	}
 	for _, id := range wantIDs {
 		if _, ok := Find(id); !ok {
@@ -188,6 +190,37 @@ func TestExperimentsSmokeAll(t *testing.T) {
 				t.Fatalf("%s produced almost no output: %q", e.ID, sb.String())
 			}
 		})
+	}
+}
+
+func TestParamsAdaptiveHelpers(t *testing.T) {
+	if got := (Params{}).relWidth(); got != DefaultRelWidth {
+		t.Fatalf("default relWidth = %v", got)
+	}
+	if got := (Params{RelWidth: 0.02}).relWidth(); got != 0.02 {
+		t.Fatalf("override relWidth = %v", got)
+	}
+	if got := (Params{}).maxTrials(24); got != 24 {
+		t.Fatalf("default maxTrials = %d", got)
+	}
+	if got := (Params{Quick: true}).maxTrials(24); got != 12 {
+		t.Fatalf("quick maxTrials = %d", got)
+	}
+	if got := (Params{MaxTrials: 7}).maxTrials(24); got != 7 {
+		t.Fatalf("MaxTrials override = %d", got)
+	}
+	if got := (Params{Trials: 2, MaxTrials: 7}).maxTrials(24); got != 2 {
+		t.Fatalf("Trials override = %d", got)
+	}
+	// The consensus rule respects the minimum-trial guard, clamped to the cap.
+	var o stats.Online
+	o.Add(100)
+	o.Add(100)
+	if (Params{}).consensusRule(24).Stop(&o) {
+		t.Fatal("rule fired below MinAdaptiveTrials")
+	}
+	if !(Params{}).consensusRule(2).Stop(&o) {
+		t.Fatal("rule must clamp the minimum to a tiny cap")
 	}
 }
 

@@ -1,0 +1,111 @@
+package fenwick
+
+import (
+	"testing"
+)
+
+// FuzzDual drives a Dual tree through an arbitrary interleaving of SetAll,
+// Add, and query operations decoded from the fuzz input, mirroring every
+// step against a plain-slice model. It checks the full query surface —
+// Sum, SumSquares, Get, TotalWeighted, FindSupport, and FindWeighted —
+// after every mutation, so any stale internal prefix left behind by the
+// SetAll bulk rebuild (the batched kernel's hot path) or by a point Add is
+// caught at the first query that touches it.
+func FuzzDual(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add([]byte{0x10, 0xFF, 0x00, 0x7F, 0x20, 0x05, 0x80, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFE, 0x01, 0xFD, 0x02, 0xFC, 0x03, 0xFB, 0x04, 0xFA})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		n := int(next())%12 + 1
+		d := NewDual(n)
+		model := make([]int64, n)
+
+		// check compares every query against the naive model. Values are
+		// bounded (≤ ~2¹⁰ per slot), so no int64 concern anywhere here.
+		check := func() {
+			var sum, sum2 int64
+			for i, v := range model {
+				if got := d.Get(i); got != v {
+					t.Fatalf("Get(%d) = %d, model %d (model %v)", i, got, v, model)
+				}
+				sum += v
+				sum2 += v * v
+			}
+			if got := d.Sum(); got != sum {
+				t.Fatalf("Sum = %d, model %d (model %v)", got, sum, model)
+			}
+			if got := d.SumSquares(); got != sum2 {
+				t.Fatalf("SumSquares = %d, model %d (model %v)", got, sum2, model)
+			}
+			if got, want := d.TotalWeighted(sum), sum*sum-sum2; got != want {
+				t.Fatalf("TotalWeighted(%d) = %d, want %d (model %v)", sum, got, want, model)
+			}
+			if vals := d.Values(nil); len(vals) != n {
+				t.Fatalf("Values returned %d slots, want %d", len(vals), n)
+			}
+			// FindSupport: for a threshold inside each slot's cumulative
+			// band the descent must return exactly that slot.
+			var cum int64
+			for i, v := range model {
+				if v > 0 {
+					if got := d.FindSupport(cum); got != i {
+						t.Fatalf("FindSupport(%d) = %d, want %d (model %v)", cum, got, i, model)
+					}
+					if got := d.FindSupport(cum + v - 1); got != i {
+						t.Fatalf("FindSupport(%d) = %d, want %d (model %v)", cum+v-1, got, i, model)
+					}
+				}
+				cum += v
+			}
+			// FindWeighted with D = Sum: weights wᵢ = D·xᵢ − xᵢ² are all
+			// non-negative because every xᵢ ≤ D.
+			var wcum int64
+			for i, v := range model {
+				w := sum*v - v*v
+				if w > 0 {
+					if got := d.FindWeighted(sum, wcum); got != i {
+						t.Fatalf("FindWeighted(%d, %d) = %d, want %d (model %v)", sum, wcum, got, i, model)
+					}
+					if got := d.FindWeighted(sum, wcum+w-1); got != i {
+						t.Fatalf("FindWeighted(%d, %d) = %d, want %d (model %v)", sum, wcum+w-1, got, i, model)
+					}
+				}
+				wcum += w
+			}
+		}
+
+		check()
+		for len(data) > 0 {
+			switch next() % 3 {
+			case 0: // SetAll from the next n bytes
+				xs := make([]int64, n)
+				for i := range xs {
+					xs[i] = int64(next()) * int64(next()%4)
+				}
+				d.SetAll(xs)
+				copy(model, xs)
+			case 1: // point Add, clamped to keep the slot non-negative
+				i := int(next()) % n
+				delta := int64(next()) - 128
+				if model[i]+delta < 0 {
+					delta = -model[i]
+				}
+				d.Add(i, delta)
+				model[i] += delta
+			case 2: // a second query pass costs nothing and catches drift
+			}
+			check()
+		}
+	})
+}
