@@ -29,6 +29,18 @@
 // adaptive arm must meet it with strictly fewer trials (recorded as
 // trials_saved_frac in adaptive_engine).
 //
+// The shard-throughput section runs the same consensus fleet through the
+// distributed coordinator (internal/dist) at 1, 2, and 4 worker processes
+// — the benchmark binary re-executes itself in a hidden worker mode, each
+// worker pinned to one in-process trial at a time so the speedup isolates
+// process-level sharding — and records trials/sec per shard count. Every
+// arm must fold a result sequence identical to the in-process engine's;
+// the benchmark fails otherwise.
+//
+// The report is written via a temp file and an atomic rename, so a failing
+// section (or a crash mid-write) can never clobber the committed
+// BENCH_core.json with a partial run.
+//
 // Usage:
 //
 //	bench                 # full run, writes BENCH_core.json
@@ -37,9 +49,11 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -47,6 +61,7 @@ import (
 	usd "repro"
 	"repro/internal/conf"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -115,6 +130,33 @@ type TrialEntry struct {
 	Identical       bool    `json:"results_identical"`
 }
 
+// ShardEntry is one shard-throughput measurement: the same consensus fleet
+// dispatched through the distributed coordinator at a given worker-process
+// count.
+type ShardEntry struct {
+	// Workload names the fleet.
+	Workload string `json:"workload"`
+	// N is the population size per trial.
+	N int64 `json:"n"`
+	// K is the opinion count.
+	K int `json:"k"`
+	// Kernel is the stepping kernel name.
+	Kernel string `json:"kernel"`
+	// Trials is the fleet size.
+	Trials int `json:"trials"`
+	// Shards is the worker-process count.
+	Shards int `json:"shards"`
+	// WallNanos is the end-to-end coordinator wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// TrialsPerS is the folded-trial throughput.
+	TrialsPerS float64 `json:"trials_per_sec"`
+	// SpeedupVs1Shard is wall(1 shard)/wall(this), 0 for the 1-shard row.
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard"`
+	// Identical records that the folded sequence matched the in-process
+	// engine's byte for byte.
+	Identical bool `json:"results_identical"`
+}
+
 // Report is the BENCH_core.json schema.
 type Report struct {
 	Workload        string             `json:"workload"`
@@ -123,6 +165,7 @@ type Report struct {
 	Speedups        map[string]float64 `json:"batched_speedup_by_n"`
 	TrialEntries    []TrialEntry       `json:"trial_throughput"`
 	AdaptiveEntries []AdaptiveEntry    `json:"adaptive_engine"`
+	ShardEntries    []ShardEntry       `json:"shard_throughput"`
 }
 
 func main() {
@@ -135,12 +178,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out   = fs.String("out", "BENCH_core.json", "output path for the JSON report")
-		quick = fs.Bool("quick", false, "single repetition per cell")
-		seed  = fs.Uint64("seed", 1, "base random seed")
+		out    = fs.String("out", "BENCH_core.json", "output path for the JSON report")
+		quick  = fs.Bool("quick", false, "single repetition per cell")
+		seed   = fs.Uint64("seed", 1, "base random seed")
+		worker = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by the shard-throughput section)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker != "" {
+		shard, of, err := dist.ParseShardArg(*worker)
+		if err != nil {
+			return err
+		}
+		// One in-process trial at a time per worker: the shard-throughput
+		// section measures process-level sharding, not the in-process pool.
+		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, 1)
 	}
 	runs := 3
 	if *quick {
@@ -222,16 +275,117 @@ func run(args []string) error {
 		ae.Workload, ae.N, 100*ae.RelTarget, ae.FixedTrials, 100*ae.FixedRelWidth,
 		ae.AdaptiveTrials, 100*ae.AdaptiveRelWidth, 100*ae.TrialsSavedFrac)
 
+	shardTrials := 64
+	if *quick {
+		shardTrials = 16
+	}
+	ses, err := measureShards("shard-consensus", 10_000, k, core.KernelBatched(0), shardTrials, *seed)
+	if err != nil {
+		return err
+	}
+	rep.ShardEntries = ses
+	for _, se := range ses {
+		fmt.Printf("%-16s n=%-9d trials=%-5d shards=%d  %8.0f trials/s  speedup vs 1 shard %.2fx  identical=%v\n",
+			se.Workload, se.N, se.Trials, se.Shards, se.TrialsPerS, se.SpeedupVs1Shard, se.Identical)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// Atomic replacement: a partial or failed run must never clobber the
+	// committed perf trajectory.
+	if err := dist.WriteFileAtomic(*out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// shardFingerprint folds one trial outcome into an order-sensitive
+// fingerprint; two fold paths agreeing on the final digest folded identical
+// sequences.
+func shardFingerprint(h io.Writer, i int, interactions int64, winner int) {
+	fmt.Fprintf(h, "%d:%d:%d;", i, interactions, winner)
+}
+
+// measureShards runs the same consensus fleet through the distributed
+// coordinator at 1, 2, and 4 worker processes (this binary re-executed in
+// worker mode) and compares every folded sequence against the in-process
+// engine's. Worker-local parallelism is pinned to 1, so the speedup column
+// isolates what process sharding alone buys; it errors if any arm folds a
+// different sequence.
+func measureShards(workload string, n int64, k int, kern core.Kernel, trials int, seed uint64) ([]ShardEntry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The in-process reference fingerprint, same fleet and seeds.
+	ref := sha256.New()
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) [2]int64 {
+		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
+		if err != nil {
+			panic(err) // configuration validated above
+		}
+		res := s.Run(0)
+		return [2]int64{res.Interactions, int64(res.Winner)}
+	}, func(i int, v [2]int64) {
+		shardFingerprint(ref, i, v[0], int(v[1]))
+	})
+	want := fmt.Sprintf("%x", ref.Sum(nil))
+
+	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, false).Encode()
+	if err != nil {
+		return nil, err
+	}
+	var entries []ShardEntry
+	var oneShardNanos int64
+	for _, shards := range []int{1, 2, 4} {
+		h := sha256.New()
+		start := time.Now()
+		res, err := dist.Run(dist.Options{
+			Shards:    shards,
+			MaxTrials: trials,
+			Seed:      seed,
+			Spec:      spec,
+			Launcher:  dist.SelfExecLauncher(),
+		}, func(i int, data []byte) error {
+			var r experiment.ShardResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return err
+			}
+			shardFingerprint(h, i, r.Interactions, r.Winner)
+			return nil
+		}, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d-shard run: %w", shards, err)
+		}
+		wall := time.Since(start).Nanoseconds()
+		se := ShardEntry{
+			Workload:  workload,
+			N:         n,
+			K:         k,
+			Kernel:    kern.String(),
+			Trials:    res.Trials,
+			Shards:    shards,
+			WallNanos: wall,
+		}
+		if wall > 0 {
+			se.TrialsPerS = float64(res.Trials) / (float64(wall) / 1e9)
+		}
+		if shards == 1 {
+			oneShardNanos = wall
+		} else if wall > 0 {
+			se.SpeedupVs1Shard = float64(oneShardNanos) / float64(wall)
+		}
+		se.Identical = fmt.Sprintf("%x", h.Sum(nil)) == want
+		entries = append(entries, se)
+		if !se.Identical {
+			return entries, fmt.Errorf("bench: %d-shard fold diverged from the in-process engine", shards)
+		}
+	}
+	return entries, nil
 }
 
 // measureAdaptive runs both arms of the adaptive-vs-fixed comparison

@@ -7,6 +7,7 @@
 //	experiments -all -quick
 //	experiments -run K4-lower-bound -maxtrials 32 -rel 0.03
 //	experiments -run K3-many-opinions -adaptive
+//	experiments -run K4-lower-bound -shards 4 -checkpoint k4-ckpt
 //
 // Every experiment is deterministic given -seed; see DESIGN.md for the
 // experiment index mapping IDs to paper artifacts. -adaptive switches
@@ -14,15 +15,26 @@
 // sampling until the consensus-time confidence interval closes below -rel,
 // up to -maxtrials. K4-lower-bound is adaptive by construction and reads
 // -rel/-maxtrials directly.
+//
+// -shards N distributes supporting experiments' per-cell trials (currently
+// K4-lower-bound, whose billion-agent cells cost tens of seconds per
+// trial) across N worker processes: the binary re-executes itself in a
+// hidden worker mode and the internal/dist coordinator folds shard results
+// in global trial order, so the output tables are byte-identical to the
+// in-process run. -checkpoint DIR additionally persists each cell's fold
+// after every trial wave and resumes from it, so a killed multi-hour run
+// continues where it stopped (delete the directory to start over).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiment"
 )
 
@@ -48,13 +60,36 @@ func run(args []string) error {
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts where supported (K3): stop each cell once its CI closes")
 		rel      = fs.Float64("rel", 0, "adaptive stopping target: relative CI half-width (0 = default 0.05)")
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-cell trial cap (0 = experiment default)")
+		shards   = fs.Int("shards", 0, "distribute supporting experiments' trials (K4) across N worker processes (0 = in-process; 1 = distributed engine with a single worker)")
+		ckpt     = fs.String("checkpoint", "", "with -shards: directory for per-cell checkpoints, written after every wave and resumed from")
+		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *worker != "" {
+		shard, of, err := dist.ParseShardArg(*worker)
+		if err != nil {
+			return err
+		}
+		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, *workers)
+	}
 	kern, err := core.ParseKernel(*kernel, *tol)
 	if err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be non-negative", *shards)
+	}
+	if *ckpt != "" {
+		if *shards < 2 {
+			// Checkpointing rides on the sharded coordinator; a single
+			// worker process still checkpoints.
+			*shards = 1
+		}
+		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
+			return err
+		}
 	}
 	if *rel < 0 || *rel >= 1 {
 		return fmt.Errorf("-rel %v out of range [0, 1)", *rel)
@@ -72,14 +107,23 @@ func run(args []string) error {
 	}
 
 	p := experiment.Params{
-		Quick:       *quick,
-		Seed:        *seed,
-		Trials:      *trials,
-		Parallelism: *workers,
-		Kernel:      kern,
-		Adaptive:    *adaptive,
-		RelWidth:    *rel,
-		MaxTrials:   *maxTri,
+		Quick:         *quick,
+		Seed:          *seed,
+		Trials:        *trials,
+		Parallelism:   *workers,
+		Kernel:        kern,
+		Adaptive:      *adaptive,
+		RelWidth:      *rel,
+		MaxTrials:     *maxTri,
+		Shards:        *shards,
+		CheckpointDir: *ckpt,
+	}
+	if p.Shards >= 1 {
+		var extra []string
+		if *workers != 0 {
+			extra = []string{"-parallelism", strconv.Itoa(*workers)}
+		}
+		p.ShardLauncher = dist.SelfExecLauncher(extra...)
 	}
 
 	if *all || *runIDs == "" {

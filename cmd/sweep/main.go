@@ -11,6 +11,7 @@
 //	sweep -param n -values 1e6,1e8,1e9 -keps 0.25 -kernel batched
 //	sweep -param eps -values 0.1,0.25,0.5 -n 1e6 -kernel batched
 //	sweep -param n -values 2.2e9,2.6e9,3e9 -k 512 -kernel batched -adaptive -rel 0.03
+//	sweep -param n -values 3e9 -k 512 -kernel batched -adaptive -shards 4 -checkpoint sweep.ckpt
 //
 // -kernel batched selects the bulk stepping kernel for large-n sweeps; it
 // trades a bounded per-rate drift (-tol, default 0.05) for orders of
@@ -23,18 +24,30 @@
 // consensus-time confidence interval has relative half-width below -rel,
 // capped at -maxtrials — billion-agent points where trials cost seconds
 // then spend exactly as many trials as their variance demands.
+//
+// -shards N distributes each point's trials across N worker processes (the
+// binary re-executes itself in a hidden worker mode) through the
+// internal/dist coordinator; the folded output is byte-identical to the
+// in-process run at every shard count — the shard-determinism CI job
+// diffs 1-, 2-, and 4-shard runs of the same sweep. -checkpoint PREFIX
+// additionally writes a per-point checkpoint after every folded wave and
+// resumes from it, so interrupted billion-agent sweeps continue instead of
+// restarting (delete the checkpoint files to start over).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	usd "repro"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -65,9 +78,30 @@ func run(args []string) error {
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts: stop each point once the consensus-time CI closes")
 		rel      = fs.Float64("rel", 0.05, "adaptive stopping target: relative CI half-width")
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-point trial cap (0 = 4x -trials)")
+		shards   = fs.Int("shards", 0, "distribute each point's trials across N worker processes (0 = in-process; 1 = distributed engine with a single worker)")
+		ckpt     = fs.String("checkpoint", "", "checkpoint file prefix: write/resume <prefix>.point<i> per sweep point (implies the sharded engine)")
+		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker != "" {
+		shard, of, err := dist.ParseShardArg(*worker)
+		if err != nil {
+			return err
+		}
+		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, *workers)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be non-negative", *shards)
+	}
+	if *ckpt != "" {
+		// Create the prefix's directory up front: discovering it is
+		// missing only at the first post-wave write would discard exactly
+		// the work checkpointing exists to protect.
+		if err := os.MkdirAll(filepath.Dir(*ckpt), 0o755); err != nil {
+			return err
+		}
 	}
 	kern, err := core.ParseKernel(*kernel, *tol)
 	if err != nil {
@@ -114,78 +148,44 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		type out struct {
-			t    float64
-			won  bool
-			fail string
-		}
-		trial := func(i int, src *rng.Source, a *experiment.Arena) out {
-			report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
-			if err != nil {
-				return out{fail: err.Error()}
-			}
-			if report.Result.Outcome != usd.OutcomeConsensus {
-				return out{fail: report.Result.Outcome.String()}
-			}
-			return out{
-				t:   float64(report.Result.Interactions),
-				won: report.Result.Winner == report.InitialLeader,
-			}
-		}
 		seed := *seed + uint64(vi)*1_000_003
-		var times []float64
-		wins := 0
-		firstFail := ""
-		fold := func(i int, o out) {
-			if o.fail != "" {
-				if firstFail == "" {
-					firstFail = fmt.Sprintf("value %s trial %d: %s", vs, i, o.fail)
-				}
-				return
-			}
-			times = append(times, o.t)
-			if o.won {
-				wins++
-			}
-		}
+		st := &pointState{value: vs}
 		if *adaptive {
 			// Sequential stopping: keep sampling this point until the
 			// consensus-time CI closes below -rel or the cap is hit. The
 			// win-rate estimate simply uses however many trials that took.
-			metric := experiment.NewAdaptiveMetric("consensus T",
+			st.Metric = experiment.NewAdaptiveMetric("consensus T",
 				experiment.ConsensusRule(*rel, adaptiveCap))
-			experiment.StreamAdaptive(
-				experiment.AdaptiveOptions{MaxTrials: adaptiveCap, Parallelism: *workers, Seed: seed},
-				trial,
-				func(i int, o out) {
-					fold(i, o)
-					if o.fail == "" {
-						metric.Add(o.t)
-					}
-				},
-				experiment.StopWhenAll(metric))
-		} else {
-			outs := experiment.CollectArena(*trials, *workers, seed, trial)
-			for i, o := range outs {
-				fold(i, o)
+		}
+		// The sharded engine (worker processes, wave barrier, optional
+		// checkpointing) and the in-process engine fold the same per-trial
+		// results in the same order, so the table below is byte-identical
+		// between them — the shard-determinism CI job relies on it.
+		// -shards 1 runs the distributed engine with a single worker, same
+		// as cmd/experiments; -checkpoint alone implies it.
+		if *shards >= 1 || *ckpt != "" {
+			if err := runPointSharded(st, cfg, kern, seed, *shards, *workers, *trials, adaptiveCap, *rel, *ckpt, vi); err != nil {
+				return err
 			}
+		} else {
+			runPointInProcess(st, cfg, kern, seed, *workers, *trials, adaptiveCap)
 		}
-		if firstFail != "" {
-			return fmt.Errorf("%s", firstFail)
+		if st.FirstFail != "" {
+			return fmt.Errorf("%s", st.FirstFail)
 		}
-		s, err := stats.Summarize(times)
+		s, err := stats.Summarize(st.Times)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, row{
 			value:    vs,
 			k:        cfg.K(),
-			trials:   len(times),
+			trials:   len(st.Times),
 			mean:     s.Mean,
 			median:   s.Median,
 			std:      s.Std,
 			parallel: s.Mean / float64(cfg.N()),
-			winRate:  float64(wins) / float64(len(times)),
+			winRate:  float64(st.Wins) / float64(len(st.Times)),
 		})
 	}
 
@@ -208,6 +208,127 @@ func run(args []string) error {
 			r.value, r.k, r.trials, r.mean, r.median, r.std, r.parallel, 100*r.winRate)
 	}
 	return nil
+}
+
+// pointState is the fold state of one sweep point, checkpointed by sharded
+// runs through dist.JSONState: the JSON-tagged fields round-trip losslessly
+// (times are integer-valued float64s), so a resumed point finishes
+// byte-identical to an uninterrupted one.
+type pointState struct {
+	value string
+
+	// Times holds the consensus times of successful trials, in fold order.
+	Times []float64 `json:"times"`
+	// Wins counts trials the initial leader won.
+	Wins int `json:"wins"`
+	// FirstFail records the first non-consensus trial, or "".
+	FirstFail string `json:"first_fail"`
+	// Metric is the adaptive stopping metric; nil for fixed-count runs.
+	Metric *experiment.AdaptiveMetric `json:"metric,omitempty"`
+}
+
+// fold accumulates one trial outcome; the fold sequence is identical
+// between the in-process and sharded paths.
+func (st *pointState) fold(i int, t float64, won bool, fail string) {
+	if fail != "" {
+		if st.FirstFail == "" {
+			st.FirstFail = fmt.Sprintf("value %s trial %d: %s", st.value, i, fail)
+		}
+		return
+	}
+	st.Times = append(st.Times, t)
+	if won {
+		st.Wins++
+	}
+	if st.Metric != nil {
+		st.Metric.Add(t)
+	}
+}
+
+// runPointInProcess folds one sweep point on the shared-arena engine.
+func runPointInProcess(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, workers, trials, adaptiveCap int) {
+	trial := func(i int, src *rng.Source, a *experiment.Arena) experiment.ShardResult {
+		report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
+		if err != nil {
+			return experiment.ShardResult{Outcome: err.Error()}
+		}
+		return experiment.ShardResult{
+			Interactions:  report.Result.Interactions,
+			Winner:        report.Result.Winner,
+			InitialLeader: report.InitialLeader,
+			Outcome:       report.Result.Outcome.String(),
+		}
+	}
+	sink := func(i int, r experiment.ShardResult) { foldShardResult(st, i, r) }
+	if st.Metric != nil {
+		experiment.StreamAdaptive(
+			experiment.AdaptiveOptions{MaxTrials: adaptiveCap, Parallelism: workers, Seed: seed},
+			trial, sink, experiment.StopWhenAll(st.Metric))
+		return
+	}
+	experiment.Stream(trials, workers, seed, trial, sink)
+}
+
+// runPointSharded folds one sweep point through the distributed
+// coordinator: shard worker processes compute the trials, the coordinator
+// folds them in global trial order and (with a checkpoint prefix) persists
+// the fold after every wave.
+func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, shards, workers, trials, adaptiveCap int, rel float64, ckpt string, point int) error {
+	if shards < 1 {
+		shards = 1
+	}
+	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, true).Encode()
+	if err != nil {
+		return err
+	}
+	maxTrials := trials
+	policy := "fixed"
+	var stop func() bool
+	if st.Metric != nil {
+		maxTrials = adaptiveCap
+		policy = experiment.ConsensusPolicy(rel)
+		stop = experiment.StopWhenAll(st.Metric)
+	}
+	path := ""
+	if ckpt != "" {
+		path = fmt.Sprintf("%s.point%d", ckpt, point)
+	}
+	launcher := dist.SelfExecLauncher(workerArgs(workers)...)
+	_, err = dist.Run(dist.Options{
+		Shards:         shards,
+		MaxTrials:      maxTrials,
+		Seed:           seed,
+		Spec:           spec,
+		Launcher:       launcher,
+		CheckpointPath: path,
+		Policy:         policy,
+	}, func(i int, data []byte) error {
+		var r experiment.ShardResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return err
+		}
+		foldShardResult(st, i, r)
+		return nil
+	}, stop, dist.JSONState{V: st})
+	return err
+}
+
+// workerArgs returns the extra worker argv forwarding the in-worker
+// parallelism bound.
+func workerArgs(workers int) []string {
+	if workers == 0 {
+		return nil
+	}
+	return []string{"-parallelism", strconv.Itoa(workers)}
+}
+
+// foldShardResult maps a trial's wire result onto the point fold.
+func foldShardResult(st *pointState, i int, r experiment.ShardResult) {
+	if !r.Consensus() {
+		st.fold(i, 0, false, r.Outcome)
+		return
+	}
+	st.fold(i, float64(r.Interactions), r.Winner == r.InitialLeader, "")
 }
 
 func buildConfig(param, value string, n int64, k int, keps float64, u0 int64) (*usd.Config, error) {

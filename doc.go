@@ -50,5 +50,10 @@
 // See README.md for the repository-level tour: quickstart, the batched
 // kernel's accuracy contract, the experiment catalog (including the
 // K1–K4 kernel experiments), the adaptive sequential-stopping trial
-// engine, and the cmd/bench perf-trajectory workflow.
+// engine, the sharded multi-process coordinator with checkpoint/resume
+// (internal/dist, -shards/-checkpoint on the CLIs), and the cmd/bench
+// perf-trajectory workflow. docs/ARCHITECTURE.md maps the package layers,
+// the determinism contract, and the numeric invariants;
+// docs/EXPERIMENTS.md catalogs every experiment with command lines and
+// runtime expectations.
 package usd

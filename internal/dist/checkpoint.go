@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the on-disk resume state of a distributed run, written
+// atomically after every folded wave. It captures everything the
+// coordinator needs to continue: how far the in-order fold has advanced,
+// whether the run already finished (and how), the spec hash guarding
+// against resuming a different configuration, and the caller's serialized
+// aggregate state.
+type Checkpoint struct {
+	// V is the checkpoint schema version.
+	V int `json:"v"`
+	// Hash is the spec hash of the run that wrote the checkpoint.
+	Hash string `json:"hash"`
+	// Seed is the trial-stream family seed of the run; resuming under a
+	// different seed is rejected (the restored aggregate would mix two
+	// random streams).
+	Seed uint64 `json:"seed"`
+	// Policy is the caller's opaque stopping-policy identity
+	// (Options.Policy); resuming under a different policy is rejected
+	// (the stop point would match neither run).
+	Policy string `json:"policy,omitempty"`
+	// NextTrial is the number of trials folded so far; the resume point.
+	NextTrial int `json:"next_trial"`
+	// MaxTrials is the run's trial cap; resuming under a different cap is
+	// rejected (the stop point would correspond to neither run).
+	MaxTrials int `json:"max_trials"`
+	// Waves is the cumulative number of folded waves.
+	Waves int `json:"waves"`
+	// Done reports that the run completed (predicate fired or cap reached);
+	// resuming a done checkpoint restores the state and returns without
+	// launching workers.
+	Done bool `json:"done"`
+	// Stopped reports that the stopping predicate fired (as opposed to the
+	// cap being exhausted); only meaningful when Done is set.
+	Stopped bool `json:"stopped"`
+	// State is the caller's aggregate state, produced by State.Snapshot.
+	State json.RawMessage `json:"state"`
+}
+
+// checkpointVersion is the current Checkpoint schema version.
+const checkpointVersion = 1
+
+// State is the caller-owned fold state a checkpoint captures: the
+// aggregates the sink updates, serialized well enough that Restore followed
+// by the remaining folds is bit-identical to never having been
+// interrupted (stats.Online and stats.P2 provide such snapshots).
+type State interface {
+	// Snapshot serializes the current aggregate state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the aggregate state with a previous Snapshot.
+	Restore(data []byte) error
+}
+
+// JSONState adapts a JSON-(un)marshalable value to the State interface. V
+// must be a pointer for Restore to take effect. Note that encoding/json
+// round-trips finite float64s exactly but rejects NaN and the infinities;
+// aggregate states containing those must use stats.F64Bits (or the
+// stats.Online / stats.P2 snapshots, which already do).
+type JSONState struct {
+	// V is the pointed-to aggregate state.
+	V any
+}
+
+// Snapshot implements State by marshaling V.
+func (s JSONState) Snapshot() ([]byte, error) { return json.Marshal(s.V) }
+
+// Restore implements State by unmarshaling into V.
+func (s JSONState) Restore(data []byte) error { return json.Unmarshal(data, s.V) }
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory and an atomic rename, so readers never observe a partial file
+// and an interrupted write cannot clobber the previous version. cmd/bench
+// shares it for BENCH_core.json.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Sync before the rename: on a power loss the rename may be durable
+	// while unsynced data blocks are not, which would leave a truncated
+	// file at the final path — the one loss checkpointing must prevent.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// saveCheckpoint snapshots the caller state and writes the checkpoint
+// atomically.
+func saveCheckpoint(path string, cp Checkpoint, state State) error {
+	snap, err := state.Snapshot()
+	if err != nil {
+		return fmt.Errorf("dist: snapshot state for checkpoint: %w", err)
+	}
+	cp.V = checkpointVersion
+	cp.State = snap
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("dist: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
+		return fmt.Errorf("dist: write checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint if one exists and verifies it belongs
+// to this run: same spec hash, same seed, same trial cap, same stopping
+// policy. A missing file is not an error: it returns ok = false, meaning a
+// fresh run.
+func loadCheckpoint(path, wantHash string, wantSeed uint64, wantMax int, wantPolicy string) (Checkpoint, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("dist: read checkpoint %s: %w", path, err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("dist: parse checkpoint %s: %w", path, err)
+	}
+	if cp.V != checkpointVersion {
+		return Checkpoint{}, false, fmt.Errorf("dist: checkpoint %s has schema version %d, want %d", path, cp.V, checkpointVersion)
+	}
+	if cp.Hash != wantHash {
+		return Checkpoint{}, false, fmt.Errorf(
+			"dist: checkpoint %s was written by a different configuration (spec hash %.12s, this run %.12s); delete it to start over",
+			path, cp.Hash, wantHash)
+	}
+	if cp.Seed != wantSeed {
+		return Checkpoint{}, false, fmt.Errorf(
+			"dist: checkpoint %s was written with seed %d, this run uses %d; resuming would mix two trial streams — delete it to start over",
+			path, cp.Seed, wantSeed)
+	}
+	if cp.MaxTrials != wantMax {
+		return Checkpoint{}, false, fmt.Errorf(
+			"dist: checkpoint %s was written with a trial cap of %d, this run uses %d; delete it to start over",
+			path, cp.MaxTrials, wantMax)
+	}
+	if cp.Policy != wantPolicy {
+		return Checkpoint{}, false, fmt.Errorf(
+			"dist: checkpoint %s was written under stopping policy %q, this run uses %q; the stop point would match neither — delete it to start over",
+			path, cp.Policy, wantPolicy)
+	}
+	return cp, true, nil
+}

@@ -1,0 +1,466 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// DefaultWave is the coordinator's dispatch wave size when Options.Wave is
+// zero. A wave is both the cross-process stop-check barrier and the
+// checkpoint granularity: at most one wave of work is lost to an
+// interruption or to a stopping predicate firing mid-wave.
+const DefaultWave = 16
+
+// Conn is one live worker connection: a writer carrying coordinator
+// commands (the worker's stdin) and a reader yielding the worker's protocol
+// lines (its stdout).
+type Conn struct {
+	// W receives coordinator-to-worker protocol lines. The coordinator
+	// closes it to signal end of session.
+	W io.WriteCloser
+	// R yields worker-to-coordinator protocol lines.
+	R io.ReadCloser
+	// Wait, if non-nil, blocks until the worker has exited and returns its
+	// terminal status; the coordinator calls it after closing W and
+	// draining R.
+	Wait func() error
+}
+
+// Launcher starts shard workers. ExecLauncher spawns real processes;
+// PipeLauncher runs workers as in-process goroutines over synchronous
+// pipes, exercising the identical protocol path without processes (used by
+// tests and available where re-exec is impossible).
+type Launcher interface {
+	// Launch starts the worker for the given shard and returns its
+	// connection.
+	Launch(shard, shards int) (*Conn, error)
+}
+
+// ExecLauncher launches shard workers as child processes of this process.
+// The conventional worker entry point is the launching binary itself with a
+// hidden -shard-worker i/of flag that routes main into the protocol loop
+// (experiment.ServeShard), so coordinator and workers are always the same
+// build.
+type ExecLauncher struct {
+	// Path is the worker executable; empty means this executable
+	// (os.Executable).
+	Path string
+	// Args returns the worker argv (after the program name) for a shard,
+	// typically ["-shard-worker", ShardArg(shard, shards), ...].
+	Args func(shard, shards int) []string
+	// Env is the worker environment; nil inherits this process's.
+	Env []string
+	// Stderr receives the workers' stderr; nil means this process's stderr,
+	// so worker diagnostics stay visible.
+	Stderr io.Writer
+}
+
+// Launch implements Launcher by spawning one worker process.
+func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
+	path := l.Path
+	if path == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("dist: resolve worker executable: %w", err)
+		}
+		path = exe
+	}
+	if l.Args == nil {
+		return nil, fmt.Errorf("dist: ExecLauncher needs an Args function")
+	}
+	cmd := exec.Command(path, l.Args(shard, shards)...)
+	cmd.Env = l.Env
+	if l.Stderr != nil {
+		cmd.Stderr = l.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: start shard %d worker: %w", shard, err)
+	}
+	return &Conn{W: stdin, R: stdout, Wait: cmd.Wait}, nil
+}
+
+// SelfExecLauncher returns an ExecLauncher that re-executes this binary as
+// its own shard workers, passing the hidden -shard-worker i/of flag
+// followed by extraArgs. It is the one place the worker-mode argv is
+// spelled, shared by every CLI that exposes -shards, so coordinator and
+// worker cannot drift apart.
+func SelfExecLauncher(extraArgs ...string) *ExecLauncher {
+	return &ExecLauncher{Args: func(shard, shards int) []string {
+		return append([]string{"-shard-worker", ShardArg(shard, shards)}, extraArgs...)
+	}}
+}
+
+// PipeLauncher runs shard workers as goroutines inside this process,
+// connected through synchronous in-memory pipes. The coordinator speaks
+// exactly the same protocol as with ExecLauncher — every line is marshaled,
+// written, read, and parsed — so tests of the distributed path cover the
+// full codec without spawning processes.
+type PipeLauncher struct {
+	// Build constructs each worker's trial runner from the job spec.
+	Build BuildRunner
+}
+
+// Launch implements Launcher by serving the worker protocol on a goroutine.
+func (l *PipeLauncher) Launch(shard, shards int) (*Conn, error) {
+	if l.Build == nil {
+		return nil, fmt.Errorf("dist: PipeLauncher needs a Build function")
+	}
+	workerIn, coordOut := io.Pipe() // coordinator writes -> worker reads
+	coordIn, workerOut := io.Pipe() // worker writes -> coordinator reads
+	errc := make(chan error, 1)
+	go func() {
+		err := Serve(workerIn, workerOut, shard, shards, l.Build)
+		// Closing the worker's ends unblocks both sides: the coordinator's
+		// reader sees EOF (or the serve error), and any still-pending
+		// coordinator write fails instead of blocking forever.
+		workerOut.CloseWithError(err)
+		workerIn.CloseWithError(err)
+		errc <- err
+	}()
+	return &Conn{W: coordOut, R: coordIn, Wait: func() error { return <-errc }}, nil
+}
+
+// Options configure a distributed run.
+type Options struct {
+	// Shards is the number of worker processes; at least 1.
+	Shards int
+	// MaxTrials is the trial budget: the fixed count when Stop is nil, the
+	// hard cap when it is not. Must be positive.
+	MaxTrials int
+	// Wave is the dispatch wave size (DefaultWave when zero): the stop-check
+	// barrier and checkpoint granularity.
+	Wave int
+	// Seed is the trial-stream family seed, forwarded to every worker;
+	// trial i draws from rng.Derive(Seed, i) exactly as in-process runs do.
+	Seed uint64
+	// Spec is the opaque job specification broadcast to workers. Its bytes
+	// are hashed to guard checkpoints and worker handshakes, so equal
+	// configurations must serialize to equal bytes.
+	Spec []byte
+	// Launcher starts the workers. Required.
+	Launcher Launcher
+	// CheckpointPath, when non-empty, makes the run write a checkpoint
+	// after every folded wave and resume from an existing one. Requires a
+	// non-nil State in Run.
+	CheckpointPath string
+	// Policy is an opaque identity of the caller's stopping policy (for
+	// example "adaptive rel=0.05" or "fixed"). It is recorded in the
+	// checkpoint and compared on resume, so a run resumed under a
+	// different policy is rejected instead of producing a stop point that
+	// matches neither configuration. The stop predicate itself is code
+	// and cannot be verified; Policy is the caller's declaration of it.
+	Policy string
+	// MaxWaves, when positive, bounds how many waves this invocation folds
+	// before halting with Result.Interrupted set — time-sliced operation:
+	// a later invocation with the same CheckpointPath continues where this
+	// one stopped. Requires CheckpointPath (an interrupted run without a
+	// checkpoint would be unresumable, its folded progress unrecoverable).
+	MaxWaves int
+}
+
+// Result reports how a distributed run ended.
+type Result struct {
+	// Trials is the number of trials folded into the sink across the whole
+	// run, including any folded before a resume.
+	Trials int
+	// Stopped reports that the stopping predicate fired; false means the
+	// MaxTrials cap was reached (or the run was interrupted).
+	Stopped bool
+	// Waves is the cumulative number of folded waves, including waves
+	// folded before a resume.
+	Waves int
+	// ResumedFrom is the trial index this invocation resumed from; 0 means
+	// a fresh start.
+	ResumedFrom int
+	// Interrupted reports that Options.MaxWaves halted the run before
+	// completion; the checkpoint holds the resume point.
+	Interrupted bool
+}
+
+// shardMsg is one worker line tagged with its shard, as pumped to the fold
+// loop.
+type shardMsg struct {
+	shard int
+	m     Msg
+	err   error
+}
+
+// Run executes a distributed trial run: it launches Options.Shards workers,
+// partitions each wave's global trial indices across them (index i belongs
+// to shard i mod Shards), folds the returned payloads into sink strictly in
+// global trial-index order, and evaluates stop after every fold, exactly as
+// experiment.StreamAdaptive does in process — so the folded prefix, and
+// every order-sensitive aggregate built from it, is byte-identical to the
+// single-process run of the same spec and seed at every shard count.
+//
+// stop may be nil for a fixed MaxTrials run. A non-nil sink error aborts
+// the run. state carries the caller's aggregates for checkpointing; it is
+// required when Options.CheckpointPath is set and may be nil otherwise.
+func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool, state State) (Result, error) {
+	if opts.Shards < 1 {
+		return Result{}, fmt.Errorf("dist: Shards = %d, want >= 1", opts.Shards)
+	}
+	if opts.MaxTrials < 1 {
+		return Result{}, fmt.Errorf("dist: MaxTrials = %d, want >= 1", opts.MaxTrials)
+	}
+	if opts.Launcher == nil {
+		return Result{}, fmt.Errorf("dist: Options.Launcher is required")
+	}
+	if sink == nil {
+		return Result{}, fmt.Errorf("dist: sink is required")
+	}
+	if opts.CheckpointPath != "" && state == nil {
+		return Result{}, fmt.Errorf("dist: CheckpointPath is set but no State was provided")
+	}
+	if opts.MaxWaves > 0 && opts.CheckpointPath == "" {
+		return Result{}, fmt.Errorf("dist: MaxWaves without CheckpointPath would interrupt unresumably")
+	}
+	wave := opts.Wave
+	if wave <= 0 {
+		wave = DefaultWave
+	}
+	hash := HashSpec(opts.Spec)
+
+	res := Result{}
+	start := 0
+	if opts.CheckpointPath != "" {
+		cp, ok, err := loadCheckpoint(opts.CheckpointPath, hash, opts.Seed, opts.MaxTrials, opts.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			if err := state.Restore(cp.State); err != nil {
+				return Result{}, fmt.Errorf("dist: restore state from checkpoint: %w", err)
+			}
+			start = cp.NextTrial
+			res.ResumedFrom = cp.NextTrial
+			res.Waves = cp.Waves
+			if cp.Done {
+				// The run already finished; the restored state is the final
+				// aggregate, so report its recorded outcome without
+				// launching anything.
+				res.Trials = cp.NextTrial
+				res.Stopped = cp.Stopped
+				return res, nil
+			}
+		}
+	}
+
+	conns, msgs, cleanup, err := launchWorkers(opts, hash)
+	if err != nil {
+		return res, err
+	}
+	defer cleanup()
+
+	pending := make(map[int][]byte, wave)
+	done := start
+	wavesThisRun := 0
+	for done < opts.MaxTrials {
+		if opts.MaxWaves > 0 && wavesThisRun >= opts.MaxWaves {
+			res.Trials = done
+			res.Interrupted = true
+			return res, nil
+		}
+		lo, hi := done, done+wave
+		if hi > opts.MaxTrials {
+			hi = opts.MaxTrials
+		}
+		for _, c := range conns {
+			if err := writeMsg(c.W, Msg{Type: TypeWave, Lo: lo, Hi: hi}); err != nil {
+				res.Trials = done
+				return res, err
+			}
+		}
+		// The wave barrier: every shard reports wavedone for [lo, hi).
+		for waiting := len(conns); waiting > 0; {
+			sm := <-msgs
+			switch {
+			case sm.err != nil:
+				res.Trials = done
+				return res, fmt.Errorf("dist: shard %d: %w", sm.shard, sm.err)
+			case sm.m.Type == TypeResult:
+				pending[sm.m.Trial] = sm.m.Data
+			case sm.m.Type == TypeWaveDone:
+				waiting--
+			case sm.m.Type == TypeError:
+				res.Trials = done
+				return res, fmt.Errorf("dist: shard %d failed: %s", sm.shard, sm.m.Err)
+			default:
+				res.Trials = done
+				return res, fmt.Errorf("dist: shard %d sent unexpected %s message", sm.shard, sm.m.Type)
+			}
+		}
+		// Fold the wave strictly in global index order, consulting the
+		// stopping predicate after every fold — the same contract as the
+		// in-process engines, so the stop point cannot depend on shard
+		// count or scheduling. Results past a mid-wave stop are discarded,
+		// bounding the waste at one wave.
+		stopped := false
+		for i := lo; i < hi && !stopped; i++ {
+			data, ok := pending[i]
+			if !ok {
+				res.Trials = done
+				return res, fmt.Errorf("dist: wave [%d,%d) is missing trial %d", lo, hi, i)
+			}
+			delete(pending, i)
+			if err := sink(i, data); err != nil {
+				res.Trials = done
+				return res, fmt.Errorf("dist: fold trial %d: %w", i, err)
+			}
+			done++
+			if stop != nil && stop() {
+				stopped = true
+			}
+		}
+		for k := range pending {
+			delete(pending, k)
+		}
+		res.Waves++
+		wavesThisRun++
+		res.Trials = done
+		res.Stopped = stopped
+		if opts.CheckpointPath != "" {
+			cp := Checkpoint{
+				Hash:      hash,
+				Seed:      opts.Seed,
+				Policy:    opts.Policy,
+				NextTrial: done,
+				MaxTrials: opts.MaxTrials,
+				Waves:     res.Waves,
+				Done:      stopped || done >= opts.MaxTrials,
+				Stopped:   stopped,
+			}
+			if err := saveCheckpoint(opts.CheckpointPath, cp, state); err != nil {
+				return res, err
+			}
+		}
+		if stopped {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// launchWorkers starts every shard, performs the job/hello handshake, and
+// returns the connections plus a channel merging all worker messages. The
+// returned cleanup halts the workers (best effort), drains their streams,
+// and reaps them; it is safe to call on every exit path, including mid-wave
+// aborts with results still in flight.
+func launchWorkers(opts Options, hash string) ([]*Conn, chan shardMsg, func(), error) {
+	conns := make([]*Conn, 0, opts.Shards)
+	var readers sync.WaitGroup
+	readersStarted := 0
+	msgs := make(chan shardMsg, opts.Shards)
+	cleanup := func() {
+		// Drain concurrently with halting: a worker still mid-wave keeps
+		// emitting results until it reaches the barrier, and those writes
+		// must keep flowing (reader goroutine -> msgs -> this drain) or the
+		// worker would never get around to reading the halt. Synchronous
+		// in-process pipes (PipeLauncher) would deadlock otherwise.
+		drained := make(chan struct{})
+		go func() {
+			readers.Wait()
+			close(msgs)
+		}()
+		go func() {
+			for range msgs {
+			}
+			close(drained)
+		}()
+		var halts sync.WaitGroup
+		for i, c := range conns {
+			halts.Add(1)
+			go func(i int, c *Conn) {
+				defer halts.Done()
+				if i >= readersStarted {
+					// No reader owns this stream yet (handshake-phase
+					// failure); close it so a worker blocked writing its
+					// hello unblocks and can observe the hangup.
+					c.R.Close()
+				}
+				// Halting is best-effort: a worker that already exited (or
+				// died) just yields a write error here.
+				_ = writeMsg(c.W, Msg{Type: TypeHalt})
+				c.W.Close()
+			}(i, c)
+		}
+		halts.Wait()
+		<-drained
+		for _, c := range conns {
+			if c.Wait != nil {
+				_ = c.Wait()
+			}
+		}
+	}
+	fail := func(err error) ([]*Conn, chan shardMsg, func(), error) {
+		cleanup()
+		return nil, nil, nil, err
+	}
+
+	for shard := 0; shard < opts.Shards; shard++ {
+		c, err := opts.Launcher.Launch(shard, opts.Shards)
+		if err != nil {
+			return fail(fmt.Errorf("dist: launch shard %d: %w", shard, err))
+		}
+		conns = append(conns, c)
+		if err := writeMsg(c.W, Msg{
+			Type:   TypeJob,
+			Shard:  shard,
+			Shards: opts.Shards,
+			Seed:   opts.Seed,
+			Hash:   hash,
+			Spec:   opts.Spec,
+		}); err != nil {
+			return fail(fmt.Errorf("dist: send job to shard %d: %w", shard, err))
+		}
+	}
+	// Handshake sequentially: every worker must verify the spec hash and
+	// greet before any wave is dispatched.
+	for shard, c := range conns {
+		dec := newMsgReader(c.R)
+		m, err := dec.next()
+		if err != nil {
+			return fail(fmt.Errorf("dist: shard %d handshake: %w", shard, err))
+		}
+		if m.Type == TypeError {
+			return fail(fmt.Errorf("dist: shard %d rejected job: %s", shard, m.Err))
+		}
+		if m.Type != TypeHello || m.Shard != shard || m.Hash != hash {
+			return fail(fmt.Errorf("dist: shard %d sent bad hello (type %s, shard %d, hash %.12s)",
+				shard, m.Type, m.Shard, m.Hash))
+		}
+		readers.Add(1)
+		readersStarted++
+		go func(shard int, dec *msgReader) {
+			defer readers.Done()
+			for {
+				m, err := dec.next()
+				if err != nil {
+					// EOF mid-wave means the worker died; surfacing it keeps
+					// the barrier from waiting forever. On the normal halt
+					// path the message is drained unseen by cleanup.
+					if err == io.EOF {
+						err = fmt.Errorf("worker exited")
+					}
+					msgs <- shardMsg{shard: shard, err: err}
+					return
+				}
+				msgs <- shardMsg{shard: shard, m: m}
+			}
+		}(shard, dec)
+	}
+	return conns, msgs, cleanup, nil
+}

@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// echoPayload is the deterministic payload the test runner emits for a
+// global trial index: a pure function of (spec, seed, index), like real
+// trials.
+func echoPayload(spec []byte, seed uint64, trial int) []byte {
+	return []byte(fmt.Sprintf(`{"trial":%d,"seed":%d,"spec":%d}`, trial, seed, len(spec)))
+}
+
+// echoBuild is a BuildRunner whose trials just echo their identity.
+func echoBuild(spec []byte, seed uint64) (TrialRunner, error) {
+	return func(indices []int, emit func(trial int, data []byte)) error {
+		for _, i := range indices {
+			emit(i, echoPayload(spec, seed, i))
+		}
+		return nil
+	}, nil
+}
+
+// foldState is a checkpointable sink state: an order-sensitive running hash
+// of everything folded, so any reordering, omission, or duplication shows.
+type foldState struct {
+	Count int      `json:"count"`
+	Seq   []string `json:"seq"`
+}
+
+func (s *foldState) Snapshot() ([]byte, error) { return json.Marshal(s) }
+func (s *foldState) Restore(b []byte) error    { return json.Unmarshal(b, s) }
+
+func (s *foldState) sink(trial int, data []byte) error {
+	s.Count++
+	s.Seq = append(s.Seq, fmt.Sprintf("%d:%s", trial, data))
+	return nil
+}
+
+// runEcho runs a coordinator over the echo runner and returns the folded
+// state.
+func runEcho(t *testing.T, opts Options, stop func() bool) (*foldState, Result) {
+	t.Helper()
+	if opts.Launcher == nil {
+		opts.Launcher = &PipeLauncher{Build: echoBuild}
+	}
+	st := &foldState{}
+	res, err := Run(opts, st.sink, stop, st)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st, res
+}
+
+// TestShardIndicesPartition checks that the per-shard index sets partition
+// every wave range exactly, for ranges that do and do not align with the
+// shard count.
+func TestShardIndicesPartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		for _, r := range [][2]int{{0, 16}, {5, 6}, {3, 20}, {10, 10}, {0, 1}} {
+			lo, hi := r[0], r[1]
+			seen := map[int]int{}
+			for shard := 0; shard < shards; shard++ {
+				for _, i := range ShardIndices(lo, hi, shard, shards) {
+					if i < lo || i >= hi {
+						t.Fatalf("shards=%d [%d,%d): shard %d got out-of-range index %d", shards, lo, hi, shard, i)
+					}
+					if i%shards != shard {
+						t.Fatalf("shards=%d: index %d assigned to shard %d", shards, i, shard)
+					}
+					seen[i]++
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if seen[i] != 1 {
+					t.Fatalf("shards=%d [%d,%d): index %d covered %d times", shards, lo, hi, i, seen[i])
+				}
+			}
+			if len(seen) != hi-lo {
+				t.Fatalf("shards=%d [%d,%d): covered %d indices", shards, lo, hi, len(seen))
+			}
+		}
+	}
+	if got := ShardIndices(0, 10, 3, 2); got != nil {
+		t.Fatalf("invalid shard: got %v", got)
+	}
+}
+
+// TestParseShardArg pins the round trip and the rejections.
+func TestParseShardArg(t *testing.T) {
+	shard, shards, err := ParseShardArg(ShardArg(3, 8))
+	if err != nil || shard != 3 || shards != 8 {
+		t.Fatalf("round trip: %d/%d, %v", shard, shards, err)
+	}
+	for _, bad := range []string{"", "3", "8/3", "-1/4", "a/b", "4/4"} {
+		if _, _, err := ParseShardArg(bad); err == nil {
+			t.Fatalf("ParseShardArg(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunFixedFoldsInOrderAcrossShards is the core determinism property at
+// the dist level: the folded sequence is identical at every shard count and
+// equals the declared global order.
+func TestRunFixedFoldsInOrderAcrossShards(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	const trials = 53
+	var want []string
+	for i := 0; i < trials; i++ {
+		want = append(want, fmt.Sprintf("%d:%s", i, echoPayload(spec, 7, i)))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, wave := range []int{0, 1, 5, 64} {
+			st, res := runEcho(t, Options{Shards: shards, MaxTrials: trials, Wave: wave, Seed: 7, Spec: spec}, nil)
+			if res.Trials != trials || res.Stopped {
+				t.Fatalf("shards=%d wave=%d: result %+v", shards, wave, res)
+			}
+			if !reflect.DeepEqual(st.Seq, want) {
+				t.Fatalf("shards=%d wave=%d: folded sequence diverged:\n%v\nwant\n%v", shards, wave, st.Seq, want)
+			}
+		}
+	}
+}
+
+// TestRunAdaptiveStopPointIndependentOfShards checks that a stopping
+// predicate fires at the same folded prefix at every shard count and wave
+// size, including mid-wave.
+func TestRunAdaptiveStopPointIndependentOfShards(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	const stopAt = 23
+	for _, shards := range []int{1, 2, 4} {
+		for _, wave := range []int{3, 16, 100} {
+			st := &foldState{}
+			res, err := Run(Options{
+				Shards: shards, MaxTrials: 100, Wave: wave, Seed: 7, Spec: spec,
+				Launcher: &PipeLauncher{Build: echoBuild},
+			}, st.sink, func() bool { return st.Count >= stopAt }, nil)
+			if err != nil {
+				t.Fatalf("shards=%d wave=%d: %v", shards, wave, err)
+			}
+			if !res.Stopped || res.Trials != stopAt || st.Count != stopAt {
+				t.Fatalf("shards=%d wave=%d: stopped=%v trials=%d folded=%d, want stop at %d",
+					shards, wave, res.Stopped, res.Trials, st.Count, stopAt)
+			}
+		}
+	}
+}
+
+// TestRunCheckpointResume interrupts a checkpointed run with MaxWaves,
+// resumes it, and requires the folded state to be byte-identical to an
+// uninterrupted run — including a final no-op resume of the done
+// checkpoint.
+func TestRunCheckpointResume(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	const trials = 40
+	full, fullRes := runEcho(t, Options{Shards: 2, MaxTrials: trials, Wave: 6, Seed: 9, Spec: spec}, nil)
+
+	cp := filepath.Join(t.TempDir(), "run.ckpt")
+	st, res := runEcho(t, Options{Shards: 2, MaxTrials: trials, Wave: 6, Seed: 9, Spec: spec,
+		CheckpointPath: cp, MaxWaves: 3}, nil)
+	if !res.Interrupted || res.Trials != 18 || len(st.Seq) != 18 {
+		t.Fatalf("interrupted run: %+v (folded %d)", res, len(st.Seq))
+	}
+	st2 := &foldState{}
+	res2, err := Run(Options{Shards: 2, MaxTrials: trials, Wave: 6, Seed: 9, Spec: spec,
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}}, st2.sink, nil, st2)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res2.ResumedFrom != 18 || res2.Trials != trials || res2.Interrupted {
+		t.Fatalf("resume result: %+v", res2)
+	}
+	// The resumed state was restored from the checkpoint snapshot before
+	// folding the remainder, so it must equal the uninterrupted run's.
+	if !reflect.DeepEqual(st2.Seq, full.Seq) {
+		t.Fatalf("resumed state diverged from uninterrupted run:\n%v\nwant\n%v", st2.Seq, full.Seq)
+	}
+	if res2.Waves != fullRes.Waves {
+		t.Fatalf("cumulative waves: %d vs %d", res2.Waves, fullRes.Waves)
+	}
+
+	// Resuming a done checkpoint restores the final state without
+	// launching anything.
+	st3 := &foldState{}
+	res3, err := Run(Options{Shards: 2, MaxTrials: trials, Wave: 6, Seed: 9, Spec: spec,
+		CheckpointPath: cp, Launcher: failingLauncher{}}, st3.sink, nil, st3)
+	if err != nil {
+		t.Fatalf("done resume: %v", err)
+	}
+	if res3.Trials != trials || !reflect.DeepEqual(st3.Seq, full.Seq) {
+		t.Fatalf("done resume diverged: %+v", res3)
+	}
+}
+
+// failingLauncher fails every Launch; used to prove a done checkpoint never
+// launches workers.
+type failingLauncher struct{}
+
+func (failingLauncher) Launch(int, int) (*Conn, error) {
+	return nil, fmt.Errorf("launcher must not be called")
+}
+
+// TestRunWorkerCrashLeavesUsableCheckpoint kills the run mid-wave via a
+// runner that fails on a specific trial, then resumes with a healthy
+// launcher and requires the final state to match an uninterrupted run —
+// the dist-level version of the kill-and-resume contract.
+func TestRunWorkerCrashLeavesUsableCheckpoint(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	const trials = 30
+	full, _ := runEcho(t, Options{Shards: 2, MaxTrials: trials, Wave: 5, Seed: 4, Spec: spec}, nil)
+
+	crashing := func(spec []byte, seed uint64) (TrialRunner, error) {
+		return func(indices []int, emit func(trial int, data []byte)) error {
+			for _, i := range indices {
+				if i == 17 { // wave [15,20): crash mid-run
+					return fmt.Errorf("injected crash at trial %d", i)
+				}
+				emit(i, echoPayload(spec, seed, i))
+			}
+			return nil
+		}, nil
+	}
+	cp := filepath.Join(t.TempDir(), "crash.ckpt")
+	st := &foldState{}
+	_, err := Run(Options{Shards: 2, MaxTrials: trials, Wave: 5, Seed: 4, Spec: spec,
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: crashing}}, st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "injected crash") {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+
+	st2 := &foldState{}
+	res, err := Run(Options{Shards: 2, MaxTrials: trials, Wave: 5, Seed: 4, Spec: spec,
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}}, st2.sink, nil, st2)
+	if err != nil {
+		t.Fatalf("resume after crash: %v", err)
+	}
+	if res.ResumedFrom != 15 || res.Trials != trials {
+		t.Fatalf("resume result: %+v", res)
+	}
+	if !reflect.DeepEqual(st2.Seq, full.Seq) {
+		t.Fatalf("post-crash resume diverged from uninterrupted run")
+	}
+}
+
+// TestRunChecksSpecHashOnResume pins that a checkpoint from a different
+// configuration is rejected instead of silently folded into.
+func TestRunChecksSpecHashOnResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "run.ckpt")
+	_, res := runEcho(t, Options{Shards: 1, MaxTrials: 8, Seed: 1, Spec: []byte(`{"a":1}`),
+		CheckpointPath: cp}, nil)
+	if res.Trials != 8 {
+		t.Fatalf("seed run: %+v", res)
+	}
+	st := &foldState{}
+	_, err := Run(Options{Shards: 1, MaxTrials: 8, Seed: 1, Spec: []byte(`{"a":2}`),
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}}, st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("expected configuration mismatch, got %v", err)
+	}
+	// A changed seed would fold two different trial streams into one
+	// aggregate; a changed cap would move the stop point. Both are
+	// rejected, not resumed.
+	_, err = Run(Options{Shards: 1, MaxTrials: 8, Seed: 2, Spec: []byte(`{"a":1}`),
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}}, st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("expected seed mismatch, got %v", err)
+	}
+	_, err = Run(Options{Shards: 1, MaxTrials: 16, Seed: 1, Spec: []byte(`{"a":1}`),
+		CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}}, st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "trial cap") {
+		t.Fatalf("expected trial-cap mismatch, got %v", err)
+	}
+	// A changed stopping policy would produce a stop point matching
+	// neither run.
+	_, err = Run(Options{Shards: 1, MaxTrials: 8, Seed: 1, Spec: []byte(`{"a":1}`),
+		Policy: "adaptive rel=0.03", CheckpointPath: cp, Launcher: &PipeLauncher{Build: echoBuild}},
+		st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("expected policy mismatch, got %v", err)
+	}
+}
+
+// TestRunOptionValidation covers the fail-fast paths.
+func TestRunOptionValidation(t *testing.T) {
+	sink := func(int, []byte) error { return nil }
+	cases := []Options{
+		{Shards: 0, MaxTrials: 1, Launcher: failingLauncher{}},
+		{Shards: 1, MaxTrials: 0, Launcher: failingLauncher{}},
+		{Shards: 1, MaxTrials: 1},
+		{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, CheckpointPath: "x"},
+		// MaxWaves without a checkpoint would interrupt unresumably.
+		{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, MaxWaves: 1},
+	}
+	for i, opts := range cases {
+		if _, err := Run(opts, sink, nil, nil); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Run(Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}}, nil, nil, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+// TestWriteFileAtomic checks atomic replacement and that no temp files are
+// left behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("content %q, err %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1 (temp file leaked?)", len(entries))
+	}
+}
+
+// TestProtocolVersionRejected pins the version gate on both directions.
+func TestProtocolVersionRejected(t *testing.T) {
+	r := newMsgReader(strings.NewReader(`{"v":99,"type":"job","trial":0}` + "\n"))
+	if _, err := r.next(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}

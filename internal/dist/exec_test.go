@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// distWorkerFlag routes the test binary into worker mode when TestMain sees
+// it in argv — the same self-re-exec pattern the cmds use with their hidden
+// -shard-worker flag, so ExecLauncher is exercised against real processes.
+const distWorkerFlag = "-dist-test-worker="
+
+// TestMain intercepts worker-mode invocations of the test binary before the
+// testing framework parses flags.
+func TestMain(m *testing.M) {
+	for _, arg := range os.Args[1:] {
+		if !strings.HasPrefix(arg, distWorkerFlag) {
+			continue
+		}
+		shard, shards, err := ParseShardArg(strings.TrimPrefix(arg, distWorkerFlag))
+		if err == nil {
+			err = Serve(os.Stdin, os.Stdout, shard, shards, echoBuild)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dist test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestExecLauncherEndToEnd runs a coordinator against real worker
+// processes (this test binary re-executed in worker mode) and checks the
+// folded sequence matches the in-process PipeLauncher run exactly.
+func TestExecLauncherEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	spec := []byte(`{"job":"echo-exec"}`)
+	const trials = 21
+	opts := Options{Shards: 3, MaxTrials: trials, Wave: 4, Seed: 11, Spec: spec}
+
+	ref, refRes := runEcho(t, opts, nil)
+
+	execOpts := opts
+	execOpts.Launcher = &ExecLauncher{
+		Path: os.Args[0],
+		Args: func(shard, shards int) []string {
+			return []string{distWorkerFlag + ShardArg(shard, shards)}
+		},
+	}
+	st := &foldState{}
+	res, err := Run(execOpts, st.sink, nil, st)
+	if err != nil {
+		t.Fatalf("exec run: %v", err)
+	}
+	if res != refRes {
+		t.Fatalf("exec result %+v, pipe result %+v", res, refRes)
+	}
+	if !reflect.DeepEqual(st.Seq, ref.Seq) {
+		t.Fatalf("exec-launcher fold diverged from in-process fold")
+	}
+}
+
+// TestExecLauncherWorkerRejectsBadJob checks the process-level handshake
+// failure path: a worker addressed as the wrong shard reports an error and
+// the coordinator aborts.
+func TestExecLauncherWorkerRejectsBadJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	st := &foldState{}
+	_, err := Run(Options{
+		Shards: 1, MaxTrials: 4, Seed: 1, Spec: []byte(`{}`),
+		Launcher: &ExecLauncher{
+			Path: os.Args[0],
+			Args: func(shard, shards int) []string {
+				// Deliberately mis-addressed: the worker serves 1/2 but the
+				// job header says 0/1.
+				return []string{distWorkerFlag + ShardArg(1, 2)}
+			},
+			Stderr: devNull{},
+		},
+	}, st.sink, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("expected handshake rejection, got %v", err)
+	}
+}
+
+// devNull swallows worker stderr so the expected failure does not pollute
+// test output.
+type devNull struct{}
+
+func (devNull) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+)
+
+// TrialRunner computes the results of the given global trial indices,
+// calling emit exactly once per index with the trial's encoded payload.
+// Implementations must be index-deterministic — the payload for index i may
+// depend only on the job spec, the seed, and i — and may emit in any order;
+// the coordinator reorders by global index before folding. A returned error
+// aborts the whole distributed run.
+type TrialRunner func(indices []int, emit func(trial int, data []byte)) error
+
+// BuildRunner constructs a TrialRunner from a job spec and the trial-stream
+// family seed. It is how a worker binary turns the opaque spec it received
+// over the wire into executable trials; experiment.ShardBuilder provides
+// the USD instance.
+type BuildRunner func(spec []byte, seed uint64) (TrialRunner, error)
+
+// ShardIndices returns the global trial indices in [lo, hi) owned by the
+// shard: those congruent to shard modulo shards. The assignment is a pure
+// function of the global index, so wave boundaries never change which shard
+// computes a trial.
+func ShardIndices(lo, hi, shard, shards int) []int {
+	if shards < 1 || shard < 0 || shard >= shards || hi <= lo {
+		return nil
+	}
+	first := lo + ((shard-lo%shards)+shards)%shards
+	if first >= hi {
+		return nil
+	}
+	out := make([]int, 0, (hi-first+shards-1)/shards)
+	for i := first; i < hi; i += shards {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Serve runs the worker side of the protocol on a command stream r and a
+// result stream w (a worker process's stdin and stdout): it reads the job
+// header, verifies the spec hash and the shard identity against the
+// expected one, builds the trial runner, and then serves wave commands
+// until a halt or EOF. EOF before halt means the coordinator died (or
+// aborted); Serve treats it as a clean shutdown so killed coordinators do
+// not leave workers complaining.
+func Serve(r io.Reader, w io.Writer, shard, shards int, build BuildRunner) error {
+	if build == nil {
+		return fmt.Errorf("dist: Serve needs a BuildRunner")
+	}
+	dec := newMsgReader(r)
+	job, err := dec.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+	if job.Type != TypeJob {
+		return fmt.Errorf("dist: worker expected %s message first, got %s", TypeJob, job.Type)
+	}
+	if job.Shard != shard || job.Shards != shards {
+		return failWorker(w, fmt.Errorf("dist: job addressed to shard %d/%d, serving %d/%d",
+			job.Shard, job.Shards, shard, shards))
+	}
+	if got := HashSpec(job.Spec); got != job.Hash {
+		return failWorker(w, fmt.Errorf("dist: spec hash mismatch: coordinator sent %.12s, received bytes hash to %.12s",
+			job.Hash, got))
+	}
+	runner, err := build(job.Spec, job.Seed)
+	if err != nil {
+		return failWorker(w, fmt.Errorf("dist: build trial runner: %w", err))
+	}
+	if err := writeMsg(w, Msg{Type: TypeHello, Shard: shard, Shards: shards, Hash: job.Hash}); err != nil {
+		return err
+	}
+
+	for {
+		m, err := dec.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case TypeWave:
+			var emitErr error
+			err := runner(ShardIndices(m.Lo, m.Hi, shard, shards), func(trial int, data []byte) {
+				if emitErr == nil {
+					emitErr = writeMsg(w, Msg{Type: TypeResult, Trial: trial, Data: data})
+				}
+			})
+			if err == nil {
+				err = emitErr
+			}
+			if err != nil {
+				return failWorker(w, fmt.Errorf("dist: shard %d wave [%d,%d): %w", shard, m.Lo, m.Hi, err))
+			}
+			if err := writeMsg(w, Msg{Type: TypeWaveDone, Lo: m.Lo, Hi: m.Hi}); err != nil {
+				return err
+			}
+		case TypeHalt:
+			return nil
+		default:
+			return failWorker(w, fmt.Errorf("dist: worker got unexpected %s message", m.Type))
+		}
+	}
+}
+
+// failWorker reports a worker-side error to the coordinator (best effort)
+// and returns it.
+func failWorker(w io.Writer, err error) error {
+	_ = writeMsg(w, Msg{Type: TypeError, Err: err.Error()})
+	return err
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"sync"
 
 	"repro/internal/rng"
@@ -196,6 +197,51 @@ func (m *AdaptiveMetric) Add(x float64) {
 
 // Done reports whether the metric has halted.
 func (m *AdaptiveMetric) Done() bool { return m.StoppedAt > 0 }
+
+// adaptiveMetricJSON is the serialized form of an AdaptiveMetric: the
+// aggregates and the stopping latch, but not the Rule (rules are code; the
+// restoring side reconstructs the metric with NewAdaptiveMetric and
+// unmarshals into it, which preserves its rule).
+type adaptiveMetricJSON struct {
+	Name      string       `json:"name"`
+	Online    stats.Online `json:"online"`
+	Median    *stats.P2    `json:"median,omitempty"`
+	StoppedAt int64        `json:"stopped_at"`
+}
+
+// MarshalJSON serializes the metric's aggregates and latch (bit-exactly,
+// via the stats snapshot encodings) so sharded-cell checkpoints can carry
+// half-finished metrics across interruptions.
+func (m *AdaptiveMetric) MarshalJSON() ([]byte, error) {
+	return json.Marshal(adaptiveMetricJSON{
+		Name:      m.Name,
+		Online:    m.Online,
+		Median:    m.Median,
+		StoppedAt: m.StoppedAt,
+	})
+}
+
+// UnmarshalJSON restores the metric's aggregates and latch in place,
+// keeping its Rule: a resumed metric continues evaluating exactly the rule
+// the caller constructed it with.
+func (m *AdaptiveMetric) UnmarshalJSON(data []byte) error {
+	var s adaptiveMetricJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	m.Name = s.Name
+	m.Online = s.Online
+	if s.Median == nil {
+		m.Median = nil
+	} else {
+		if m.Median == nil {
+			m.Median = new(stats.P2)
+		}
+		*m.Median = *s.Median
+	}
+	m.StoppedAt = s.StoppedAt
+	return nil
+}
 
 // StopWhenAll returns a StreamAdaptive predicate that fires once every
 // metric has halted. Metrics with a nil rule never halt on their own, so

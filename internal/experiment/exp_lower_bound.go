@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 
 	"repro/internal/bounds"
 	"repro/internal/conf"
@@ -11,6 +12,15 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
+
+// k4CheckpointPath returns the per-cell checkpoint path of a sharded K4
+// cell, or "" when checkpointing is off.
+func k4CheckpointPath(dir string, n int64, k int) string {
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, fmt.Sprintf("K4-lower-bound.n%d.k%d.ckpt", n, k))
+}
 
 // k4LowerBound exploits the regime the raised conf.MaxN unlocked: population
 // sizes n ∈ (2·10⁹, 3·10⁹], where the almost-tight lower bound of El-Hayek,
@@ -65,27 +75,52 @@ func k4LowerBound() Experiment {
 					}
 					metric := NewAdaptiveMetric("consensus T", p.consensusRule(maxTrials))
 					failed := 0
-					res := StreamAdaptive(
-						AdaptiveOptions{
-							MaxTrials:   maxTrials,
-							Parallelism: p.Parallelism,
-							Seed:        p.Seed + uint64(n)*31 + uint64(k)*1_000_003,
-						},
-						func(i int, src *rng.Source, a *Arena) float64 {
-							t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
-							if err != nil {
-								return math.NaN()
-							}
-							return float64(t)
-						},
-						func(_ int, t float64) {
-							if math.IsNaN(t) {
-								failed++
-								return
-							}
-							metric.Add(t)
-						},
-						StopWhenAll(metric))
+					cellSeed := p.Seed + uint64(n)*31 + uint64(k)*1_000_003
+					var res AdaptiveResult
+					if p.Shards >= 1 {
+						// Distributed cell: the coordinator folds shard
+						// results in global trial order and evaluates the
+						// same stopping rule after every fold, so the table
+						// below is byte-identical to the in-process branch.
+						dres, dfailed, err := RunShardedConsensus(
+							NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false),
+							metric,
+							ShardRunOptions{
+								Shards:     p.Shards,
+								MaxTrials:  maxTrials,
+								Seed:       cellSeed,
+								Launcher:   p.ShardLauncher,
+								Checkpoint: k4CheckpointPath(p.CheckpointDir, n, k),
+								Policy:     ConsensusPolicy(rel),
+							})
+						if err != nil {
+							return fmt.Errorf("n=%d k=%d sharded cell: %w", n, k, err)
+						}
+						res = AdaptiveResult{Trials: dres.Trials, Stopped: dres.Stopped}
+						failed = dfailed
+					} else {
+						res = StreamAdaptive(
+							AdaptiveOptions{
+								MaxTrials:   maxTrials,
+								Parallelism: p.Parallelism,
+								Seed:        cellSeed,
+							},
+							func(i int, src *rng.Source, a *Arena) float64 {
+								t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+								if err != nil {
+									return math.NaN()
+								}
+								return float64(t)
+							},
+							func(_ int, t float64) {
+								if math.IsNaN(t) {
+									failed++
+									return
+								}
+								metric.Add(t)
+							},
+							StopWhenAll(metric))
+					}
 					if metric.Online.N() == 0 {
 						return fmt.Errorf("n=%d k=%d: all %d trials failed", n, k, res.Trials)
 					}

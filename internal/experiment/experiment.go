@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/stats"
 )
 
@@ -47,6 +48,22 @@ type Params struct {
 	// default. A positive Trials overrides both (fixed and adaptive runs
 	// then use the same count ceiling, which keeps -quick smoke runs cheap).
 	MaxTrials int
+	// Shards distributes supporting experiments' per-cell trials across
+	// this many worker processes through the internal/dist coordinator
+	// (currently K4-lower-bound, the billion-agent workload sharding was
+	// built for). 0 keeps cells in-process; 1 runs the distributed engine
+	// with a single worker (still useful for checkpointing). Sharded and
+	// in-process runs of the same cell are byte-identical at every shard
+	// count.
+	Shards int
+	// ShardLauncher starts shard workers; required when Shards >= 1.
+	// cmd/experiments wires a dist.ExecLauncher that re-executes the
+	// binary with the hidden -shard-worker flag.
+	ShardLauncher dist.Launcher
+	// CheckpointDir, when non-empty, makes sharded cells write per-cell
+	// checkpoints under this directory and resume from them, so
+	// interrupted multi-hour runs continue instead of restarting.
+	CheckpointDir string
 }
 
 // Adaptive stopping defaults shared by experiments and the CLIs.
@@ -100,6 +117,14 @@ func ConsensusRule(rel float64, cap int) stats.StoppingRule {
 // consensusRule is ConsensusRule at the Params' effective width target.
 func (p Params) consensusRule(cap int) stats.StoppingRule {
 	return ConsensusRule(p.relWidth(), cap)
+}
+
+// ConsensusPolicy is the checkpoint identity string of ConsensusRule(rel,
+// cap): stopping rules are code, so distributed checkpoints record this
+// declaration and reject resumes under a different policy (the cap itself
+// is bound separately, via the coordinator's MaxTrials check).
+func ConsensusPolicy(rel float64) string {
+	return fmt.Sprintf("consensus-rule rel=%g level=%g min=%d", rel, DefaultCILevel, MinAdaptiveTrials)
 }
 
 // trials returns the effective trial count given a default.

@@ -137,21 +137,42 @@ func CollectArena[T any](trials, parallelism int, seed uint64, fn func(i int, sr
 // constant memory. In-order delivery makes order-sensitive floating-point
 // aggregation byte-identical at every parallelism level.
 func Stream[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng.Source, a *Arena) T, sink func(i int, v T)) {
-	if trials <= 0 {
+	streamIndexed(trials, parallelism, seed, func(pos int) int { return pos }, fn, sink)
+}
+
+// StreamIndices is Stream over an explicit list of global trial indices:
+// the trial at position j runs index indices[j] and draws its randomness
+// from rng.Derive(seed, indices[j]) — exactly the stream it would receive
+// in a full [0, trials) run — and results are delivered to sink in slice
+// order, tagged with the global index. It is the shard entry point of the
+// distributed engine (internal/dist): a shard owning every S-th index
+// reproduces, trial for trial, the work a single-process run would do for
+// those indices, which is what makes coordinator folds byte-identical to
+// in-process runs at every shard count.
+func StreamIndices[T any](indices []int, parallelism int, seed uint64, fn func(i int, src *rng.Source, a *Arena) T, sink func(i int, v T)) {
+	streamIndexed(len(indices), parallelism, seed, func(pos int) int { return indices[pos] }, fn, sink)
+}
+
+// streamIndexed is the shared worker-pool core of Stream and StreamIndices:
+// count trials whose global index is index(pos), dispatched across the pool
+// and delivered in position order.
+func streamIndexed[T any](count, parallelism int, seed uint64, index func(pos int) int, fn func(i int, src *rng.Source, a *Arena) T, sink func(i int, v T)) {
+	if count <= 0 {
 		return
 	}
-	parallelism = clampParallelism(trials, parallelism)
+	parallelism = clampParallelism(count, parallelism)
 	if parallelism == 1 {
 		var a Arena
-		for i := 0; i < trials; i++ {
+		for pos := 0; pos < count; pos++ {
+			i := index(pos)
 			sink(i, fn(i, a.source(seed, i), &a))
 		}
 		return
 	}
 
 	type slot struct {
-		i int
-		v T
+		pos int
+		v   T
 	}
 	// The dispatch window caps how far ahead of the sink trials may run,
 	// bounding both the reorder buffer and the number of buffered results.
@@ -165,15 +186,16 @@ func Stream[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng
 		go func() {
 			defer wg.Done()
 			var a Arena
-			for i := range next {
-				results <- slot{i, fn(i, a.source(seed, i), &a)}
+			for pos := range next {
+				i := index(pos)
+				results <- slot{pos, fn(i, a.source(seed, i), &a)}
 			}
 		}()
 	}
 	go func() {
-		for i := 0; i < trials; i++ {
+		for pos := 0; pos < count; pos++ {
 			tickets <- struct{}{}
-			next <- i
+			next <- pos
 		}
 		close(next)
 		wg.Wait()
@@ -183,14 +205,14 @@ func Stream[T any](trials, parallelism int, seed uint64, fn func(i int, src *rng
 	pending := make(map[int]T, window)
 	done := 0
 	for s := range results {
-		pending[s.i] = s.v
+		pending[s.pos] = s.v
 		for {
 			v, ok := pending[done]
 			if !ok {
 				break
 			}
 			delete(pending, done)
-			sink(done, v)
+			sink(index(done), v)
 			done++
 			<-tickets
 		}

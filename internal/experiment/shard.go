@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// This file is the experiment side of the distributed trial engine
+// (internal/dist): the versioned job specification a coordinator broadcasts
+// to shard workers, the exact integer wire form of a trial result, the
+// worker entry point the cmds' hidden -shard-worker mode routes into, and
+// the coordinator-side helper that runs a sharded adaptive consensus cell
+// byte-identically to the in-process StreamAdaptive path.
+
+// ShardSpecKind is the job-spec discriminator of the USD trial family.
+const ShardSpecKind = "usd-trial/v1"
+
+// ShardSpec is the distributed job specification of a USD trial family: a
+// full opinion configuration plus the kernel and run options that the
+// in-process trial functions take. Its JSON encoding is the wire and
+// checkpoint identity of a run — equal configurations serialize to equal
+// bytes, so the coordinator's spec hash detects any drift between a
+// checkpoint and the command trying to resume it.
+type ShardSpec struct {
+	// Kind discriminates and versions the spec; always ShardSpecKind.
+	Kind string `json:"kind"`
+	// Support is the per-opinion agent count, indexed 0..k-1.
+	Support []int64 `json:"support"`
+	// Undecided is the initially undecided agent count.
+	Undecided int64 `json:"undecided"`
+	// Kernel is the stepping kernel name ("exact" or "batched").
+	Kernel string `json:"kernel"`
+	// Tol is the batched kernel's drift tolerance (0 = default).
+	Tol float64 `json:"tol"`
+	// Budget is the interaction budget (0 = run to absorption).
+	Budget int64 `json:"budget"`
+	// CheckEvery is the phase-condition check interval (0 = kernel default);
+	// only meaningful when Tracked.
+	CheckEvery int `json:"check_every"`
+	// Tracked selects the phase-tracked run (RunTracked) over the plain
+	// consensus run. The two consume randomness differently under the
+	// batched kernel, so the flag is part of the trial identity.
+	Tracked bool `json:"tracked"`
+}
+
+// NewShardSpec captures a configuration and run options as a distributable
+// job spec.
+func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget int64, checkEvery int, tracked bool) ShardSpec {
+	name := "exact"
+	if kern.Batched() {
+		name = "batched"
+	}
+	return ShardSpec{
+		Kind:       ShardSpecKind,
+		Support:    append([]int64(nil), cfg.Support...),
+		Undecided:  cfg.Undecided,
+		Kernel:     name,
+		Tol:        kern.Tolerance(),
+		Budget:     budget,
+		CheckEvery: checkEvery,
+		Tracked:    tracked,
+	}
+}
+
+// Encode returns the spec's canonical wire bytes.
+func (s ShardSpec) Encode() ([]byte, error) {
+	if s.Kind != ShardSpecKind {
+		return nil, fmt.Errorf("experiment: encode shard spec of kind %q, want %q", s.Kind, ShardSpecKind)
+	}
+	return json.Marshal(s)
+}
+
+// decodeShardSpec parses and validates wire bytes back into a spec, its
+// configuration, and its kernel.
+func decodeShardSpec(data []byte) (ShardSpec, *conf.Config, core.Kernel, error) {
+	var s ShardSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, nil, core.Kernel{}, fmt.Errorf("experiment: parse shard spec: %w", err)
+	}
+	if s.Kind != ShardSpecKind {
+		return s, nil, core.Kernel{}, fmt.Errorf("experiment: shard spec kind %q, want %q", s.Kind, ShardSpecKind)
+	}
+	cfg, err := conf.FromSupport(s.Support, s.Undecided)
+	if err != nil {
+		return s, nil, core.Kernel{}, err
+	}
+	kern, err := core.ParseKernel(s.Kernel, s.Tol)
+	if err != nil {
+		return s, nil, core.Kernel{}, err
+	}
+	return s, cfg, kern, nil
+}
+
+// ShardResult is the wire form of one trial outcome. Every field is integer
+// or string valued, so encoding is lossless and a coordinator folding these
+// payloads computes bit-identical aggregates to an in-process run.
+type ShardResult struct {
+	// Interactions is the interaction clock at termination.
+	Interactions int64 `json:"interactions"`
+	// Winner is the consensus opinion, or -1 without consensus.
+	Winner int `json:"winner"`
+	// InitialLeader is the opinion with the largest initial support.
+	InitialLeader int `json:"initial_leader"`
+	// Outcome is the terminal core.Outcome string.
+	Outcome string `json:"outcome"`
+	// PhaseEnds holds the phase end clocks of a tracked run (phase.Times.End).
+	PhaseEnds []int64 `json:"phase_ends,omitempty"`
+	// LeaderAtT2 is the unique significant opinion when phase 2 ended, or
+	// -1 (tracked runs only).
+	LeaderAtT2 int `json:"leader_at_t2,omitempty"`
+}
+
+// Consensus reports whether the trial reached consensus.
+func (r ShardResult) Consensus() bool {
+	return r.Outcome == core.OutcomeConsensus.String()
+}
+
+// ShardBuilder returns the dist.BuildRunner that turns a USD job spec into
+// executable trials on the shared-arena engine, running a shard's assigned
+// global indices at the given worker-local parallelism. Per-trial results
+// depend only on (spec, seed, index), so worker parallelism affects
+// wall-clock only.
+func ShardBuilder(parallelism int) dist.BuildRunner {
+	return func(spec []byte, seed uint64) (dist.TrialRunner, error) {
+		s, cfg, kern, err := decodeShardSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return func(indices []int, emit func(trial int, data []byte)) error {
+			// The trial closure runs on the worker pool's goroutines, so
+			// the first-error latch needs a lock (unlike emitErr below,
+			// which only the single in-order fold goroutine touches).
+			var mu sync.Mutex
+			var firstErr error
+			trial := func(i int, src *rng.Source, a *Arena) ShardResult {
+				r, err := runShardTrial(s, cfg, kern, src, a)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("trial %d: %w", i, err)
+					}
+					mu.Unlock()
+				}
+				return r
+			}
+			var emitErr error
+			StreamIndices(indices, parallelism, seed, trial, func(i int, r ShardResult) {
+				if emitErr != nil {
+					return
+				}
+				data, err := json.Marshal(r)
+				if err != nil {
+					emitErr = err
+					return
+				}
+				emit(i, data)
+			})
+			if firstErr != nil {
+				return firstErr
+			}
+			return emitErr
+		}, nil
+	}
+}
+
+// runShardTrial executes one trial of the spec on the worker's arena.
+// Errors are configuration-level (simulator construction); ordinary
+// non-consensus terminations ride in the result's Outcome.
+func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Source, a *Arena) (ShardResult, error) {
+	if s.Tracked {
+		run, err := RunTracked(a, cfg, src, s.Budget, s.CheckEvery, kern)
+		if err != nil {
+			return ShardResult{}, err
+		}
+		return ShardResult{
+			Interactions:  run.Result.Interactions,
+			Winner:        run.Result.Winner,
+			InitialLeader: run.InitialLeader,
+			Outcome:       run.Result.Outcome.String(),
+			PhaseEnds:     append([]int64(nil), run.Phases.End[:]...),
+			LeaderAtT2:    run.Phases.LeaderAtT2,
+		}, nil
+	}
+	sim, err := a.Simulator(cfg, src, core.WithKernel(kern))
+	if err != nil {
+		return ShardResult{}, err
+	}
+	leader, _ := cfg.Max()
+	res := sim.Run(s.Budget)
+	return ShardResult{
+		Interactions:  res.Interactions,
+		Winner:        res.Winner,
+		InitialLeader: leader,
+		Outcome:       res.Outcome.String(),
+	}, nil
+}
+
+// ServeShard runs the worker side of the distributed protocol on r/w
+// (stdin/stdout of a process started with the hidden -shard-worker i/of
+// flag): handshake, then waves of USD trials until halt. parallelism bounds
+// the worker-local pool (0 = GOMAXPROCS).
+func ServeShard(r io.Reader, w io.Writer, shard, shards, parallelism int) error {
+	return dist.Serve(r, w, shard, shards, ShardBuilder(parallelism))
+}
+
+// ConsensusCellState is the checkpointable fold state of a sharded
+// consensus cell: the adaptive metric (aggregates plus stopping latch) and
+// the count of trials that failed to reach consensus. Checkpointed through
+// dist.JSONState; restoring it and folding the remaining trials is
+// bit-identical to never having been interrupted.
+type ConsensusCellState struct {
+	// Metric is the cell's consensus-time metric.
+	Metric *AdaptiveMetric `json:"metric"`
+	// Failed counts folded trials that did not reach consensus.
+	Failed int `json:"failed"`
+}
+
+// ShardRunOptions configure one sharded cell run.
+type ShardRunOptions struct {
+	// Shards is the worker-process count.
+	Shards int
+	// MaxTrials is the adaptive trial cap.
+	MaxTrials int
+	// Wave is the dispatch wave size (0 = dist.DefaultWave): the stop-check
+	// barrier and checkpoint granularity.
+	Wave int
+	// Seed is the cell's trial-stream family seed.
+	Seed uint64
+	// Launcher starts the workers (see Params.ShardLauncher).
+	Launcher dist.Launcher
+	// Checkpoint, when non-empty, is the cell's checkpoint path.
+	Checkpoint string
+	// Policy is the stopping-policy identity recorded in checkpoints
+	// (see dist.Options.Policy); typically ConsensusPolicy(rel).
+	Policy string
+}
+
+// RunShardedConsensus distributes an adaptive consensus-time cell across
+// worker processes: trials of spec fold into metric in global trial-index
+// order until the metric's stopping rule fires or opts.MaxTrials is
+// reached. It is the distributed equivalent of the StreamAdaptive loop the
+// experiments run in process, and produces byte-identical aggregates and
+// trial counts at every shard count. It returns the run result and the
+// number of folded trials that did not reach consensus.
+func RunShardedConsensus(spec ShardSpec, metric *AdaptiveMetric, opts ShardRunOptions) (dist.Result, int, error) {
+	specBytes, err := spec.Encode()
+	if err != nil {
+		return dist.Result{}, 0, err
+	}
+	state := &ConsensusCellState{Metric: metric}
+	sink := func(_ int, data []byte) error {
+		var r ShardResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return err
+		}
+		if !r.Consensus() {
+			state.Failed++
+			return nil
+		}
+		state.Metric.Add(float64(r.Interactions))
+		return nil
+	}
+	res, err := dist.Run(dist.Options{
+		Shards:         opts.Shards,
+		MaxTrials:      opts.MaxTrials,
+		Wave:           opts.Wave,
+		Seed:           opts.Seed,
+		Spec:           specBytes,
+		Launcher:       opts.Launcher,
+		CheckpointPath: opts.Checkpoint,
+		Policy:         opts.Policy,
+	}, sink, StopWhenAll(state.Metric), dist.JSONState{V: state})
+	return res, state.Failed, err
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// This file makes the streaming aggregators checkpointable: Online and P2
+// expose bit-exact serializable snapshots of their internal state, so the
+// distributed coordinator (internal/dist) can freeze a half-finished fold,
+// write it to disk, and resume it later with results byte-identical to an
+// uninterrupted run. Welford's update is order-sensitive in its floating-
+// point rounding, so "close enough" round-tripping is not enough — every
+// float travels as its IEEE-754 bit pattern, which also keeps NaN and the
+// infinities representable (encoding/json rejects them as bare numbers).
+
+// F64Bits is a float64 that marshals to JSON as the decimal form of its
+// IEEE-754 bit pattern (a uint64), making the round trip bit-exact for
+// every value, including -0, NaN, and the infinities. Snapshot types use it
+// for all floating-point state.
+type F64Bits float64
+
+// MarshalJSON encodes the value's IEEE-754 bit pattern as a JSON number.
+func (f F64Bits) MarshalJSON() ([]byte, error) {
+	return json.Marshal(math.Float64bits(float64(f)))
+}
+
+// UnmarshalJSON decodes a JSON number holding an IEEE-754 bit pattern.
+func (f *F64Bits) UnmarshalJSON(b []byte) error {
+	var bits uint64
+	if err := json.Unmarshal(b, &bits); err != nil {
+		return fmt.Errorf("stats: F64Bits wants a uint64 bit pattern: %w", err)
+	}
+	*f = F64Bits(math.Float64frombits(bits))
+	return nil
+}
+
+// OnlineSnapshot is the complete serializable state of an Online
+// accumulator. Restoring it reproduces the accumulator bit-for-bit, so a
+// fold interrupted after trial t and resumed from a snapshot converges to
+// exactly the bytes an uninterrupted fold would have produced.
+type OnlineSnapshot struct {
+	// N is the number of samples folded so far.
+	N int64 `json:"n"`
+	// Mean is the running mean.
+	Mean F64Bits `json:"mean"`
+	// M2 is the running sum of squared deviations.
+	M2 F64Bits `json:"m2"`
+	// Min is the smallest sample seen.
+	Min F64Bits `json:"min"`
+	// Max is the largest sample seen.
+	Max F64Bits `json:"max"`
+}
+
+// Snapshot returns the accumulator's complete state.
+func (o *Online) Snapshot() OnlineSnapshot {
+	return OnlineSnapshot{
+		N:    o.n,
+		Mean: F64Bits(o.mean),
+		M2:   F64Bits(o.m2),
+		Min:  F64Bits(o.min),
+		Max:  F64Bits(o.max),
+	}
+}
+
+// Restore overwrites the accumulator with the snapshot's state.
+func (o *Online) Restore(s OnlineSnapshot) {
+	o.n = s.N
+	o.mean = float64(s.Mean)
+	o.m2 = float64(s.M2)
+	o.min = float64(s.Min)
+	o.max = float64(s.Max)
+}
+
+// MarshalJSON serializes the accumulator as its snapshot, so structs that
+// embed an Online by value checkpoint transparently.
+func (o Online) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.Snapshot())
+}
+
+// UnmarshalJSON restores the accumulator from a marshaled snapshot.
+func (o *Online) UnmarshalJSON(b []byte) error {
+	var s OnlineSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	o.Restore(s)
+	return nil
+}
+
+// P2Snapshot is the complete serializable state of a P2 quantile estimator:
+// the tracked quantile, the five marker heights and positions, and the
+// sample count. As with OnlineSnapshot, restoring reproduces the estimator
+// bit-for-bit.
+type P2Snapshot struct {
+	// Q is the tracked quantile.
+	Q F64Bits `json:"q"`
+	// H holds the five marker heights.
+	H [5]F64Bits `json:"h"`
+	// Pos holds the actual marker positions (1-based).
+	Pos [5]F64Bits `json:"pos"`
+	// Want holds the desired marker positions.
+	Want [5]F64Bits `json:"want"`
+	// N is the number of samples folded so far.
+	N int64 `json:"n"`
+}
+
+// Snapshot returns the estimator's complete state.
+func (p *P2) Snapshot() P2Snapshot {
+	s := P2Snapshot{Q: F64Bits(p.q), N: p.n}
+	for i := 0; i < 5; i++ {
+		s.H[i] = F64Bits(p.h[i])
+		s.Pos[i] = F64Bits(p.pos[i])
+		s.Want[i] = F64Bits(p.want[i])
+	}
+	return s
+}
+
+// Restore overwrites the estimator with the snapshot's state. The
+// desired-position increments are recomputed from the quantile, exactly as
+// NewP2 sets them.
+func (p *P2) Restore(s P2Snapshot) {
+	p.q = float64(s.Q)
+	p.n = s.N
+	for i := 0; i < 5; i++ {
+		p.h[i] = float64(s.H[i])
+		p.pos[i] = float64(s.Pos[i])
+		p.want[i] = float64(s.Want[i])
+	}
+	p.inc = [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+}
+
+// MarshalJSON serializes the estimator as its snapshot.
+func (p *P2) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.Snapshot())
+}
+
+// UnmarshalJSON restores the estimator from a marshaled snapshot.
+func (p *P2) UnmarshalJSON(b []byte) error {
+	var s P2Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p.Restore(s)
+	return nil
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fillStream folds a deterministic pseudo-random stream of length n into
+// fresh aggregators, returning them. The values exercise negative numbers,
+// huge magnitudes, and near-duplicates, so Welford rounding matters.
+func fillStream(n int) []float64 {
+	xs := make([]float64, n)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = float64(int64(s%2_000_003)-1_000_000) * 1.5e7
+	}
+	return xs
+}
+
+// TestOnlineSnapshotResumeBitExact interrupts a fold at every prefix length
+// of a mixed stream and checks the resumed accumulator finishes bit-
+// identical to an uninterrupted one — the property the distributed
+// checkpoint relies on.
+func TestOnlineSnapshotResumeBitExact(t *testing.T) {
+	xs := fillStream(257)
+	var full Online
+	for _, x := range xs {
+		full.Add(x)
+	}
+	for cut := 0; cut <= len(xs); cut += 16 {
+		var head Online
+		for _, x := range xs[:cut] {
+			head.Add(x)
+		}
+		data, err := json.Marshal(head)
+		if err != nil {
+			t.Fatalf("cut %d: marshal: %v", cut, err)
+		}
+		var resumed Online
+		if err := json.Unmarshal(data, &resumed); err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+		for _, x := range xs[cut:] {
+			resumed.Add(x)
+		}
+		if resumed != full {
+			t.Fatalf("cut %d: resumed accumulator diverged: %+v vs %+v", cut, resumed, full)
+		}
+	}
+}
+
+// TestP2SnapshotResumeBitExact is the same interruption sweep for the P²
+// sketch, including cuts inside the exact-first-five startup region.
+func TestP2SnapshotResumeBitExact(t *testing.T) {
+	xs := fillStream(211)
+	full := NewP2(0.5)
+	for _, x := range xs {
+		full.Add(x)
+	}
+	for cut := 0; cut <= len(xs); cut++ {
+		head := NewP2(0.5)
+		for _, x := range xs[:cut] {
+			head.Add(x)
+		}
+		data, err := json.Marshal(head)
+		if err != nil {
+			t.Fatalf("cut %d: marshal: %v", cut, err)
+		}
+		resumed := new(P2)
+		if err := json.Unmarshal(data, resumed); err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+		for _, x := range xs[cut:] {
+			resumed.Add(x)
+		}
+		if *resumed != *full {
+			t.Fatalf("cut %d: resumed sketch diverged: %+v vs %+v", cut, *resumed, *full)
+		}
+	}
+}
+
+// TestF64BitsSpecialValues pins the bit-pattern encoding on the values
+// plain JSON cannot carry: NaN, the infinities, and -0.
+func TestF64BitsSpecialValues(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0, 1.5, -math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		data, err := json.Marshal(F64Bits(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back F64Bits
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %v: %v", v, err)
+		}
+		if math.Float64bits(float64(back)) != math.Float64bits(v) {
+			t.Fatalf("round trip changed bits: %v -> %s -> %v", v, data, float64(back))
+		}
+	}
+	var f F64Bits
+	if err := json.Unmarshal([]byte(`"nope"`), &f); err == nil {
+		t.Fatal("expected error for non-numeric bit pattern")
+	}
+}
