@@ -1,27 +1,33 @@
-// Command bench measures the per-interaction cost of the two stepping
-// kernels on the uniform-start k=32 workload at n ∈ {10⁴, 10⁶, 10⁸} and
-// the Monte-Carlo trial throughput of the shared-arena trial engine, and
-// writes the results to BENCH_core.json, giving future changes a perf
-// trajectory to compare against.
+// Command bench measures the per-interaction cost of the three stepping
+// kernels on the uniform-start k=32 workload at n ∈ {10⁴, 10⁶, 10⁸}, the
+// small-n fleet regime, and the Monte-Carlo trial throughput of the
+// shared-arena trial engine, and writes the results to BENCH_core.json,
+// giving future changes a perf trajectory to compare against. The report
+// records the machine (CPU model, core count, GOMAXPROCS) so trajectories
+// from different hosts are interpretable.
 //
-// Both kernels run the same protocol per population size: the unbiased
+// All kernels run the same protocol per population size: the unbiased
 // uniform configuration, an identical fixed interaction budget, and the
 // same derived seeds; ns/interaction is total wall time over total
 // simulated interactions (including skipped unproductive ones). The budget
 // window covers the early no-bias phase, which is the exact kernel's
-// densest regime (almost every interaction is productive) and the batched
-// kernel's weakest (windows ramp up from the all-decided start), so the
-// reported speedup is conservative.
+// densest regime (almost every interaction is productive) and the windowed
+// kernels' weakest (windows ramp up from the all-decided start), so the
+// reported speedups are conservative.
+//
+// The small-n fleet section is the regime the auto kernel exists for:
+// full-consensus fleets at n ∈ {10³, 10⁴}, where windows never grow large
+// enough for the chained-binomial batch to amortize. It reports consensus
+// trials/sec per kernel and each windowed kernel's speedup over exact; a
+// full (non-quick) run fails unless the auto kernel reaches 4× over exact
+// at n = 10⁴ — the regression gate for the small-n hot path.
 //
 // The trial-throughput section runs the same tracked-trial fleet twice —
 // once allocating a fresh simulator and tracker per trial (the pre-engine
 // cost model) and once reusing one arena across all trials — and reports
-// trials/sec for each plus the arena speedup. The dispatch workload uses a
-// one-interaction budget so the per-trial engine overhead dominates: its
-// ratio is the ceiling arena reuse buys a fleet of short trials, while the
-// consensus workload shows the (near-1×) effect on long simulation-bound
-// trials. Both arms must produce byte-identical results; the benchmark
-// fails otherwise.
+// trials/sec for each plus the arena speedup, on the auto kernel (the
+// fleet default). Both arms must produce byte-identical results; the
+// benchmark fails otherwise.
 //
 // The adaptive-engine section compares sequential stopping against a
 // fixed-count fleet held to the same CI-width target (±5% at 95%): the
@@ -31,11 +37,16 @@
 //
 // The shard-throughput section runs the same consensus fleet through the
 // distributed coordinator (internal/dist) at 1, 2, and 4 worker processes
-// — the benchmark binary re-executes itself in a hidden worker mode, each
-// worker pinned to one in-process trial at a time so the speedup isolates
-// process-level sharding — and records trials/sec per shard count. Every
-// arm must fold a result sequence identical to the in-process engine's;
-// the benchmark fails otherwise.
+// under a fixed total core budget: GOMAXPROCS(0) cores are partitioned
+// across the workers (dist.ExecLauncher.CoreBudget plus a matching
+// worker-local trial parallelism), so every shard count competes for the
+// same hardware and the 1-shard baseline cannot win by quietly saturating
+// all cores in-process — the methodology flaw the earlier shard section
+// had. It reports trials/sec and parallel_efficiency per shard count
+// (throughput relative to the 1-shard arm at the same core budget); a full
+// run fails if 4-shard efficiency drops below 0.75. Every arm must fold a
+// result sequence identical to the in-process engine's; the benchmark
+// fails otherwise.
 //
 // The report is written via a temp file and an atomic rename, so a failing
 // section (or a crash mid-write) can never clobber the committed
@@ -43,9 +54,11 @@
 //
 // Usage:
 //
-//	bench                 # full run, writes BENCH_core.json
-//	bench -quick          # single repetition per cell
+//	bench                       # full run, writes BENCH_core.json
+//	bench -quick                # single repetition per cell, no perf gates
 //	bench -out path.json
+//	bench -cpuprofile cpu.out   # pprof CPU profile of the whole run
+//	bench -memprofile mem.out   # heap profile written at exit
 package main
 
 import (
@@ -56,6 +69,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	usd "repro"
@@ -132,7 +148,7 @@ type TrialEntry struct {
 
 // ShardEntry is one shard-throughput measurement: the same consensus fleet
 // dispatched through the distributed coordinator at a given worker-process
-// count.
+// count, under a fixed total core budget.
 type ShardEntry struct {
 	// Workload names the fleet.
 	Workload string `json:"workload"`
@@ -146,26 +162,92 @@ type ShardEntry struct {
 	Trials int `json:"trials"`
 	// Shards is the worker-process count.
 	Shards int `json:"shards"`
+	// CoreBudget is the total CPU-core budget partitioned across the
+	// workers (GOMAXPROCS of this shard count's whole arm).
+	CoreBudget int `json:"core_budget"`
 	// WallNanos is the end-to-end coordinator wall time.
 	WallNanos int64 `json:"wall_ns"`
 	// TrialsPerS is the folded-trial throughput.
 	TrialsPerS float64 `json:"trials_per_sec"`
 	// SpeedupVs1Shard is wall(1 shard)/wall(this), 0 for the 1-shard row.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1shard"`
+	// ParallelEfficiency is this arm's throughput relative to the 1-shard
+	// arm at the same total core budget: the honest cost of process-level
+	// sharding. 0 for the 1-shard row.
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 	// Identical records that the folded sequence matched the in-process
 	// engine's byte for byte.
 	Identical bool `json:"results_identical"`
+}
+
+// FleetEntry is one small-n fleet measurement: a full-consensus Monte-Carlo
+// fleet at small n under one kernel.
+type FleetEntry struct {
+	// Workload names the fleet.
+	Workload string `json:"workload"`
+	// N is the population size per trial.
+	N int64 `json:"n"`
+	// K is the opinion count.
+	K int `json:"k"`
+	// Kernel is the stepping kernel name.
+	Kernel string `json:"kernel"`
+	// Trials is the fleet size.
+	Trials int `json:"trials"`
+	// WallNanos is the fleet wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// TrialsPerS is the consensus-trial throughput.
+	TrialsPerS float64 `json:"trials_per_sec"`
+	// SpeedupVsExact is trials/sec over the exact kernel's at the same n;
+	// 0 for the exact row itself.
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+}
+
+// EnvInfo identifies the machine a report was produced on, so perf
+// trajectories from different hosts are never compared as like for like.
+type EnvInfo struct {
+	// GoVersion is the toolchain that built the benchmark.
+	GoVersion string `json:"go_version"`
+	// GOOS and GOARCH name the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS is the scheduler's processor limit during the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical core count.
+	NumCPU int `json:"num_cpu"`
+	// CPUModel is the processor model string (best effort; empty when the
+	// platform does not expose it).
+	CPUModel string `json:"cpu_model,omitempty"`
 }
 
 // Report is the BENCH_core.json schema.
 type Report struct {
 	Workload        string             `json:"workload"`
 	GoVersion       string             `json:"go_version"`
+	Env             EnvInfo            `json:"env"`
 	Entries         []Entry            `json:"entries"`
 	Speedups        map[string]float64 `json:"batched_speedup_by_n"`
+	AutoSpeedups    map[string]float64 `json:"auto_speedup_by_n"`
+	FleetEntries    []FleetEntry       `json:"small_n_fleet"`
 	TrialEntries    []TrialEntry       `json:"trial_throughput"`
 	AdaptiveEntries []AdaptiveEntry    `json:"adaptive_engine"`
 	ShardEntries    []ShardEntry       `json:"shard_throughput"`
+}
+
+// cpuModel returns the processor model string on platforms that expose it
+// (best effort: /proc/cpuinfo on Linux).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -178,10 +260,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", "BENCH_core.json", "output path for the JSON report")
-		quick  = fs.Bool("quick", false, "single repetition per cell")
-		seed   = fs.Uint64("seed", 1, "base random seed")
-		worker = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by the shard-throughput section)")
+		out        = fs.String("out", "BENCH_core.json", "output path for the JSON report")
+		quick      = fs.Bool("quick", false, "single repetition per cell; perf gates report instead of failing")
+		seed       = fs.Uint64("seed", 1, "base random seed")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this path")
+		worker     = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by the shard-throughput section)")
+		workerPar  = fs.Int("shard-par", 1, "internal: worker-local trial parallelism of the -shard-worker mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,9 +276,35 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		// One in-process trial at a time per worker: the shard-throughput
-		// section measures process-level sharding, not the in-process pool.
-		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, 1)
+		// The worker-local pool is the coordinator's per-shard core share,
+		// so the shard-throughput section holds total parallelism at the
+		// fixed core budget regardless of the shard count.
+		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, *workerPar)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
 	}
 	runs := 3
 	if *quick {
@@ -202,13 +313,24 @@ func run(args []string) error {
 
 	const k = 32
 	ns := []int64{10_000, 1_000_000, 100_000_000}
-	kernels := []core.Kernel{core.KernelExact, core.KernelBatched(0)}
+	kernels := []core.Kernel{core.KernelExact, core.KernelBatched(0), core.KernelAuto(0)}
 
 	rep := Report{
 		Workload:  fmt.Sprintf("uniform start, k=%d, fixed interaction budget per n", k),
 		GoVersion: runtime.Version(),
-		Speedups:  map[string]float64{},
+		Env: EnvInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			CPUModel:   cpuModel(),
+		},
+		Speedups:     map[string]float64{},
+		AutoSpeedups: map[string]float64{},
 	}
+	fmt.Printf("env: %s %s/%s, GOMAXPROCS=%d, %d cores, %s\n",
+		rep.Env.GoVersion, rep.Env.GOOS, rep.Env.GOARCH, rep.Env.GOMAXPROCS, rep.Env.NumCPU, rep.Env.CPUModel)
 	perNs := map[int64]map[string]float64{}
 	for _, n := range ns {
 		// ~40 parallel rounds of the no-bias early phase, capped so the
@@ -234,10 +356,36 @@ func run(args []string) error {
 			if batched, ok := perNs[n][core.KernelBatched(0).String()]; ok && batched > 0 {
 				rep.Speedups[fmt.Sprintf("%d", n)] = exact / batched
 			}
+			if auto, ok := perNs[n][core.KernelAuto(0).String()]; ok && auto > 0 {
+				rep.AutoSpeedups[fmt.Sprintf("%d", n)] = exact / auto
+			}
 		}
 	}
-	for nKey, s := range rep.Speedups {
-		fmt.Printf("n=%-12s batched speedup: %.1fx\n", nKey, s)
+	for _, n := range ns {
+		nKey := fmt.Sprintf("%d", n)
+		fmt.Printf("n=%-12s batched speedup: %6.1fx   auto speedup: %6.1fx\n",
+			nKey, rep.Speedups[nKey], rep.AutoSpeedups[nKey])
+	}
+
+	fleet, err := measureSmallNFleet(k, *quick, *seed)
+	if err != nil {
+		return err
+	}
+	rep.FleetEntries = fleet
+	for _, fe := range fleet {
+		fmt.Printf("%-16s n=%-9d kernel=%-14s trials=%-4d %8.1f trials/s  speedup vs exact %.1fx\n",
+			fe.Workload, fe.N, fe.Kernel, fe.Trials, fe.TrialsPerS, fe.SpeedupVsExact)
+	}
+	if !*quick {
+		// The small-n regression gate of the auto kernel (ISSUE 5): the
+		// fleet regime must hold at least 4x over exact at n = 1e4.
+		const gate = 4.0
+		for _, fe := range fleet {
+			if fe.N == 10_000 && fe.Kernel == core.KernelAuto(0).String() && fe.SpeedupVsExact < gate {
+				return fmt.Errorf("bench: auto kernel reaches only %.2fx over exact at n=1e4 (gate %.1fx)",
+					fe.SpeedupVsExact, gate)
+			}
+		}
 	}
 
 	trialCells := []struct {
@@ -257,7 +405,7 @@ func run(args []string) error {
 		trialCells[1].trials = 20
 	}
 	for _, c := range trialCells {
-		te, err := measureTrials(c.workload, c.n, k, core.KernelBatched(0), c.trials, c.budget, *seed)
+		te, err := measureTrials(c.workload, c.n, k, core.KernelAuto(0), c.trials, c.budget, *seed)
 		if err != nil {
 			return err
 		}
@@ -266,7 +414,7 @@ func run(args []string) error {
 			te.Workload, te.N, te.Trials, te.BudgetPerTrial, te.FreshTrialsPerS, te.ArenaTrialsPerS, te.ArenaSpeedup)
 	}
 
-	ae, err := measureAdaptive("adaptive-vs-fixed", 10_000, k, core.KernelBatched(0), 48, 0.05, *seed)
+	ae, err := measureAdaptive("adaptive-vs-fixed", 10_000, k, core.KernelAuto(0), 48, 0.05, *seed)
 	if err != nil {
 		return err
 	}
@@ -275,18 +423,30 @@ func run(args []string) error {
 		ae.Workload, ae.N, 100*ae.RelTarget, ae.FixedTrials, 100*ae.FixedRelWidth,
 		ae.AdaptiveTrials, 100*ae.AdaptiveRelWidth, 100*ae.TrialsSavedFrac)
 
-	shardTrials := 64
+	shardTrials := 96
 	if *quick {
 		shardTrials = 16
 	}
-	ses, err := measureShards("shard-consensus", 10_000, k, core.KernelBatched(0), shardTrials, *seed)
+	ses, err := measureShards("shard-consensus", 10_000, k, core.KernelAuto(0), shardTrials, *seed)
 	if err != nil {
 		return err
 	}
 	rep.ShardEntries = ses
 	for _, se := range ses {
-		fmt.Printf("%-16s n=%-9d trials=%-5d shards=%d  %8.0f trials/s  speedup vs 1 shard %.2fx  identical=%v\n",
-			se.Workload, se.N, se.Trials, se.Shards, se.TrialsPerS, se.SpeedupVs1Shard, se.Identical)
+		fmt.Printf("%-16s n=%-9d trials=%-5d shards=%d cores=%d  %8.0f trials/s  speedup vs 1 shard %.2fx  efficiency %.2f  identical=%v\n",
+			se.Workload, se.N, se.Trials, se.Shards, se.CoreBudget, se.TrialsPerS, se.SpeedupVs1Shard, se.ParallelEfficiency, se.Identical)
+	}
+	if !*quick {
+		// The sharding regression gate (ISSUE 5): at a fixed total core
+		// budget, 4-shard efficiency at or above 0.75 — process sharding
+		// must cost at most a quarter of the hardware.
+		const gate = 0.75
+		for _, se := range ses {
+			if se.Shards == 4 && se.ParallelEfficiency < gate {
+				return fmt.Errorf("bench: 4-shard parallel efficiency %.2f under the fixed core budget (gate %.2f)",
+					se.ParallelEfficiency, gate)
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -303,6 +463,59 @@ func run(args []string) error {
 	return nil
 }
 
+// measureSmallNFleet times full-consensus fleets at small n under every
+// kernel — the regime where per-trial and per-window overhead, not
+// per-interaction asymptotics, bound fleet throughput — and reports each
+// windowed kernel's speedup over exact.
+func measureSmallNFleet(k int, quick bool, seed uint64) ([]FleetEntry, error) {
+	trials := 24
+	if quick {
+		trials = 6
+	}
+	kernels := []core.Kernel{core.KernelExact, core.KernelBatched(0), core.KernelAuto(0)}
+	var entries []FleetEntry
+	for _, n := range []int64{1_000, 10_000} {
+		cfg, err := conf.Uniform(n, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		var exactTps float64
+		for _, kern := range kernels {
+			start := time.Now()
+			outs := experiment.CollectArena(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) int64 {
+				s, err := a.Simulator(cfg, src)
+				if err != nil {
+					panic(err) // configuration validated above
+				}
+				s.SetKernel(kern)
+				return s.Run(0).Interactions
+			})
+			wall := time.Since(start).Nanoseconds()
+			if len(outs) != trials {
+				return nil, fmt.Errorf("bench: fleet ran %d/%d trials", len(outs), trials)
+			}
+			fe := FleetEntry{
+				Workload:  "small-n-consensus",
+				N:         n,
+				K:         k,
+				Kernel:    kern.String(),
+				Trials:    trials,
+				WallNanos: wall,
+			}
+			if wall > 0 {
+				fe.TrialsPerS = float64(trials) / (float64(wall) / 1e9)
+			}
+			if kern == core.KernelExact {
+				exactTps = fe.TrialsPerS
+			} else if exactTps > 0 {
+				fe.SpeedupVsExact = fe.TrialsPerS / exactTps
+			}
+			entries = append(entries, fe)
+		}
+	}
+	return entries, nil
+}
+
 // shardFingerprint folds one trial outcome into an order-sensitive
 // fingerprint; two fold paths agreeing on the final digest folded identical
 // sequences.
@@ -313,9 +526,12 @@ func shardFingerprint(h io.Writer, i int, interactions int64, winner int) {
 // measureShards runs the same consensus fleet through the distributed
 // coordinator at 1, 2, and 4 worker processes (this binary re-executed in
 // worker mode) and compares every folded sequence against the in-process
-// engine's. Worker-local parallelism is pinned to 1, so the speedup column
-// isolates what process sharding alone buys; it errors if any arm folds a
-// different sequence.
+// engine's. Every arm runs under the same total core budget —
+// GOMAXPROCS(0), partitioned across the workers via both the GOMAXPROCS
+// environment (dist.ExecLauncher.CoreBudget) and a matching worker-local
+// trial parallelism — so parallel_efficiency isolates what process-level
+// sharding costs rather than letting the 1-shard baseline saturate the
+// machine alone; it errors if any arm folds a different sequence.
 func measureShards(workload string, n int64, k int, kern core.Kernel, trials int, seed uint64) ([]ShardEntry, error) {
 	cfg, err := conf.Uniform(n, k, 0)
 	if err != nil {
@@ -339,9 +555,20 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 	if err != nil {
 		return nil, err
 	}
+	// The fixed total core budget every arm competes under.
+	budget := runtime.GOMAXPROCS(0)
 	var entries []ShardEntry
 	var oneShardNanos int64
 	for _, shards := range []int{1, 2, 4} {
+		launcher := &dist.ExecLauncher{
+			Args: func(shard, shards int) []string {
+				return []string{
+					"-shard-worker", dist.ShardArg(shard, shards),
+					"-shard-par", strconv.Itoa(dist.CoreShare(budget, shard, shards)),
+				}
+			},
+			CoreBudget: budget,
+		}
 		h := sha256.New()
 		start := time.Now()
 		res, err := dist.Run(dist.Options{
@@ -349,7 +576,7 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 			MaxTrials: trials,
 			Seed:      seed,
 			Spec:      spec,
-			Launcher:  dist.SelfExecLauncher(),
+			Launcher:  launcher,
 		}, func(i int, data []byte) error {
 			var r experiment.ShardResult
 			if err := json.Unmarshal(data, &r); err != nil {
@@ -363,13 +590,14 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 		}
 		wall := time.Since(start).Nanoseconds()
 		se := ShardEntry{
-			Workload:  workload,
-			N:         n,
-			K:         k,
-			Kernel:    kern.String(),
-			Trials:    res.Trials,
-			Shards:    shards,
-			WallNanos: wall,
+			Workload:   workload,
+			N:          n,
+			K:          k,
+			Kernel:     kern.String(),
+			Trials:     res.Trials,
+			Shards:     shards,
+			CoreBudget: budget,
+			WallNanos:  wall,
 		}
 		if wall > 0 {
 			se.TrialsPerS = float64(res.Trials) / (float64(wall) / 1e9)
@@ -378,6 +606,10 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 			oneShardNanos = wall
 		} else if wall > 0 {
 			se.SpeedupVs1Shard = float64(oneShardNanos) / float64(wall)
+			// At a fixed total core budget the ideal multi-shard arm matches
+			// the 1-shard arm's throughput, so efficiency is the plain
+			// throughput ratio.
+			se.ParallelEfficiency = float64(oneShardNanos) / float64(wall)
 		}
 		se.Identical = fmt.Sprintf("%x", h.Sum(nil)) == want
 		entries = append(entries, se)

@@ -55,8 +55,8 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		trials   = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
 		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
-		kernel   = fs.String("kernel", "exact", "stepping kernel for USD runs: exact or batched")
-		tol      = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		kernel   = fs.String("kernel", "exact", "stepping kernel for USD runs: exact, batched, or auto")
+		tol      = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts where supported (K3): stop each cell once its CI closes")
 		rel      = fs.Float64("rel", 0, "adaptive stopping target: relative CI half-width (0 = default 0.05)")
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-cell trial cap (0 = experiment default)")

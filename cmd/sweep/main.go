@@ -73,8 +73,8 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of a table")
-		kernel   = fs.String("kernel", "exact", "stepping kernel: exact or batched")
-		tol      = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		kernel   = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
+		tol      = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts: stop each point once the consensus-time CI closes")
 		rel      = fs.Float64("rel", 0.05, "adaptive stopping target: relative CI half-width")
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-point trial cap (0 = 4x -trials)")

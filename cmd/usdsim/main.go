@@ -46,8 +46,8 @@ func run(args []string) error {
 		seed   = fs.Uint64("seed", 1, "random seed")
 		budget = fs.Int64("budget", 0, "interaction budget (0 = run to consensus)")
 		plot   = fs.Bool("plot", false, "render an ASCII trajectory")
-		kernel = fs.String("kernel", "exact", "stepping kernel: exact or batched")
-		tol    = fs.Float64("tol", 0, "batched-kernel drift tolerance (0 = default)")
+		kernel = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
+		tol    = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

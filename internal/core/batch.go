@@ -3,12 +3,15 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Kernel selects the stepping implementation of a Simulator. The zero value
-// is KernelExact. Construct batched kernels with KernelBatched.
+// is KernelExact. Construct batched kernels with KernelBatched and hybrid
+// auto kernels with KernelAuto.
 type Kernel struct {
 	batched bool
+	auto    bool
 	tol     float64
 }
 
@@ -53,33 +56,84 @@ func KernelBatched(tol float64) Kernel {
 	return Kernel{batched: true, tol: tol}
 }
 
-// ParseKernel returns the kernel named by s: "exact" or "batched", the
-// latter with drift tolerance tol (tol <= 0 selects DefaultTolerance). The
-// empty string is the exact kernel. CLI -kernel flags share this parser.
+// KernelAuto returns the hybrid stepping kernel with the given drift
+// tolerance (tol <= 0 selects DefaultTolerance; values above 0.25 are
+// clamped). It follows exactly the batched kernel's window law — the same
+// tau-leaping leap condition, the same frozen multinomial window
+// distribution, the same feasibility halving — but picks the cheapest
+// sampling strategy per window with a deterministic cost model over the
+// window size m and the opinion count k:
+//
+//   - m < minAutoWindow: exact stepping (the window law degenerates to the
+//     single-event law there anyway, and per-window setup would dominate);
+//   - m < autoCategoricalFactor·k: per-event categorical draws against the
+//     frozen cumulative weights — O(k) setup plus O(log k) per event, with a
+//     single negative-binomial span draw for the whole window, which beats
+//     both exact stepping (one geometric per event) and binomial chaining
+//     (whose 2k inversion setups dominate small windows);
+//   - larger m: the chained-binomial batch of KernelBatched, whose O(k)
+//     cost is independent of m.
+//
+// The strategy choice depends only on (m, k), never on wall-clock, so runs
+// remain deterministic in the seed. Small-n fleet workloads — where windows
+// rarely grow past a few multiples of k and KernelBatched degrades to near
+// parity with exact stepping — are the regime this kernel exists for; the
+// K1 agreement experiment validates its accuracy contract alongside the
+// batched kernel's.
+func KernelAuto(tol float64) Kernel {
+	k := KernelBatched(tol)
+	k.auto = true
+	return k
+}
+
+// ParseKernel returns the kernel named by s: "exact", "batched", or "auto",
+// the latter two with drift tolerance tol (tol <= 0 selects
+// DefaultTolerance). The empty string is the exact kernel. CLI -kernel
+// flags share this parser.
 func ParseKernel(s string, tol float64) (Kernel, error) {
 	switch s {
 	case "", "exact":
 		return KernelExact, nil
 	case "batched":
 		return KernelBatched(tol), nil
+	case "auto":
+		return KernelAuto(tol), nil
 	default:
-		return Kernel{}, fmt.Errorf("core: unknown kernel %q (want exact or batched)", s)
+		return Kernel{}, fmt.Errorf("core: unknown kernel %q (want exact, batched, or auto)", s)
 	}
 }
 
-// Batched reports whether the kernel is a batched kernel.
+// Batched reports whether the kernel steps in tau-leaping windows (the
+// batched and auto kernels) rather than single events.
 func (k Kernel) Batched() bool { return k.batched }
 
-// Tolerance returns the drift tolerance of a batched kernel and 0 for the
-// exact kernel.
+// Auto reports whether the kernel is the hybrid auto kernel.
+func (k Kernel) Auto() bool { return k.auto }
+
+// Tolerance returns the drift tolerance of a batched or auto kernel and 0
+// for the exact kernel.
 func (k Kernel) Tolerance() float64 { return k.tol }
+
+// Name returns the kernel's bare family name — "exact", "batched", or
+// "auto" — without the tolerance; it is the identity CLI flags and shard
+// job specs use.
+func (k Kernel) Name() string {
+	switch {
+	case !k.batched:
+		return "exact"
+	case k.auto:
+		return "auto"
+	default:
+		return "batched"
+	}
+}
 
 // String returns a short name for the kernel.
 func (k Kernel) String() string {
 	if !k.batched {
 		return "exact"
 	}
-	return fmt.Sprintf("batched(%g)", k.tol)
+	return fmt.Sprintf("%s(%g)", k.Name(), k.tol)
 }
 
 // WithKernel selects the stepping kernel used by Run, RunObserved, and
@@ -91,27 +145,58 @@ func WithKernel(k Kernel) Option {
 	return func(s *Simulator) { s.kernel = k }
 }
 
+// SetKernel switches the stepping kernel in place: the equivalent of
+// applying WithKernel, without the per-call closure a func-valued option
+// costs. Fleet trial bodies that Reset a shared simulator once per trial
+// call it right after the reset to stay allocation-free in steady state.
+func (s *Simulator) SetKernel(k Kernel) { s.kernel = k }
+
 // minBatchWindow is the smallest window the batched kernel samples as a
 // batch; below it the per-window O(k) overhead exceeds the cost of exact
 // stepping, so the kernel falls back to the exact law. It also bounds how
 // far infeasible windows can halve before the exact law takes over.
 const minBatchWindow = 32
 
+// minAutoWindow is the auto kernel's exact-stepping floor. The categorical
+// window sampler's per-window setup is a single O(k) cumulative-weight pass
+// and one negative-binomial span draw, so batching pays off at much smaller
+// windows than the chained-binomial sampler's minBatchWindow; below this
+// floor (and whenever feasibility halving drives a window under it) the
+// auto kernel steps exactly.
+const minAutoWindow = 8
+
+// autoCategoricalFactor is the auto kernel's strategy boundary in units of
+// the opinion count: windows of fewer than autoCategoricalFactor·k events
+// are sampled by per-event categorical draws, larger ones by binomial
+// chaining. The constant is the measured cost ratio of one chained-binomial
+// category (two CDF-inversion setups with their transcendentals, ~100ns) to
+// one categorical draw (a buffered uniform plus a binary search, ~12ns),
+// discounted for the categorical path's O(k) cumulative build. The choice
+// is a pure function of (m, k), so trajectories stay deterministic in the
+// seed.
+const autoCategoricalFactor = 16
+
 // wDriftDivisor bounds the drift of the productive weight W = uD + (D²−r₂)
-// across a window: one productive event changes W by at most ~5n (the u·D
-// term by at most n, D² by at most 2n+1, r₂ by at most 2n−1), so a window
-// of tol·W/(5n) events keeps the relative drift of W below ~tol.
-const wDriftDivisor = 5
+// across a window. The per-event change of W telescopes: an adopt of
+// opinion j changes it by exactly (n − 2xⱼ) − 1 and an undecide of opinion
+// i by 2xᵢ − n − 1, so |ΔW| <= n+1 per productive event — the term-wise
+// bound of ~5n (u·D by n, D² by 2n+1, r₂ by 2n−1) ignores the cancellation
+// between the terms. A window of tol·W/(2n) events therefore keeps the
+// relative drift of W below tol·(n+1)/(2n) ~ tol/2, comfortably inside the
+// kernel's tolerance, with windows 2.5× the size the term-wise bound
+// permitted.
+const wDriftDivisor = 2
 
 // batchWindow returns the largest window (in productive events) for which
 // the frozen transition law stays within the kernel's drift tolerance,
 // following the tau-leaping leap condition: every event changes u by ±1 and
 // one support by ±1, so m <= tol·u bounds the relative drift of u, and
-// m <= tol·W/(5n) bounds both the relative drift of W and — because
-// max(tol·xⱼ, 1)·W/(xⱼ·(u+D−xⱼ)) >= tol·W/n for every opinion — the
-// relative drift of each per-opinion rate with support at least 1/tol
-// (smaller supports are allowed one whole unit of change, the tau-leaping
-// granularity floor).
+// m <= tol·W/(2n) bounds both the relative drift of W (|ΔW| <= n+1 per
+// event, see wDriftDivisor) and — because
+// max(tol·xⱼ, 1)·W/(xⱼ·(u+D−xⱼ)) >= tol·W/n >= 2·(tol·W/(2n)) for every
+// opinion — the relative drift of each per-opinion rate with support at
+// least 1/tol (smaller supports are allowed one whole unit of change, the
+// tau-leaping granularity floor).
 func (s *Simulator) batchWindow(w int64) int64 {
 	tol := s.kernel.tol
 	m := math.Min(tol*float64(s.u), tol*float64(w)/(wDriftDivisor*float64(s.n)))
@@ -142,64 +227,193 @@ func (s *Simulator) stepSkip(w, budget int64) (Event, bool) {
 	return ev, true
 }
 
+// ensureBatchScratch sizes the batched kernels' scratch buffers for k
+// opinions. Allocation happens on first use (or growth); afterwards the
+// buffers are resliced only. Reset can shrink the opinion count below a
+// previous trial's k while the scratch capacity still suffices; the weight
+// slice's *length* drives Multinomial's category count, so all scratch is
+// resliced to the live k or stale trailing weights would leak window events
+// onto phantom opinions.
+func (s *Simulator) ensureBatchScratch(k int) {
+	// The categorical sampler's cumulative array is padded to a power of
+	// two; the guide table carries two buckets per cumulative slot (a draw's
+	// bucket is its uniform's top bits), which keeps the expected guide scan
+	// under half a step so the scan branch stays predictable.
+	cumLen := 1
+	for cumLen < 2*k {
+		cumLen <<= 1
+	}
+	if cap(s.batchVals) < k || cap(s.batchCum) < cumLen {
+		s.batchVals = make([]int64, k)
+		s.batchCounts = make([]int64, 2*k)
+		s.batchWeights = make([]float64, k)
+		s.batchCum = make([]int64, cumLen)
+		s.batchGuide = make([]int32, 2*cumLen)
+	}
+	s.batchVals = s.batchVals[:k]
+	s.batchCounts = s.batchCounts[:2*k]
+	s.batchWeights = s.batchWeights[:k]
+	s.batchCum = s.batchCum[:cumLen]
+	s.batchGuide = s.batchGuide[:2*cumLen]
+}
+
+// sampleWindowChained draws the per-opinion adopt/undecide counts of one
+// m-event window from the frozen law by hierarchical binomial chaining: the
+// number of adopt events is Binomial(m, uD/W), adopts split over opinions j
+// with weights xⱼ, and undecide events split with weights xᵢ·(D−xᵢ) —
+// together the exact multinomial law of m independent productive events at
+// the frozen configuration. Cost is O(k) binomial draws independent of m.
+// It fills batchCounts (adopt counts in the first k slots, undecide counts
+// in the next k) from the pre-window supports vals and returns the adopt
+// total.
+func (s *Simulator) sampleWindowChained(vals []int64, m, d int64, pAdopt float64) int64 {
+	k := len(vals)
+	adopts := s.src.Binomial(m, pAdopt)
+	for j, x := range vals {
+		s.batchWeights[j] = float64(x)
+	}
+	s.src.Multinomial(adopts, s.batchWeights, s.batchCounts[:k:k])
+	for j, x := range vals {
+		s.batchWeights[j] = float64(x) * float64(d-x)
+	}
+	s.src.Multinomial(m-adopts, s.batchWeights, s.batchCounts[k:])
+	return adopts
+}
+
+// sampleWindowCategorical draws the same frozen-law window as
+// sampleWindowChained by m individual categorical draws against the exact
+// integer cumulative weights of the 2k event categories (adopt opinion j
+// with weight u·xⱼ, undecide opinion i with weight xᵢ·(D−xᵢ)) — the same
+// multinomial distribution, materialized event by event. Cost is one O(k)
+// cumulative build plus O(log k) per event, which undercuts the chained
+// sampler's 2k inversion setups whenever m is small relative to k. It fills
+// batchCounts from the pre-window supports vals and returns the adopt
+// total.
+func (s *Simulator) sampleWindowCategorical(vals []int64, w, m, d int64) int64 {
+	k := len(vals)
+	cum := s.batchCum
+	counts := s.batchCounts
+	var c int64
+	for j, x := range vals {
+		c += s.u * x
+		cum[j] = c
+		counts[j] = 0
+	}
+	for j, x := range vals {
+		c += x * (d - x)
+		cum[k+j] = c
+		counts[k+j] = 0
+	}
+	// c == W by construction; thresholds are drawn in [0, W). The power-of-
+	// two padding is an absorbing sentinel a draw can never reach.
+	for j := 2 * k; j < len(cum); j++ {
+		cum[j] = math.MaxInt64
+	}
+	// Guide table (Chen's method): bucket g covers the uniforms whose top
+	// bits equal g, and guide[g] is the first category index a threshold in
+	// that bucket can select. A draw then starts its linear scan at its
+	// bucket's entry, which leaves O(1) expected scan steps because the
+	// bucket count matches the category count. The build is one merge pass:
+	// the category pointer only moves forward.
+	guide := s.batchGuide
+	shift := uint(64 - bits.Len(uint(len(guide))-1))
+	idx := 0
+	for g := range guide {
+		// Smallest threshold of bucket g: r_g = hi(u_g · w) for the
+		// bucket's smallest uniform u_g. Thresholds grow with the uniform,
+		// so every draw in the bucket selects a category >= guide[g].
+		rg, _ := bits.Mul64(uint64(g)<<shift, uint64(w))
+		for cum[idx] <= int64(rg) {
+			idx++
+		}
+		guide[g] = int32(idx)
+	}
+	for e := int64(0); e < m; e++ {
+		// Lemire multiply-shift draw of r uniform in [0, w), inlined so the
+		// per-event path is call-free; the rejection branch is taken with
+		// probability w/2⁶⁴ and effectively never. The selected category
+		// is a single indexed increment — adopt vs undecide is resolved by
+		// the count slot, not a per-draw branch.
+		u := s.src.Uint64()
+		hi, lo := bits.Mul64(u, uint64(w))
+		if lo < uint64(w) {
+			threshold := -uint64(w) % uint64(w)
+			for lo < threshold {
+				u = s.src.Uint64()
+				hi, lo = bits.Mul64(u, uint64(w))
+			}
+		}
+		r := int64(hi)
+		idx := int(guide[u>>shift])
+		for cum[idx] <= r {
+			idx++
+		}
+		counts[idx]++
+	}
+	var adopts int64
+	for _, c := range counts[:k] {
+		adopts += c
+	}
+	return adopts
+}
+
 // batchStep samples one window of m productive events under the law frozen
-// at the current configuration and applies it in O(k). The returned bool is
-// false when the window's interaction span crossed the budget; the clock is
-// then clamped to the budget and the window is discarded, mirroring the
-// exact kernel's mid-jump budget semantics.
+// at the current configuration and applies it in bulk. categorical selects
+// the auto kernel's per-event sampling strategy over binomial chaining; both
+// draw from the identical window distribution. The returned bool is false
+// when the window's interaction span crossed the budget; the clock is then
+// clamped to the budget and the window is discarded, mirroring the exact
+// kernel's mid-jump budget semantics.
 //
-// The window is sampled hierarchically: the number of adopt events is
-// Binomial(m, uD/W), adopts split over opinions j with weights xⱼ, and
-// undecide events split with weights xᵢ·(D−xᵢ) — together the exact
-// multinomial law of m independent productive events at the frozen
-// configuration. A window whose net deltas would drive a support negative
-// is discarded and resampled at half the size (falling back to the exact
-// law below minBatchWindow), which conditions away a large-deviation event
-// of probability o(1) in the window size.
-func (s *Simulator) batchStep(w, m, budget int64) (Event, bool) {
+// A window whose net deltas would drive a support negative is discarded and
+// resampled at half the size (falling back to the exact law below the
+// kernel's exact-stepping floor), which conditions away a large-deviation
+// event of probability o(1) in the window size.
+func (s *Simulator) batchStep(w, m, budget int64, categorical bool) (Event, bool) {
 	d := s.n - s.u
 	k := s.tree.Len()
-	if cap(s.batchVals) < k {
-		s.batchVals = make([]int64, 0, k)
-		s.batchAdopts = make([]int64, k)
-		s.batchUndecides = make([]int64, k)
-		s.batchWeights = make([]float64, k)
-	}
-	// Reset can shrink the opinion count below a previous trial's k while
-	// the scratch capacity still suffices; the weight slice's *length*
-	// drives Multinomial's category count, so reslice all scratch to the
-	// live k or stale trailing weights would leak window events onto
-	// phantom opinions.
-	s.batchAdopts = s.batchAdopts[:k]
-	s.batchUndecides = s.batchUndecides[:k]
-	s.batchWeights = s.batchWeights[:k]
+	s.ensureBatchScratch(k)
 	pAdopt := float64(s.u*d) / float64(w)
+	floor := int64(minBatchWindow)
+	if s.kernel.auto {
+		floor = minAutoWindow
+	}
+	// The pre-window supports are read through the tree's live view — no
+	// per-window copy — and stay untouched until applyWindow, including
+	// across feasibility resamples.
+	vals := s.tree.View()
 	for {
-		s.batchVals = s.tree.Values(s.batchVals[:0])
-		adopts := s.src.Binomial(m, pAdopt)
-		for j, x := range s.batchVals {
-			s.batchWeights[j] = float64(x)
+		var adopts int64
+		if categorical {
+			adopts = s.sampleWindowCategorical(vals, w, m, d)
+		} else {
+			adopts = s.sampleWindowChained(vals, m, d, pAdopt)
 		}
-		s.batchAdopts = s.src.Multinomial(adopts, s.batchWeights, s.batchAdopts)
-		for j, x := range s.batchVals {
-			s.batchWeights[j] = float64(x) * float64(d-x)
-		}
-		s.batchUndecides = s.src.Multinomial(m-adopts, s.batchWeights, s.batchUndecides)
 
+		// Feasibility scan: compute the post-window supports (into scratch,
+		// the view stays pristine) and Σx², and count touched opinions so
+		// the apply step can pick the cheaper of an incremental Fenwick
+		// update and a full rebuild.
 		feasible := true
+		touched := 0
 		var r2 int64
-		for j := range s.batchVals {
-			nx := s.batchVals[j] + s.batchAdopts[j] - s.batchUndecides[j]
+		k2 := len(vals)
+		for j, x := range vals {
+			delta := s.batchCounts[j] - s.batchCounts[k2+j]
+			nx := x + delta
 			if nx < 0 {
 				feasible = false
 				break
+			}
+			if delta != 0 {
+				touched++
 			}
 			s.batchVals[j] = nx
 			r2 += nx * nx
 		}
 		if !feasible {
 			m /= 2
-			if m < minBatchWindow {
+			if m < floor {
 				return s.stepSkip(w, budget)
 			}
 			continue
@@ -220,18 +434,41 @@ func (s *Simulator) batchStep(w, m, budget int64) (Event, bool) {
 			return Event{}, false
 		}
 		s.steps = satAdd(s.steps, span)
-		s.tree.SetAll(s.batchVals)
+		s.applyWindow(touched, k)
 		s.r2 = r2
 		s.u += (m - adopts) - adopts
 		return Event{Kind: EventBatch, Opinion: -1, Interactions: s.steps, Count: m}, true
 	}
 }
 
-// runLoopBatched is the batched-kernel run loop: windows of productive
-// events are applied in bulk while the leap condition allows, and the loop
-// degrades to exact skipping steps near absorption, for small windows, and
-// when the remaining budget could not fit two expected windows (so budget
-// truncation keeps single-event resolution).
+// applyWindow writes the window's post-state supports (already materialized
+// in batchVals, with per-opinion deltas recoverable from the adopt and
+// undecide halves of batchCounts) into the Fenwick tree. Windows that touch few
+// opinions — routine near absorption and in the many-opinions regime, where
+// a window's events concentrate on a handful of survivors — apply as
+// incremental O(log k) point updates; denser windows take the one-pass O(k)
+// rebuild. The crossover compares touched·(log₂k+2) point-update work
+// against the k-slot rebuild.
+func (s *Simulator) applyWindow(touched, k int) {
+	if touched*(bits.Len(uint(k))+2) < k {
+		for j := range s.batchVals {
+			if delta := s.batchCounts[j] - s.batchCounts[k+j]; delta != 0 {
+				s.tree.Add(j, delta)
+			}
+		}
+		return
+	}
+	s.tree.SetAll(s.batchVals)
+}
+
+// runLoopBatched is the run loop of the batched and auto kernels: windows
+// of productive events are applied in bulk while the leap condition allows,
+// and the loop degrades to exact skipping steps near absorption, for small
+// windows, and when the remaining budget could not fit two expected windows
+// (so budget truncation keeps single-event resolution). The auto kernel
+// additionally picks the per-window sampling strategy — categorical draws
+// under roughly autoCategoricalFactor·k events, binomial chaining above —
+// and batches down to minAutoWindow instead of minBatchWindow.
 func (s *Simulator) runLoopBatched(budget int64, obs Watcher, stop func(*Simulator) bool) Result {
 	for {
 		if s.IsConsensus() {
@@ -263,10 +500,18 @@ func (s *Simulator) runLoopBatched(budget int64, obs Watcher, stop func(*Simulat
 		}
 		var ev Event
 		var ok bool
-		if m < minBatchWindow {
+		switch {
+		case s.kernel.auto:
+			if m < minAutoWindow {
+				ev, ok = s.stepSkip(w, budget)
+			} else {
+				categorical := m < autoCategoricalFactor*int64(s.tree.Len())
+				ev, ok = s.batchStep(w, m, budget, categorical)
+			}
+		case m < minBatchWindow:
 			ev, ok = s.stepSkip(w, budget)
-		} else {
-			ev, ok = s.batchStep(w, m, budget)
+		default:
+			ev, ok = s.batchStep(w, m, budget, false)
 		}
 		if !ok {
 			return s.result(OutcomeBudget, -1)

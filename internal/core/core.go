@@ -27,7 +27,7 @@
 //
 // # Stepping kernels
 //
-// Two stepping kernels are available (see WithKernel):
+// Three stepping kernels are available (see WithKernel):
 //
 //   - KernelExact (the default) samples every productive interaction
 //     individually from the law above, in O(log k) per event. It is used
@@ -40,8 +40,17 @@
 //     over the 2k event categories, drawn by conditional binomial
 //     chaining), advances the clock by a NegativeBinomial(m, W/n²) span —
 //     the law of m consecutive geometric skips — and applies the window
-//     with one O(k) bulk Fenwick rebuild. Amortized cost is O(k/m + 1) per
+//     with one O(k) bulk Fenwick update. Amortized cost is O(k/m + 1) per
 //     productive event, independent of k for large windows.
+//
+//   - KernelAuto(tol) follows the batched kernel's window law but chooses
+//     the cheapest sampling strategy per window from a deterministic cost
+//     model over (m, k): exact stepping for tiny windows, per-event
+//     categorical draws against the frozen cumulative weights for windows
+//     up to a few multiples of k, and binomial chaining beyond. It closes
+//     the small-n regime where windows never grow large enough for the
+//     chained sampler's O(k) setup to amortize (see docs/ARCHITECTURE.md,
+//     "Performance model").
 //
 // The batched kernel's accuracy contract is the tau-leaping leap condition
 // (Cao–Gillespie–Petzold): the window m is capped at tol·u and at
@@ -224,11 +233,15 @@ type Simulator struct {
 	skip   bool
 	kernel Kernel
 
-	// Scratch buffers of the batched kernel, allocated on first use.
-	batchVals      []int64
-	batchAdopts    []int64
-	batchUndecides []int64
-	batchWeights   []float64
+	// Scratch buffers of the batched and auto kernels, allocated on first
+	// use: batchCounts holds a window's adopt counts (first k slots) and
+	// undecide counts (next k), batchCum the categorical sampler's 2k
+	// cumulative weights, batchGuide its draw-acceleration table.
+	batchVals    []int64
+	batchCounts  []int64
+	batchWeights []float64
+	batchCum     []int64
+	batchGuide   []int32
 }
 
 // Option configures a Simulator.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultWave is the coordinator's dispatch wave size when Options.Wave is
@@ -27,6 +28,19 @@ type Conn struct {
 	// terminal status; the coordinator calls it after closing W and
 	// draining R.
 	Wait func() error
+
+	// mu serializes coordinator writes to W: with wave pipelining the
+	// dispatch goroutine and the shutdown path can address the same worker
+	// concurrently.
+	mu sync.Mutex
+}
+
+// send writes one coordinator-to-worker message under the connection's
+// write lock.
+func (c *Conn) send(m Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeMsg(c.W, m)
 }
 
 // Launcher starts shard workers. ExecLauncher spawns real processes;
@@ -53,9 +67,36 @@ type ExecLauncher struct {
 	Args func(shard, shards int) []string
 	// Env is the worker environment; nil inherits this process's.
 	Env []string
+	// CoreBudget, when positive, partitions a total CPU-core budget across
+	// the worker processes by appending GOMAXPROCS to each worker's
+	// environment: worker i receives CoreBudget/shards cores, the first
+	// CoreBudget mod shards workers one extra, and every worker at least
+	// one. Without it each worker inherits the machine-wide default, so S
+	// shards oversubscribe the cores S-fold and multi-shard throughput
+	// reads as a regression on a saturated host (the shard_throughput
+	// methodology fix).
+	CoreBudget int
 	// Stderr receives the workers' stderr; nil means this process's stderr,
 	// so worker diagnostics stay visible.
 	Stderr io.Writer
+}
+
+// CoreShare returns the GOMAXPROCS value a core budget grants one shard:
+// budget/shards, plus one for the first budget mod shards shards, floored
+// at one. It is exported so benchmarks can report the partition they
+// measured under.
+func CoreShare(budget, shard, shards int) int {
+	if budget <= 0 || shards <= 0 {
+		return 1
+	}
+	w := budget / shards
+	if shard < budget%shards {
+		w++
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Launch implements Launcher by spawning one worker process.
@@ -73,6 +114,14 @@ func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
 	}
 	cmd := exec.Command(path, l.Args(shard, shards)...)
 	cmd.Env = l.Env
+	if l.CoreBudget > 0 {
+		env := l.Env
+		if env == nil {
+			env = os.Environ()
+		}
+		cmd.Env = append(append([]string(nil), env...),
+			fmt.Sprintf("GOMAXPROCS=%d", CoreShare(l.CoreBudget, shard, shards)))
+	}
 	if l.Stderr != nil {
 		cmd.Stderr = l.Stderr
 	} else {
@@ -265,55 +314,117 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 	}
 	defer cleanup()
 
-	pending := make(map[int][]byte, wave)
-	done := start
-	wavesThisRun := 0
-	for done < opts.MaxTrials {
-		if opts.MaxWaves > 0 && wavesThisRun >= opts.MaxWaves {
-			res.Trials = done
-			res.Interrupted = true
-			return res, nil
-		}
-		lo, hi := done, done+wave
+	// The wave schedule of this invocation, fixed up front: consecutive
+	// [lo, hi) ranges from the resume point to the trial cap, truncated to
+	// MaxWaves when time-slicing.
+	type waveRange struct{ lo, hi int }
+	var waves []waveRange
+	for lo := start; lo < opts.MaxTrials; lo += wave {
+		hi := lo + wave
 		if hi > opts.MaxTrials {
 			hi = opts.MaxTrials
 		}
-		for _, c := range conns {
-			if err := writeMsg(c.W, Msg{Type: TypeWave, Lo: lo, Hi: hi}); err != nil {
-				res.Trials = done
-				return res, err
+		waves = append(waves, waveRange{lo, hi})
+	}
+	interrupted := false
+	if opts.MaxWaves > 0 && opts.MaxWaves < len(waves) {
+		waves = waves[:opts.MaxWaves]
+		interrupted = true
+	}
+
+	// Wave pipelining: a dispatch goroutine keeps up to pipelineDepth waves
+	// outstanding, so workers begin wave w+1 the moment they finish wave w
+	// while the coordinator is still folding, checkpointing, and stop-
+	// checking wave w. Folding order, the stop point, and checkpoint
+	// granularity are untouched — pipelining only removes the worker idle
+	// time at each fold. Depth 2 is exactly "one wave ahead of the fold":
+	// more would only grow the discard pile when a stopping predicate fires.
+	const pipelineDepth = 2
+	sem := make(chan struct{}, pipelineDepth)
+	quit := make(chan struct{})
+	stopSender := sync.OnceFunc(func() { close(quit) })
+	defer stopSender()
+	sendErr := make(chan error, 1)
+	// dispatched counts waves delivered to every shard. A dispatch failure
+	// on wave w must not discard waves before w, whose results are complete
+	// or arriving: the fold loop keeps folding (and checkpointing) up to the
+	// last fully dispatched wave and surfaces the error only when the
+	// schedule reaches the failed one — so a killed coordinator loses at
+	// most the undispatched tail, exactly as without pipelining.
+	var dispatched atomic.Int64
+	go func() {
+		for _, wv := range waves {
+			select {
+			case <-quit:
+				return
+			case sem <- struct{}{}:
 			}
+			for _, c := range conns {
+				if err := c.send(Msg{Type: TypeWave, Lo: wv.lo, Hi: wv.hi}); err != nil {
+					select {
+					case sendErr <- fmt.Errorf("dist: dispatch wave [%d,%d): %w", wv.lo, wv.hi, err):
+					default:
+					}
+					return
+				}
+			}
+			dispatched.Add(1)
 		}
+	}()
+
+	// pending accumulates results by global trial index; with pipelining it
+	// can hold (parts of) the next wave while the current one folds, so it
+	// is only cleared wholesale when a stop discards in-flight work.
+	// waveDones counts wavedone barriers per wave start, because a fast
+	// shard can finish wave w+1 before a slow one finishes wave w.
+	pending := make(map[int][]byte, pipelineDepth*wave)
+	waveDones := make(map[int]int, pipelineDepth)
+	done := start
+	var dispatchErr error
+	for wi, wv := range waves {
 		// The wave barrier: every shard reports wavedone for [lo, hi).
-		for waiting := len(conns); waiting > 0; {
-			sm := <-msgs
-			switch {
-			case sm.err != nil:
+		for waveDones[wv.lo] < len(conns) {
+			// A recorded dispatch failure aborts only once this wave is the
+			// failed (never fully dispatched) one; earlier waves' barriers
+			// are still satisfiable and their folds still checkpoint.
+			if dispatchErr != nil && int64(wi) >= dispatched.Load() {
 				res.Trials = done
-				return res, fmt.Errorf("dist: shard %d: %w", sm.shard, sm.err)
-			case sm.m.Type == TypeResult:
-				pending[sm.m.Trial] = sm.m.Data
-			case sm.m.Type == TypeWaveDone:
-				waiting--
-			case sm.m.Type == TypeError:
-				res.Trials = done
-				return res, fmt.Errorf("dist: shard %d failed: %s", sm.shard, sm.m.Err)
-			default:
-				res.Trials = done
-				return res, fmt.Errorf("dist: shard %d sent unexpected %s message", sm.shard, sm.m.Type)
+				return res, dispatchErr
+			}
+			select {
+			case err := <-sendErr:
+				dispatchErr = err
+				continue
+			case sm := <-msgs:
+				switch {
+				case sm.err != nil:
+					res.Trials = done
+					return res, fmt.Errorf("dist: shard %d: %w", sm.shard, sm.err)
+				case sm.m.Type == TypeResult:
+					pending[sm.m.Trial] = sm.m.Data
+				case sm.m.Type == TypeWaveDone:
+					waveDones[sm.m.Lo]++
+				case sm.m.Type == TypeError:
+					res.Trials = done
+					return res, fmt.Errorf("dist: shard %d failed: %s", sm.shard, sm.m.Err)
+				default:
+					res.Trials = done
+					return res, fmt.Errorf("dist: shard %d sent unexpected %s message", sm.shard, sm.m.Type)
+				}
 			}
 		}
+		delete(waveDones, wv.lo)
 		// Fold the wave strictly in global index order, consulting the
 		// stopping predicate after every fold — the same contract as the
 		// in-process engines, so the stop point cannot depend on shard
 		// count or scheduling. Results past a mid-wave stop are discarded,
-		// bounding the waste at one wave.
+		// bounding the waste at the pipeline depth.
 		stopped := false
-		for i := lo; i < hi && !stopped; i++ {
+		for i := wv.lo; i < wv.hi && !stopped; i++ {
 			data, ok := pending[i]
 			if !ok {
 				res.Trials = done
-				return res, fmt.Errorf("dist: wave [%d,%d) is missing trial %d", lo, hi, i)
+				return res, fmt.Errorf("dist: wave [%d,%d) is missing trial %d", wv.lo, wv.hi, i)
 			}
 			delete(pending, i)
 			if err := sink(i, data); err != nil {
@@ -325,11 +436,8 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 				stopped = true
 			}
 		}
-		for k := range pending {
-			delete(pending, k)
-		}
+		<-sem
 		res.Waves++
-		wavesThisRun++
 		res.Trials = done
 		res.Stopped = stopped
 		if opts.CheckpointPath != "" {
@@ -351,6 +459,7 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 			return res, nil
 		}
 	}
+	res.Interrupted = interrupted
 	return res, nil
 }
 
@@ -392,8 +501,10 @@ func launchWorkers(opts Options, hash string) ([]*Conn, chan shardMsg, func(), e
 					c.R.Close()
 				}
 				// Halting is best-effort: a worker that already exited (or
-				// died) just yields a write error here.
-				_ = writeMsg(c.W, Msg{Type: TypeHalt})
+				// died) just yields a write error here. The locked send
+				// serializes against a dispatch goroutine still mid-write on
+				// the same connection.
+				_ = c.send(Msg{Type: TypeHalt})
 				c.W.Close()
 			}(i, c)
 		}
@@ -416,7 +527,7 @@ func launchWorkers(opts Options, hash string) ([]*Conn, chan shardMsg, func(), e
 			return fail(fmt.Errorf("dist: launch shard %d: %w", shard, err))
 		}
 		conns = append(conns, c)
-		if err := writeMsg(c.W, Msg{
+		if err := c.send(Msg{
 			Type:   TypeJob,
 			Shard:  shard,
 			Shards: opts.Shards,

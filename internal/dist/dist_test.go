@@ -2,7 +2,9 @@ package dist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -336,5 +338,132 @@ func TestProtocolVersionRejected(t *testing.T) {
 	r := newMsgReader(strings.NewReader(`{"v":99,"type":"job","trial":0}` + "\n"))
 	if _, err := r.next(); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+// TestCoreShare pins the core-budget partition: shares sum to the budget
+// when it covers every shard, differ by at most one, and floor at one when
+// the budget is short.
+func TestCoreShare(t *testing.T) {
+	for _, tc := range []struct{ budget, shards int }{
+		{4, 4}, {4, 2}, {5, 3}, {1, 4}, {16, 5}, {3, 8},
+	} {
+		min, max, sum := 1<<30, 0, 0
+		for shard := 0; shard < tc.shards; shard++ {
+			w := CoreShare(tc.budget, shard, tc.shards)
+			if w < 1 {
+				t.Fatalf("CoreShare(%d, %d, %d) = %d < 1", tc.budget, shard, tc.shards, w)
+			}
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+			sum += w
+		}
+		if max-min > 1 {
+			t.Fatalf("budget %d over %d shards: shares spread %d..%d", tc.budget, tc.shards, min, max)
+		}
+		if tc.budget >= tc.shards && sum != tc.budget {
+			t.Fatalf("budget %d over %d shards: shares sum to %d", tc.budget, tc.shards, sum)
+		}
+		if tc.budget < tc.shards && sum != tc.shards {
+			t.Fatalf("short budget %d over %d shards: shares sum to %d, want one each", tc.budget, tc.shards, sum)
+		}
+	}
+	if got := CoreShare(0, 0, 4); got != 1 {
+		t.Fatalf("CoreShare without budget = %d, want 1", got)
+	}
+}
+
+// TestExecLauncherCoreBudgetEnv launches a real child under a core budget
+// and reads the GOMAXPROCS the child observes in its environment.
+func TestExecLauncherCoreBudgetEnv(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("/bin/sh unavailable")
+	}
+	l := &ExecLauncher{
+		Path:       "/bin/sh",
+		Args:       func(shard, shards int) []string { return []string{"-c", `echo "$GOMAXPROCS"`} },
+		CoreBudget: 5,
+	}
+	c, err := l.Launch(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Wait()
+	defer c.W.Close()
+	var out [16]byte
+	n, _ := c.R.Read(out[:])
+	got := strings.TrimSpace(string(out[:n]))
+	if want := fmt.Sprintf("%d", CoreShare(5, 1, 3)); got != want {
+		t.Fatalf("worker saw GOMAXPROCS=%q, want %q", got, want)
+	}
+}
+
+// failingDispatchWriter fails every write after its wave budget is spent.
+type failingDispatchWriter struct {
+	w         io.WriteCloser
+	remaining int
+}
+
+func (f *failingDispatchWriter) Write(p []byte) (int, error) {
+	if strings.Contains(string(p), `"type":"wave"`) {
+		if f.remaining <= 0 {
+			return 0, errors.New("injected dispatch failure")
+		}
+		f.remaining--
+	}
+	return f.w.Write(p)
+}
+
+func (f *failingDispatchWriter) Close() error { return f.w.Close() }
+
+// failAfterWaves wraps a launcher so shard 0's command stream dies after a
+// fixed number of wave dispatches.
+type failAfterWaves struct {
+	inner Launcher
+	waves int
+}
+
+func (l *failAfterWaves) Launch(shard, shards int) (*Conn, error) {
+	c, err := l.inner.Launch(shard, shards)
+	if err != nil || shard != 0 {
+		return c, err
+	}
+	c.W = &failingDispatchWriter{w: c.W, remaining: l.waves}
+	return c, nil
+}
+
+// TestRunDispatchFailureFoldsDispatchedWaves pins the pipelined
+// coordinator's loss bound: when dispatching wave w fails, every earlier
+// wave — already delivered to all shards — still folds (and checkpoints),
+// so a killed coordinator loses only the undispatched tail.
+func TestRunDispatchFailureFoldsDispatchedWaves(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	const wave = 4
+	for _, okWaves := range []int{1, 3} {
+		st := &foldState{}
+		res, err := Run(Options{
+			Shards:    2,
+			MaxTrials: 40,
+			Wave:      wave,
+			Seed:      7,
+			Spec:      spec,
+			Launcher:  &failAfterWaves{inner: &PipeLauncher{Build: echoBuild}, waves: okWaves},
+		}, st.sink, nil, st)
+		if err == nil || !strings.Contains(err.Error(), "injected dispatch failure") {
+			t.Fatalf("okWaves=%d: expected injected failure, got %v", okWaves, err)
+		}
+		if want := okWaves * wave; res.Trials != want || st.Count != want {
+			t.Fatalf("okWaves=%d: folded %d/%d trials, want exactly %d (the dispatched waves)",
+				okWaves, res.Trials, st.Count, want)
+		}
+		for i := 0; i < st.Count; i++ {
+			if want := fmt.Sprintf("%d:%s", i, echoPayload(spec, 7, i)); st.Seq[i] != want {
+				t.Fatalf("okWaves=%d: fold %d = %q, want %q", okWaves, i, st.Seq[i], want)
+			}
+		}
 	}
 }

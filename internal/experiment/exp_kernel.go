@@ -11,17 +11,19 @@ import (
 	"repro/internal/stats"
 )
 
-// k1KernelAgreement validates the batched kernel's accuracy contract
+// k1KernelAgreement validates the windowed kernels' accuracy contracts
 // against the exact kernel: over paired trials from the same initial
 // configuration, the winner frequencies, the consensus-time distribution
 // (two-sample KS test), and the per-phase median end times must agree
-// within the stated tolerances. This is the empirical license for using
-// KernelBatched in every large-n experiment.
+// within the stated tolerances, for both KernelBatched and KernelAuto
+// (which shares the window law but switches sampling strategies per
+// window). This is the empirical license for using the windowed kernels in
+// every large-n experiment and fleet workload.
 func k1KernelAgreement() Experiment {
 	return Experiment{
 		ID:       "K1-kernel-agreement",
-		Title:    "Exact vs batched kernel distributional agreement",
-		Artifact: "batched-kernel accuracy contract (tau-leaping tolerance)",
+		Title:    "Exact vs batched/auto kernel distributional agreement",
+		Artifact: "windowed-kernel accuracy contract (tau-leaping tolerance)",
 		Run: func(p Params, w io.Writer) error {
 			n := pick(p, int64(1<<13), int64(1<<14))
 			k := 8
@@ -56,10 +58,11 @@ func k1KernelAgreement() Experiment {
 				minPerPhase = 20   // phases reached less often are not compared
 			)
 
+			kernels := []core.Kernel{core.KernelBatched(0), core.KernelAuto(0)}
 			tbl := NewTable(
 				fmt.Sprintf("Kernel agreement, n=%d k=%d, %d paired trials per config (tol %g):",
 					n, k, trials, core.DefaultTolerance),
-				"config", "metric", "exact", "batched", "gap", "tolerance", "verdict")
+				"config", "kernel", "metric", "exact", "windowed", "gap", "tolerance", "verdict")
 			allPass := true
 			verdict := func(pass bool) string {
 				if pass {
@@ -69,83 +72,91 @@ func k1KernelAgreement() Experiment {
 				return "DISAGREE"
 			}
 
+			type gathered struct {
+				times  []float64
+				wins   int
+				oks    int
+				phases [][]float64
+			}
+			gather := func(ts []trial) gathered {
+				g := gathered{phases: make([][]float64, 5)}
+				for _, t := range ts {
+					if !t.ok {
+						continue
+					}
+					g.oks++
+					g.times = append(g.times, float64(t.run.Result.Interactions))
+					if t.run.Result.Winner == t.run.InitialLeader {
+						g.wins++
+					}
+					for ph := 1; ph <= 5; ph++ {
+						if t.run.Phases.Reached(ph) {
+							g.phases[ph-1] = append(g.phases[ph-1], float64(t.run.Phases.End[ph-1]))
+						}
+					}
+				}
+				return g
+			}
+
 			for ci, c := range configs {
 				cfg, err := c.mk()
 				if err != nil {
 					return err
 				}
-				// Both arms share the same derived seed per trial index
-				// (common random numbers), so the comparison is genuinely
+				// All arms share the same derived seed per trial index
+				// (common random numbers), so the comparisons are genuinely
 				// paired; the kernels then consume the stream differently.
-				exact := collect(cfg, core.KernelExact, uint64(ci)*1000+1)
-				batched := collect(cfg, core.KernelBatched(0), uint64(ci)*1000+1)
+				ge := gather(collect(cfg, core.KernelExact, uint64(ci)*1000+1))
+				if ge.oks == 0 {
+					return fmt.Errorf("no successful exact runs for config %s", c.name)
+				}
+				for _, kern := range kernels {
+					gw := gather(collect(cfg, kern, uint64(ci)*1000+1))
+					if gw.oks == 0 {
+						return fmt.Errorf("no successful %v runs for config %s", kern, c.name)
+					}
+					kname := kern.Name()
 
-				var tExact, tBatched []float64
-				var winExact, winBatched, okExact, okBatched int
-				phaseExact := make([][]float64, 5)
-				phaseBatched := make([][]float64, 5)
-				gather := func(ts []trial, times *[]float64, wins, oks *int, phases [][]float64) {
-					for _, t := range ts {
-						if !t.ok {
+					// Leader win frequency.
+					we := float64(ge.wins) / float64(ge.oks)
+					wb := float64(gw.wins) / float64(gw.oks)
+					tbl.AddRowf(c.name, kname, "leader win rate", we, wb, math.Abs(we-wb), winTol,
+						verdict(math.Abs(we-wb) <= winTol))
+
+					// Consensus-time distribution: two-sample KS.
+					d, err := stats.KSTwoSample(ge.times, gw.times)
+					if err != nil {
+						return err
+					}
+					crit := stats.KSCriticalValue(len(ge.times), len(gw.times), ksAlpha)
+					tbl.AddRowf(c.name, kname, "consensus time KS", "-", "-", d, crit, verdict(d <= crit))
+
+					// Per-phase median end times.
+					for ph := 1; ph <= 5; ph++ {
+						if len(ge.phases[ph-1]) < minPerPhase || len(gw.phases[ph-1]) < minPerPhase {
 							continue
 						}
-						*oks++
-						*times = append(*times, float64(t.run.Result.Interactions))
-						if t.run.Result.Winner == t.run.InitialLeader {
-							*wins++
+						me, err := stats.Quantile(ge.phases[ph-1], 0.5)
+						if err != nil {
+							return err
 						}
-						for ph := 1; ph <= 5; ph++ {
-							if t.run.Phases.Reached(ph) {
-								phases[ph-1] = append(phases[ph-1], float64(t.run.Phases.End[ph-1]))
-							}
+						mb, err := stats.Quantile(gw.phases[ph-1], 0.5)
+						if err != nil {
+							return err
 						}
+						gap := 0.0
+						if me > 0 {
+							gap = math.Abs(mb-me) / me
+						}
+						tbl.AddRowf(c.name, kname, fmt.Sprintf("phase %d median end", ph), me, mb, gap, medianTol,
+							verdict(gap <= medianTol))
 					}
-				}
-				gather(exact, &tExact, &winExact, &okExact, phaseExact)
-				gather(batched, &tBatched, &winBatched, &okBatched, phaseBatched)
-				if okExact == 0 || okBatched == 0 {
-					return fmt.Errorf("no successful runs for config %s", c.name)
-				}
-
-				// Leader win frequency.
-				we := float64(winExact) / float64(okExact)
-				wb := float64(winBatched) / float64(okBatched)
-				tbl.AddRowf(c.name, "leader win rate", we, wb, math.Abs(we-wb), winTol,
-					verdict(math.Abs(we-wb) <= winTol))
-
-				// Consensus-time distribution: two-sample KS.
-				d, err := stats.KSTwoSample(tExact, tBatched)
-				if err != nil {
-					return err
-				}
-				crit := stats.KSCriticalValue(len(tExact), len(tBatched), ksAlpha)
-				tbl.AddRowf(c.name, "consensus time KS", "-", "-", d, crit, verdict(d <= crit))
-
-				// Per-phase median end times.
-				for ph := 1; ph <= 5; ph++ {
-					if len(phaseExact[ph-1]) < minPerPhase || len(phaseBatched[ph-1]) < minPerPhase {
-						continue
-					}
-					me, err := stats.Quantile(phaseExact[ph-1], 0.5)
-					if err != nil {
-						return err
-					}
-					mb, err := stats.Quantile(phaseBatched[ph-1], 0.5)
-					if err != nil {
-						return err
-					}
-					gap := 0.0
-					if me > 0 {
-						gap = math.Abs(mb-me) / me
-					}
-					tbl.AddRowf(c.name, fmt.Sprintf("phase %d median end", ph), me, mb, gap, medianTol,
-						verdict(gap <= medianTol))
 				}
 			}
 			if err := tbl.Fprint(w); err != nil {
 				return err
 			}
-			summary := "PASS: batched kernel matches the exact kernel within tolerance on every metric."
+			summary := "PASS: every windowed kernel matches the exact kernel within tolerance on every metric."
 			if !allPass {
 				summary = "FAIL: at least one metric disagrees; inspect the table."
 			}

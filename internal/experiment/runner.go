@@ -246,7 +246,13 @@ func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget int64, checkEv
 	var tr *phase.Tracker
 	var err error
 	if a != nil {
-		s, err = a.Simulator(c, src, core.WithKernel(kern))
+		// Option-free reset plus SetKernel keeps the per-trial path free of
+		// the closure allocation a WithKernel option would cost (pinned by
+		// TestStreamFoldAllocFree).
+		s, err = a.Simulator(c, src)
+		if err == nil {
+			s.SetKernel(kern)
+		}
 		tr = a.Tracker(phase.WithCheckInterval(checkEvery))
 	} else {
 		s, err = core.New(c, src, core.WithKernel(kern))
@@ -276,7 +282,10 @@ func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget int64, kern
 	var s *core.Simulator
 	var err error
 	if a != nil {
-		s, err = a.Simulator(c, src, core.WithKernel(kern))
+		s, err = a.Simulator(c, src)
+		if err == nil {
+			s.SetKernel(kern)
+		}
 	} else {
 		s, err = core.New(c, src, core.WithKernel(kern))
 	}

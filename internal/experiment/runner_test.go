@@ -186,3 +186,38 @@ func TestArenaSimulatorAcrossConfigs(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamFoldAllocFree pins the steady-state allocation profile of the
+// serial Stream fold path at zero per trial: the arena body (simulator
+// reset, window loop) and the sink fold must not allocate once warm. The
+// pin compares total allocations of a short and a long stream — any
+// per-trial allocation shows up as growth in the difference, while the
+// engine's fixed per-invocation setup cancels out.
+func TestStreamFoldAllocFree(t *testing.T) {
+	cfg, err := conf.Uniform(5000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var online stats.Online
+	run := func(trials int) func() {
+		return func() {
+			Stream(trials, 1, 3,
+				func(i int, src *rng.Source, a *Arena) float64 {
+					s, err := a.Simulator(cfg, src)
+					if err != nil {
+						panic(err)
+					}
+					s.SetKernel(core.KernelAuto(0))
+					return float64(s.Run(20_000).Interactions)
+				},
+				func(_ int, v float64) { online.Add(v) })
+		}
+	}
+	run(4)() // warm any lazy engine state
+	short := testing.AllocsPerRun(5, run(4))
+	long := testing.AllocsPerRun(5, run(104))
+	if perTrial := (long - short) / 100; perTrial > 0 {
+		t.Errorf("Stream fold allocates %.2f objects per trial in steady state, want 0 (short=%v long=%v)",
+			perTrial, short, long)
+	}
+}

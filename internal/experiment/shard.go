@@ -35,9 +35,9 @@ type ShardSpec struct {
 	Support []int64 `json:"support"`
 	// Undecided is the initially undecided agent count.
 	Undecided int64 `json:"undecided"`
-	// Kernel is the stepping kernel name ("exact" or "batched").
+	// Kernel is the stepping kernel name ("exact", "batched", or "auto").
 	Kernel string `json:"kernel"`
-	// Tol is the batched kernel's drift tolerance (0 = default).
+	// Tol is the batched/auto kernel's drift tolerance (0 = default).
 	Tol float64 `json:"tol"`
 	// Budget is the interaction budget (0 = run to absorption).
 	Budget int64 `json:"budget"`
@@ -53,15 +53,11 @@ type ShardSpec struct {
 // NewShardSpec captures a configuration and run options as a distributable
 // job spec.
 func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget int64, checkEvery int, tracked bool) ShardSpec {
-	name := "exact"
-	if kern.Batched() {
-		name = "batched"
-	}
 	return ShardSpec{
 		Kind:       ShardSpecKind,
 		Support:    append([]int64(nil), cfg.Support...),
 		Undecided:  cfg.Undecided,
-		Kernel:     name,
+		Kernel:     kern.Name(),
 		Tol:        kern.Tolerance(),
 		Budget:     budget,
 		CheckEvery: checkEvery,
@@ -188,10 +184,11 @@ func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Sou
 			LeaderAtT2:    run.Phases.LeaderAtT2,
 		}, nil
 	}
-	sim, err := a.Simulator(cfg, src, core.WithKernel(kern))
+	sim, err := a.Simulator(cfg, src)
 	if err != nil {
 		return ShardResult{}, err
 	}
+	sim.SetKernel(kern)
 	leader, _ := cfg.Max()
 	res := sim.Run(s.Budget)
 	return ShardResult{

@@ -282,3 +282,13 @@ func (d *Dual) SetAll(xs []int64) {
 func (d *Dual) Values(dst []int64) []int64 {
 	return append(dst, d.vals...)
 }
+
+// View returns the tree's live value slice without copying. The slice is
+// the tree's own backing store: it stays valid (and visible through later
+// reads) across Add and SetAll, and callers must treat it as read-only —
+// writing through it would desynchronize the prefix trees. The batched
+// simulation kernels read the pre-window supports through it once per
+// window instead of copying k values.
+func (d *Dual) View() []int64 {
+	return d.vals
+}

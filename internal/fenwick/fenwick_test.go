@@ -417,3 +417,26 @@ func BenchmarkDualFindWeighted(b *testing.B) {
 		_ = d.FindWeighted(dTotal, src.Int63n(total))
 	}
 }
+
+func TestDualView(t *testing.T) {
+	d := DualFromSlice([]int64{3, 1, 4, 1, 5})
+	v := d.View()
+	if len(v) != 5 {
+		t.Fatalf("View length %d, want 5", len(v))
+	}
+	for i, want := range []int64{3, 1, 4, 1, 5} {
+		if v[i] != want {
+			t.Fatalf("View[%d] = %d, want %d", i, v[i], want)
+		}
+	}
+	// The view is live: point updates and bulk rebuilds show through it
+	// without re-acquiring.
+	d.Add(2, 7)
+	if v[2] != 11 {
+		t.Fatalf("View[2] after Add = %d, want 11", v[2])
+	}
+	d.SetAll([]int64{9, 8, 7, 6, 5})
+	if v[0] != 9 || v[4] != 5 {
+		t.Fatalf("View after SetAll = %v", v)
+	}
+}

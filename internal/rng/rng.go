@@ -36,10 +36,25 @@ func Derive(seed, index uint64) uint64 {
 	return SplitMix64(&s)
 }
 
-// Source is a xoshiro256** generator. It is not safe for concurrent use;
-// create one Source per goroutine (see Derive).
+// bufLen is the block size of the buffered generator: the number of outputs
+// refill produces per pass. One refill keeps the whole xoshiro state in
+// registers for bufLen iterations and leaves Uint64's per-draw fast path
+// small enough to inline at every call site, which is what removes the
+// per-draw call overhead from simulation hot loops. Reseeding discards any
+// unconsumed block, so the block size also bounds the work wasted per trial
+// reseed; 128 keeps that waste negligible against even the shortest trials.
+const bufLen = 128
+
+// Source is a xoshiro256** generator with a buffered output block: raw
+// 64-bit outputs are produced bufLen at a time and served from an in-struct
+// buffer, so the common Uint64 path is a bounds-checked load. Buffering is
+// invisible in the output stream — the value sequence is exactly the
+// unbuffered generator's. A Source is not safe for concurrent use; create
+// one per goroutine (see Derive).
 type Source struct {
-	s [4]uint64
+	pos int
+	buf [bufLen]uint64
+	s   [4]uint64
 }
 
 // New returns a Source seeded from the given 64-bit seed via SplitMix64.
@@ -53,12 +68,14 @@ func New(seed uint64) *Source {
 // Reseed resets the source in place to the exact state New(seed) would
 // produce, without allocating. Trial engines that reuse one Source per
 // worker reseed it with a per-trial derived seed, so results are identical
-// to fresh per-trial New calls.
+// to fresh per-trial New calls. Any buffered outputs of the previous seed
+// are discarded.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = SplitMix64(&sm)
 	}
+	r.pos = bufLen
 }
 
 // NewFromState returns a Source with exactly the given xoshiro256** state.
@@ -68,7 +85,7 @@ func NewFromState(state [4]uint64) *Source {
 	if state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0 {
 		return New(0)
 	}
-	return &Source{s: state}
+	return &Source{s: state, pos: bufLen}
 }
 
 // Split returns a new Source whose stream is statistically independent of
@@ -78,18 +95,36 @@ func (r *Source) Split() *Source {
 	return New(seed)
 }
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. The fast path is a
+// buffered load small enough to inline; refill regenerates the block from
+// the xoshiro state roughly once per bufLen draws.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := bits.RotateLeft64(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = bits.RotateLeft64(s[3], 45)
-	return result
+	if r.pos < bufLen {
+		v := r.buf[r.pos]
+		r.pos++
+		return v
+	}
+	return r.refill()
+}
+
+// refill regenerates the output block from the generator state — bufLen
+// xoshiro256** steps with the state held in registers — and returns the
+// block's first value.
+func (r *Source) refill() uint64 {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range r.buf {
+		r.buf[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.pos = 1
+	return r.buf[0]
 }
 
 // Uint64n returns a uniform value in [0, n). It uses Lemire's multiply-shift
@@ -154,9 +189,16 @@ func (r *Source) Geometric(p float64) int64 {
 	if p <= 0 {
 		panic("rng: Geometric called with p <= 0")
 	}
-	// Inversion: G = floor(log(1-U) / log(1-p)) + 1 with U in [0, 1).
+	return r.geometricInv(1 / math.Log1p(-p))
+}
+
+// geometricInv is Geometric by inversion with the reciprocal log already
+// computed: G = floor(log(1-U) · invLogQ) + 1 with invLogQ = 1/log(1-p).
+// Batch samplers that draw many geometrics at a fixed p hoist the reciprocal
+// out of the loop, halving the transcendental count per draw.
+func (r *Source) geometricInv(invLogQ float64) int64 {
 	u := r.Float64()
-	g := math.Floor(math.Log1p(-u)/math.Log1p(-p)) + 1
+	g := math.Floor(math.Log1p(-u)*invLogQ) + 1
 	if g >= float64(maxGeometric) || math.IsNaN(g) {
 		return maxGeometric
 	}
@@ -187,16 +229,22 @@ func (r *Source) Normal() float64 {
 }
 
 // btrsThreshold is the smallest n·min(p,1−p) for which Binomial uses the
-// transformed-rejection sampler; below it the classic exact paths are both
+// transformed-rejection sampler; below it sequential CDF inversion is both
 // correct and faster.
 const btrsThreshold = 10
 
+// binvDirectLimit is the largest n for which Binomial sums Bernoulli draws
+// directly: below it the loop of buffered uniform draws undercuts even the
+// single transcendental that the inversion setup pays.
+const binvDirectLimit = 16
+
 // Binomial returns a Binomial(n, p) variate by exact methods: direct
-// Bernoulli summation for small n, the geometric waiting-time method for
-// small n·p, and Hörmann's BTRS transformed-rejection sampler for
-// n·min(p,1−p) >= 10. All three paths sample the exact distribution; the
-// expected cost is O(min(n, n·min(p,1−p)+1)) for the classic paths and O(1)
-// for BTRS, so the cost is bounded in every regime.
+// Bernoulli summation for tiny n, Hörmann's BTRS transformed-rejection
+// sampler for n·min(p,1−p) >= 10, and sequential CDF inversion (the classic
+// BINV recurrence) for everything below the BTRS threshold. All paths sample
+// the exact distribution; the expected cost is O(n) draws for the direct
+// path, O(1) for BTRS, and O(n·min(p,1−p)+1) multiplies for inversion, so
+// the cost is bounded in every regime.
 func (r *Source) Binomial(n int64, p float64) int64 {
 	switch {
 	case n < 0:
@@ -207,9 +255,7 @@ func (r *Source) Binomial(n int64, p float64) int64 {
 		return n
 	case p > 0.5:
 		return n - r.Binomial(n, 1-p)
-	case n > 64 && float64(n)*p >= btrsThreshold:
-		return r.binomialBTRS(n, p)
-	case n <= 64:
+	case n <= binvDirectLimit:
 		var successes int64
 		for i := int64(0); i < n; i++ {
 			if r.Float64() < p {
@@ -217,16 +263,41 @@ func (r *Source) Binomial(n int64, p float64) int64 {
 			}
 		}
 		return successes
+	case float64(n)*p >= btrsThreshold:
+		return r.binomialBTRS(n, p)
 	default:
-		// Waiting-time method: positions of successes are separated by
-		// geometric gaps; count how many fit inside n trials.
-		var successes, pos int64
-		for {
-			pos += r.Geometric(p)
-			if pos > n {
-				return successes
-			}
-			successes++
+		return r.binomialBINV(n, p)
+	}
+}
+
+// binomialBINV samples Binomial(n, p) exactly for 0 < p <= 0.5 and
+// n·p < btrsThreshold by sequential CDF inversion (the BINV algorithm of
+// Kachitvichyanukul & Schmeiser): one uniform is walked down the pmf via the
+// ratio recurrence P(k+1) = P(k)·(n−k)·s/(k+1) with s = p/q. The expected
+// iteration count is n·p + 1 < 11 in this regime, and with p <= 0.5 and
+// n·p < 10 the starting mass q^n >= e^−15, so the recurrence cannot
+// underflow near the mode. The far tail can still leak to zero mass in
+// floating point; a walk that runs past it restarts with a fresh uniform,
+// conditioning away a < 1e−12 tail — far below the sampler's rounding noise.
+func (r *Source) binomialBINV(n int64, p float64) int64 {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	f0 := math.Exp(float64(n) * math.Log1p(-p)) // q^n = P(X = 0)
+	f := f0
+	u := r.Float64()
+	var k int64
+	for {
+		if u <= f {
+			return k
+		}
+		u -= f
+		f *= a/float64(k+1) - s
+		k++
+		if k > n || f <= 0 {
+			k = 0
+			f = f0
+			u = r.Float64()
 		}
 	}
 }
@@ -299,13 +370,26 @@ func (r *Source) binomialBTRS(n int64, p float64) int64 {
 // geometric variates exactly.
 const nbExactLimit = 256
 
+// nbInvLimit is the largest expected failure count μ = m(1−p)/p for which
+// NegativeBinomial uses sequential CDF inversion over the failure count.
+// The walk costs O(μ) multiplies (no transcendentals beyond its setup), so
+// it beats the summed-geometric path's m logarithms through the whole
+// admitted range; the limit exists because the starting mass
+// p^m = e^{−m·ln(1/p)} >= e^{−μ} (since ln(1/p) <= (1−p)/p) approaches the
+// subnormal floor beyond μ ~ 700. 512 leaves a two-decade margin.
+const nbInvLimit = 512
+
 // NegativeBinomial returns the number of independent Bernoulli(p) trials up
 // to and including the m-th success (the sum of m Geometric(p) variates),
-// for m >= 0 and p in (0, 1]. For m <= nbExactLimit the sum is formed
-// exactly; above it the sample is drawn from the normal approximation with
-// the exact mean m/p and variance m(1−p)/p², whose relative error is
-// O(1/√m). Results are clamped to [m, MaxInt64] so interaction-clock
-// arithmetic cannot overflow.
+// for m >= 0 and p in (0, 1]. For m <= nbExactLimit the sample is exact:
+// sequential CDF inversion over the failure count when its mean m(1−p)/p is
+// at most nbInvLimit (one uniform and one transcendental instead of m of
+// each — the hot case for tau-leaping spans, where p is the per-interaction
+// productive probability and is close to 1 exactly when windows are large),
+// and a sum of m geometric variates otherwise. Above nbExactLimit the
+// sample is drawn from the normal approximation with the exact mean m/p and
+// variance m(1−p)/p², whose relative error is O(1/√m). Results are clamped
+// to [m, MaxInt64] so interaction-clock arithmetic cannot overflow.
 func (r *Source) NegativeBinomial(m int64, p float64) int64 {
 	switch {
 	case m < 0:
@@ -317,12 +401,18 @@ func (r *Source) NegativeBinomial(m int64, p float64) int64 {
 	case p >= 1:
 		return m
 	case m <= nbExactLimit:
+		if float64(m)*(1-p)/p <= nbInvLimit {
+			return r.negativeBinomialInv(m, p)
+		}
 		// Each Geometric is capped at 2^56, but nbExactLimit of them can
 		// still sum past MaxInt64 for extreme p, so accumulate saturating —
-		// the documented clamp — instead of wrapping negative.
+		// the documented clamp — instead of wrapping negative. The
+		// reciprocal log of the shared inversion formula is hoisted out of
+		// the loop.
+		invLogQ := 1 / math.Log1p(-p)
 		var total int64
 		for i := int64(0); i < m; i++ {
-			total = satAddInt64(total, r.Geometric(p))
+			total = satAddInt64(total, r.geometricInv(invLogQ))
 		}
 		return total
 	default:
@@ -340,6 +430,39 @@ func (r *Source) NegativeBinomial(m int64, p float64) int64 {
 			return math.MaxInt64
 		}
 		return int64(t)
+	}
+}
+
+// negativeBinomialInv samples NegativeBinomial(m, p) exactly for
+// m(1−p)/p <= nbInvLimit by sequential CDF inversion over the failure count
+// F (the trial count is m + F): one uniform is walked down the pmf
+// P(F=f) = C(m+f−1, f)·p^m·q^f via the ratio recurrence
+// P(f+1) = P(f)·q·(m+f)/(f+1). The expected iteration count is the mean
+// failure count plus one, and p^m >= e^{−nbInvLimit} holds throughout the
+// admitted regime, so the starting mass cannot underflow. There is no
+// artificial iteration cap — heavy geometric-like tails would turn one into
+// a visible truncation — only an exactness-preserving guard: when the pmf
+// walk underflows to zero mass (the uniform landed in the < 1e−15 rounding
+// gap past the representable tail), the walk restarts with a fresh uniform.
+func (r *Source) negativeBinomialInv(m int64, p float64) int64 {
+	q := 1 - p
+	mf := float64(m)
+	f0 := math.Exp(mf * math.Log(p)) // p^m = P(F = 0)
+	f := f0
+	u := r.Float64()
+	var fail int64
+	for {
+		if u <= f {
+			return satAddInt64(m, fail)
+		}
+		u -= f
+		f *= q * (mf + float64(fail)) / float64(fail+1)
+		fail++
+		if f <= 0 {
+			fail = 0
+			f = f0
+			u = r.Float64()
+		}
 	}
 }
 

@@ -245,8 +245,8 @@ func TestBinomialMoments(t *testing.T) {
 		n int64
 		p float64
 	}{
-		{20, 0.5},   // small-n path
-		{1000, 0.1}, // waiting-time path
+		{12, 0.5},   // direct-summation path
+		{1000, 0.1}, // BTRS path
 		{1000, 0.9}, // complement path
 	}
 	for _, tc := range cases {
@@ -332,8 +332,9 @@ func chiSquareGoF(counts []int64, probs []float64, total int64) (float64, int) {
 }
 
 func TestBinomialBTRSGoodnessOfFit(t *testing.T) {
-	// n > 64 and n·p >= 10 exercise the BTRS transformed-rejection path;
-	// the empirical distribution must match the exact pmf.
+	// n·p >= 10 exercises the BTRS transformed-rejection path; the
+	// empirical distribution must match the exact pmf, including at the
+	// small n the path now admits (n just above the direct-summation limit).
 	src := New(91)
 	cases := []struct {
 		n int64
@@ -342,6 +343,8 @@ func TestBinomialBTRSGoodnessOfFit(t *testing.T) {
 		{100, 0.25},
 		{500, 0.5},
 		{10000, 0.002}, // n·p = 20, BTRS with a skewed pmf
+		{20, 0.5},      // smallest-n corner of the BTRS regime
+		{64, 0.25},     // formerly the direct-summation regime
 	}
 	for _, tc := range cases {
 		const trials = 100000
@@ -370,7 +373,8 @@ func TestNegativeBinomialMoments(t *testing.T) {
 		m int64
 		p float64
 	}{
-		{10, 0.3},   // exact path
+		{10, 0.3},   // CDF-inversion path (mean failures 23 <= nbInvLimit)
+		{200, 0.05}, // summed-geometric path (mean failures 3800 > nbInvLimit)
 		{1000, 0.2}, // normal-approximation path
 	}
 	for _, tc := range cases {

@@ -14,10 +14,10 @@ import (
 // a deterministic pass at its committed seed with room for the statistic's
 // natural spread if the stream implementation ever shifts legitimately.
 
-// TestBinomialExactPathsGoodnessOfFit covers the two classic exact paths
-// that the BTRS test does not reach: direct Bernoulli summation (n <= 64)
-// and the geometric waiting-time (inversion) method (n > 64, n·p below the
-// BTRS threshold), plus each path under the p > 0.5 complement reflection.
+// TestBinomialExactPathsGoodnessOfFit covers the two exact paths that the
+// BTRS test does not reach: direct Bernoulli summation (n <= binvDirectLimit)
+// and sequential CDF inversion (BINV; larger n with n·p below the BTRS
+// threshold), plus each path under the p > 0.5 complement reflection.
 func TestBinomialExactPathsGoodnessOfFit(t *testing.T) {
 	src := New(131)
 	cases := []struct {
@@ -25,10 +25,11 @@ func TestBinomialExactPathsGoodnessOfFit(t *testing.T) {
 		n    int64
 		p    float64
 	}{
-		{"bernoulli-sum", 40, 0.3},
-		{"bernoulli-sum-reflected", 64, 0.85},
-		{"waiting-time", 5000, 0.0006}, // n·p = 3 < btrsThreshold
-		{"waiting-time-reflected", 200, 0.985},
+		{"bernoulli-sum", 12, 0.3},
+		{"bernoulli-sum-reflected", 16, 0.85},
+		{"binv", 5000, 0.0006}, // n·p = 3 < btrsThreshold
+		{"binv-mid-n", 40, 0.2},
+		{"binv-reflected", 200, 0.985},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -84,8 +85,9 @@ func TestMultinomialBTRSRegimeMarginal(t *testing.T) {
 }
 
 // TestNegativeBinomialMomentsAcrossLimit pins the exact/approximate
-// boundary at nbExactLimit: the summed-geometric path at m = nbExactLimit
-// and the normal-approximation path at m = nbExactLimit+1 must both match
+// boundary at nbExactLimit: the exact path at m = nbExactLimit (CDF
+// inversion at this p) and the normal-approximation path at nbExactLimit+1
+// must both match
 // the exact mean m/p and variance m(1−p)/p², so the switchover cannot
 // introduce a moment discontinuity.
 func TestNegativeBinomialMomentsAcrossLimit(t *testing.T) {
@@ -116,6 +118,55 @@ func TestNegativeBinomialMomentsAcrossLimit(t *testing.T) {
 		if math.Abs(variance-wantVar)/wantVar > 0.05 {
 			t.Errorf("NegativeBinomial(%d,%v) variance = %.1f, want %.1f", m, p, variance, wantVar)
 		}
+	}
+}
+
+// TestNegativeBinomialInversionGoodnessOfFit drives the CDF-inversion path
+// (mean failure count at most nbInvLimit) and checks the full failure-count
+// distribution against the exact pmf — the path the batched kernel's span
+// sampling hits whenever the per-interaction productive probability is high.
+func TestNegativeBinomialInversionGoodnessOfFit(t *testing.T) {
+	src := New(149)
+	cases := []struct {
+		name string
+		m    int64
+		p    float64
+	}{
+		{"high-p-span", 200, 0.9},  // mean failures 22, the tau-leaping case
+		{"boundary", 256, 1.0 / 3}, // mean failures 512 = nbInvLimit exactly
+		{"single-success", 1, 0.2}, // geometric law, mean failures 4
+		{"heavy-tail", 2, 0.01},    // mean failures 198, σ ~ 140: no cap bias
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const trials = 100000
+			// Failure counts beyond the histogram are pooled by chiSquareGoF
+			// via the trailing partial cell.
+			maxF := int64(float64(tc.m)*(1-tc.p)/tc.p*6 + 50)
+			counts := make([]int64, maxF+1)
+			for i := 0; i < trials; i++ {
+				v := src.NegativeBinomial(tc.m, tc.p) - tc.m
+				if v < 0 {
+					t.Fatalf("NegativeBinomial(%d,%v) below m", tc.m, tc.p)
+				}
+				if v > maxF {
+					v = maxF
+				}
+				counts[v]++
+			}
+			// pmf of the failure count via the ratio recurrence.
+			pmf := make([]float64, maxF+1)
+			pmf[0] = math.Exp(float64(tc.m) * math.Log(tc.p))
+			for f := int64(1); f <= maxF; f++ {
+				pmf[f] = pmf[f-1] * (1 - tc.p) * (float64(tc.m) + float64(f) - 1) / float64(f)
+			}
+			stat, dof := chiSquareGoF(counts, pmf, trials)
+			limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+			if stat > limit {
+				t.Errorf("NegativeBinomial(%d,%v) inversion chi-square = %.1f exceeds %.1f (dof %d)",
+					tc.m, tc.p, stat, limit, dof)
+			}
+		})
 	}
 }
 

@@ -44,7 +44,7 @@ const (
 type Option = core.Option
 
 // Kernel selects the stepping implementation of a Simulator; see
-// KernelExact and KernelBatched.
+// KernelExact, KernelBatched, and KernelAuto.
 type Kernel = core.Kernel
 
 // KernelExact samples every productive interaction individually from the
@@ -61,6 +61,16 @@ const DefaultTolerance = core.DefaultTolerance
 // reverting to the exact law near absorption. See the core package
 // documentation for the full accuracy contract.
 func KernelBatched(tol float64) Kernel { return core.KernelBatched(tol) }
+
+// KernelAuto returns the hybrid stepping kernel with the given drift
+// tolerance (tol <= 0 selects DefaultTolerance): it follows KernelBatched's
+// window law but picks the cheapest sampling strategy per window from a
+// deterministic cost model over the window size and opinion count — exact
+// stepping, per-event categorical draws, or binomial chaining. It is the
+// fastest kernel across every population size, and the one Monte-Carlo
+// fleet workloads should default to; see the core package documentation
+// and the K1-kernel-agreement experiment's auto arm.
+func KernelAuto(tol float64) Kernel { return core.KernelAuto(tol) }
 
 // WithKernel selects the stepping kernel (default KernelExact).
 func WithKernel(k Kernel) Option { return core.WithKernel(k) }
