@@ -48,6 +48,13 @@
 // result sequence identical to the in-process engine's; the benchmark
 // fails otherwise.
 //
+// The fault-recovery section prices the coordinator's fault tolerance: the
+// same sharded fleet runs undisturbed and with one worker killed mid-wave
+// by the deterministic fault-injection harness (dist.FaultLauncher). The
+// faulted arm must relaunch the worker, requeue its unfinished trials, and
+// fold the byte-identical result sequence; the recorded recovery_overhead
+// is the wall-clock ratio of the two arms.
+//
 // The report is written via a temp file and an atomic rename, so a failing
 // section (or a crash mid-write) can never clobber the committed
 // BENCH_core.json with a partial run.
@@ -180,6 +187,51 @@ type ShardEntry struct {
 	Identical bool `json:"results_identical"`
 }
 
+// FaultRecoveryEntry measures what the coordinator's fault tolerance costs:
+// the same sharded consensus fleet run twice, once undisturbed and once with
+// one worker killed mid-wave by the deterministic fault-injection harness
+// (dist.FaultLauncher). The faulted arm must relaunch the worker, requeue its
+// unfinished trials, and still fold the byte-identical result sequence; the
+// benchmark errors otherwise. RecoveryOverhead is the wall-clock price of
+// the detour (faulted wall over clean wall).
+type FaultRecoveryEntry struct {
+	// Workload names the fleet.
+	Workload string `json:"workload"`
+	// N is the population size per trial.
+	N int64 `json:"n"`
+	// K is the opinion count.
+	K int `json:"k"`
+	// Kernel is the stepping kernel name.
+	Kernel string `json:"kernel"`
+	// Trials is the fleet size.
+	Trials int `json:"trials"`
+	// Shards is the worker-process count of both arms.
+	Shards int `json:"shards"`
+	// FaultKind names the injected failure mode.
+	FaultKind string `json:"fault_kind"`
+	// FaultShard is the shard whose first worker incarnation is killed.
+	FaultShard int `json:"fault_shard"`
+	// CleanWallNanos is the undisturbed arm's coordinator wall time.
+	CleanWallNanos int64 `json:"clean_wall_ns"`
+	// FaultWallNanos is the faulted arm's coordinator wall time.
+	FaultWallNanos int64 `json:"fault_wall_ns"`
+	// CleanTrialsPerS is the undisturbed arm's folded-trial throughput.
+	CleanTrialsPerS float64 `json:"clean_trials_per_sec"`
+	// FaultTrialsPerS is the faulted arm's folded-trial throughput.
+	FaultTrialsPerS float64 `json:"fault_trials_per_sec"`
+	// RecoveryOverhead is fault wall over clean wall: 1.0 means free
+	// recovery, 2.0 means the fault doubled the run.
+	RecoveryOverhead float64 `json:"recovery_overhead"`
+	// Relaunches counts worker relaunches in the faulted arm (at least 1, or
+	// the fault never fired).
+	Relaunches int `json:"relaunches"`
+	// Requeued counts trial indices re-dispatched after worker failure.
+	Requeued int `json:"requeued"`
+	// Identical records that both arms folded the in-process engine's exact
+	// result sequence.
+	Identical bool `json:"results_identical"`
+}
+
 // FleetEntry is one small-n fleet measurement: a full-consensus Monte-Carlo
 // fleet at small n under one kernel.
 type FleetEntry struct {
@@ -221,16 +273,17 @@ type EnvInfo struct {
 
 // Report is the BENCH_core.json schema.
 type Report struct {
-	Workload        string             `json:"workload"`
-	GoVersion       string             `json:"go_version"`
-	Env             EnvInfo            `json:"env"`
-	Entries         []Entry            `json:"entries"`
-	Speedups        map[string]float64 `json:"batched_speedup_by_n"`
-	AutoSpeedups    map[string]float64 `json:"auto_speedup_by_n"`
-	FleetEntries    []FleetEntry       `json:"small_n_fleet"`
-	TrialEntries    []TrialEntry       `json:"trial_throughput"`
-	AdaptiveEntries []AdaptiveEntry    `json:"adaptive_engine"`
-	ShardEntries    []ShardEntry       `json:"shard_throughput"`
+	Workload        string               `json:"workload"`
+	GoVersion       string               `json:"go_version"`
+	Env             EnvInfo              `json:"env"`
+	Entries         []Entry              `json:"entries"`
+	Speedups        map[string]float64   `json:"batched_speedup_by_n"`
+	AutoSpeedups    map[string]float64   `json:"auto_speedup_by_n"`
+	FleetEntries    []FleetEntry         `json:"small_n_fleet"`
+	TrialEntries    []TrialEntry         `json:"trial_throughput"`
+	AdaptiveEntries []AdaptiveEntry      `json:"adaptive_engine"`
+	ShardEntries    []ShardEntry         `json:"shard_throughput"`
+	FaultRecovery   []FaultRecoveryEntry `json:"fault_recovery"`
 }
 
 // cpuModel returns the processor model string on platforms that expose it
@@ -449,6 +502,15 @@ func run(args []string) error {
 		}
 	}
 
+	fre, err := measureFaultRecovery("fault-recovery", 10_000, k, core.KernelAuto(0), shardTrials, *seed)
+	if err != nil {
+		return err
+	}
+	rep.FaultRecovery = append(rep.FaultRecovery, fre)
+	fmt.Printf("%-16s n=%-9d trials=%-5d shards=%d fault=%s@shard%d  clean %8.0f trials/s, faulted %8.0f trials/s, overhead %.2fx, relaunches=%d, requeued=%d, identical=%v\n",
+		fre.Workload, fre.N, fre.Trials, fre.Shards, fre.FaultKind, fre.FaultShard,
+		fre.CleanTrialsPerS, fre.FaultTrialsPerS, fre.RecoveryOverhead, fre.Relaunches, fre.Requeued, fre.Identical)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -618,6 +680,113 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 		}
 	}
 	return entries, nil
+}
+
+// measureFaultRecovery runs the same sharded consensus fleet twice — once
+// undisturbed, once with one worker killed mid-wave through the
+// deterministic fault-injection harness — and prices the recovery detour.
+// Both arms (and the in-process reference) must fold identical result
+// sequences, and the faulted arm must actually have relaunched a worker; it
+// errors otherwise.
+func measureFaultRecovery(workload string, n int64, k int, kern core.Kernel, trials int, seed uint64) (FaultRecoveryEntry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return FaultRecoveryEntry{}, err
+	}
+	// The in-process reference fingerprint, same fleet and seeds.
+	ref := sha256.New()
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) [2]int64 {
+		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
+		if err != nil {
+			panic(err) // configuration validated above
+		}
+		res := s.Run(0)
+		return [2]int64{res.Interactions, int64(res.Winner)}
+	}, func(i int, v [2]int64) {
+		shardFingerprint(ref, i, v[0], int(v[1]))
+	})
+	want := fmt.Sprintf("%x", ref.Sum(nil))
+
+	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, false).Encode()
+	if err != nil {
+		return FaultRecoveryEntry{}, err
+	}
+	const shards = 4
+	fault := dist.Fault{Shard: 1, Launch: 0, Kind: dist.FaultCrashMidWave, After: 2}
+	fe := FaultRecoveryEntry{
+		Workload:   workload,
+		N:          n,
+		K:          k,
+		Kernel:     kern.String(),
+		Trials:     trials,
+		Shards:     shards,
+		FaultKind:  fault.Kind.String(),
+		FaultShard: fault.Shard,
+	}
+	budget := runtime.GOMAXPROCS(0)
+	arm := func(faulted bool) (int64, dist.Result, error) {
+		var launcher dist.Launcher = &dist.ExecLauncher{
+			Args: func(shard, shards int) []string {
+				return []string{
+					"-shard-worker", dist.ShardArg(shard, shards),
+					"-shard-par", strconv.Itoa(dist.CoreShare(budget, shard, shards)),
+				}
+			},
+			CoreBudget: budget,
+		}
+		if faulted {
+			launcher = &dist.FaultLauncher{Inner: launcher, Schedule: []dist.Fault{fault}}
+		}
+		h := sha256.New()
+		start := time.Now()
+		res, err := dist.Run(dist.Options{
+			Shards:          shards,
+			MaxTrials:       trials,
+			Seed:            seed,
+			Spec:            spec,
+			Launcher:        launcher,
+			WorkerTimeout:   time.Minute,
+			RelaunchBackoff: time.Millisecond,
+			Log:             io.Discard,
+		}, func(i int, data []byte) error {
+			var r experiment.ShardResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return err
+			}
+			shardFingerprint(h, i, r.Interactions, r.Winner)
+			return nil
+		}, nil, nil)
+		if err != nil {
+			return 0, res, err
+		}
+		if got := fmt.Sprintf("%x", h.Sum(nil)); got != want {
+			return 0, res, fmt.Errorf("fold diverged from the in-process engine")
+		}
+		return time.Since(start).Nanoseconds(), res, nil
+	}
+
+	cleanNs, _, err := arm(false)
+	if err != nil {
+		return fe, fmt.Errorf("bench: clean fault-recovery arm: %w", err)
+	}
+	faultNs, fres, err := arm(true)
+	if err != nil {
+		return fe, fmt.Errorf("bench: faulted fault-recovery arm: %w", err)
+	}
+	fe.CleanWallNanos, fe.FaultWallNanos = cleanNs, faultNs
+	fe.Relaunches, fe.Requeued = fres.Relaunches, fres.Requeued
+	fe.Identical = true
+	if cleanNs > 0 {
+		fe.CleanTrialsPerS = float64(trials) / (float64(cleanNs) / 1e9)
+		fe.RecoveryOverhead = float64(faultNs) / float64(cleanNs)
+	}
+	if faultNs > 0 {
+		fe.FaultTrialsPerS = float64(trials) / (float64(faultNs) / 1e9)
+	}
+	if fres.Relaunches < 1 {
+		return fe, fmt.Errorf("bench: fault-recovery arm relaunched no worker; the injected fault never fired")
+	}
+	return fe, nil
 }
 
 // measureAdaptive runs both arms of the adaptive-vs-fixed comparison

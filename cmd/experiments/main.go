@@ -24,14 +24,23 @@
 // in-process run. -checkpoint DIR additionally persists each cell's fold
 // after every trial wave and resumes from it, so a killed multi-hour run
 // continues where it stopped (delete the directory to start over).
+//
+// Sharded runs tolerate worker failure: a crashed, hung (-worker-timeout),
+// or garbling worker is relaunched up to -max-relaunches times with its
+// unfinished trials requeued, and the folded tables stay byte-identical to
+// an undisturbed run. SIGINT/SIGTERM is graceful — the wave in flight is
+// folded and checkpointed, the process exits with status 130, and rerunning
+// the same command resumes; a second signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -39,10 +48,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	os.Exit(runMain(os.Args[1:]))
+}
+
+// runMain maps a run's outcome to the process exit status: 0 on success,
+// 130 (the conventional interrupted status) when a sharded run checkpointed
+// and stopped on SIGINT/SIGTERM, 1 on any other error.
+func runMain(args []string) int {
+	err := run(args)
+	if err == nil {
+		return 0
 	}
+	if errors.Is(err, experiment.ErrInterrupted) {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted — the wave in flight was folded and the checkpoint written; resume with the same command")
+		return 130
+	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	return 1
 }
 
 func run(args []string) error {
@@ -62,6 +84,8 @@ func run(args []string) error {
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-cell trial cap (0 = experiment default)")
 		shards   = fs.Int("shards", 0, "distribute supporting experiments' trials (K4) across N worker processes (0 = in-process; 1 = distributed engine with a single worker)")
 		ckpt     = fs.String("checkpoint", "", "with -shards: directory for per-cell checkpoints, written after every wave and resumed from")
+		timeout  = fs.Duration("worker-timeout", 5*time.Minute, "with -shards: per-shard liveness deadline; a worker silent this long is declared hung and relaunched (0 = never)")
+		relaunch = fs.Int("max-relaunches", 0, "with -shards: per-shard worker relaunch budget (0 = default 3; -1 = fail fast on the first worker death)")
 		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +121,12 @@ func run(args []string) error {
 	if *maxTri < 0 {
 		return fmt.Errorf("-maxtrials %d must be non-negative", *maxTri)
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("-worker-timeout %v must be non-negative", *timeout)
+	}
+	if *relaunch < dist.NoRelaunch {
+		return fmt.Errorf("-max-relaunches %d out of range (want >= %d)", *relaunch, dist.NoRelaunch)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -117,6 +147,8 @@ func run(args []string) error {
 		MaxTrials:     *maxTri,
 		Shards:        *shards,
 		CheckpointDir: *ckpt,
+		WorkerTimeout: *timeout,
+		MaxRelaunches: *relaunch,
 	}
 	if p.Shards >= 1 {
 		var extra []string
@@ -124,6 +156,9 @@ func run(args []string) error {
 			extra = []string{"-parallelism", strconv.Itoa(*workers)}
 		}
 		p.ShardLauncher = dist.SelfExecLauncher(extra...)
+		// Graceful interrupt: on SIGINT/SIGTERM the coordinator finishes the
+		// wave in flight and checkpoints, and the run exits resumable.
+		p.Interrupt = dist.InterruptOnSignal(os.Stderr)
 	}
 
 	if *all || *runIDs == "" {

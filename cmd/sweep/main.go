@@ -33,10 +33,18 @@
 // additionally writes a per-point checkpoint after every folded wave and
 // resumes from it, so interrupted billion-agent sweeps continue instead of
 // restarting (delete the checkpoint files to start over).
+//
+// Sharded runs tolerate worker failure: a crashed, hung (-worker-timeout),
+// or garbling worker is relaunched up to -max-relaunches times with its
+// unfinished trials requeued, and the folded table stays byte-identical to
+// an undisturbed run. SIGINT/SIGTERM is graceful — the wave in flight is
+// folded and checkpointed, the process exits with status 130, and rerunning
+// the same command resumes; a second signal exits immediately.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -44,6 +52,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	usd "repro"
 	"repro/internal/core"
@@ -54,10 +63,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+	os.Exit(runMain(os.Args[1:]))
+}
+
+// runMain maps a run's outcome to the process exit status: 0 on success,
+// 130 (the conventional interrupted status) when a sharded run checkpointed
+// and stopped on SIGINT/SIGTERM, 1 on any other error.
+func runMain(args []string) int {
+	err := run(args)
+	if err == nil {
+		return 0
 	}
+	if errors.Is(err, experiment.ErrInterrupted) {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted — the wave in flight was folded and the checkpoint written; resume with the same command")
+		return 130
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	return 1
 }
 
 func run(args []string) error {
@@ -80,6 +102,8 @@ func run(args []string) error {
 		maxTri   = fs.Int("maxtrials", 0, "adaptive per-point trial cap (0 = 4x -trials)")
 		shards   = fs.Int("shards", 0, "distribute each point's trials across N worker processes (0 = in-process; 1 = distributed engine with a single worker)")
 		ckpt     = fs.String("checkpoint", "", "checkpoint file prefix: write/resume <prefix>.point<i> per sweep point (implies the sharded engine)")
+		timeout  = fs.Duration("worker-timeout", 5*time.Minute, "with -shards: per-shard liveness deadline; a worker silent this long is declared hung and relaunched (0 = never)")
+		relaunch = fs.Int("max-relaunches", 0, "with -shards: per-shard worker relaunch budget (0 = default 3; -1 = fail fast on the first worker death)")
 		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +118,12 @@ func run(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d must be non-negative", *shards)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-worker-timeout %v must be non-negative", *timeout)
+	}
+	if *relaunch < dist.NoRelaunch {
+		return fmt.Errorf("-max-relaunches %d out of range (want >= %d)", *relaunch, dist.NoRelaunch)
 	}
 	if *ckpt != "" {
 		// Create the prefix's directory up front: discovering it is
@@ -132,6 +162,22 @@ func run(args []string) error {
 	}
 	raw := strings.Split(*values, ",")
 
+	sc := shardedPointConfig{
+		shards:      *shards,
+		workers:     *workers,
+		trials:      *trials,
+		adaptiveCap: adaptiveCap,
+		rel:         *rel,
+		ckpt:        *ckpt,
+		timeout:     *timeout,
+		relaunches:  *relaunch,
+	}
+	if *shards >= 1 || *ckpt != "" {
+		// Graceful interrupt: on SIGINT/SIGTERM the coordinator finishes the
+		// wave in flight and checkpoints, and the run exits resumable.
+		sc.interrupt = dist.InterruptOnSignal(os.Stderr)
+	}
+
 	type row struct {
 		value        string
 		k            int
@@ -164,7 +210,7 @@ func run(args []string) error {
 		// -shards 1 runs the distributed engine with a single worker, same
 		// as cmd/experiments; -checkpoint alone implies it.
 		if *shards >= 1 || *ckpt != "" {
-			if err := runPointSharded(st, cfg, kern, seed, *shards, *workers, *trials, adaptiveCap, *rel, *ckpt, vi); err != nil {
+			if err := runPointSharded(st, cfg, kern, seed, vi, sc); err != nil {
 				return err
 			}
 		} else {
@@ -269,11 +315,26 @@ func runPointInProcess(st *pointState, cfg *usd.Config, kern core.Kernel, seed u
 	experiment.Stream(trials, workers, seed, trial, sink)
 }
 
+// shardedPointConfig carries the distributed-engine knobs shared by every
+// sweep point: the flag values plus the process-wide interrupt channel.
+type shardedPointConfig struct {
+	shards, workers     int
+	trials, adaptiveCap int
+	rel                 float64
+	ckpt                string
+	timeout             time.Duration
+	relaunches          int
+	interrupt           <-chan struct{}
+}
+
 // runPointSharded folds one sweep point through the distributed
 // coordinator: shard worker processes compute the trials, the coordinator
 // folds them in global trial order and (with a checkpoint prefix) persists
-// the fold after every wave.
-func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, shards, workers, trials, adaptiveCap int, rel float64, ckpt string, point int) error {
+// the fold after every wave. A run the user interrupted returns
+// experiment.ErrInterrupted instead of printing a table built on a partial
+// fold.
+func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, point int, sc shardedPointConfig) error {
+	shards := sc.shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -281,20 +342,20 @@ func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uin
 	if err != nil {
 		return err
 	}
-	maxTrials := trials
+	maxTrials := sc.trials
 	policy := "fixed"
 	var stop func() bool
 	if st.Metric != nil {
-		maxTrials = adaptiveCap
-		policy = experiment.ConsensusPolicy(rel)
+		maxTrials = sc.adaptiveCap
+		policy = experiment.ConsensusPolicy(sc.rel)
 		stop = experiment.StopWhenAll(st.Metric)
 	}
 	path := ""
-	if ckpt != "" {
-		path = fmt.Sprintf("%s.point%d", ckpt, point)
+	if sc.ckpt != "" {
+		path = fmt.Sprintf("%s.point%d", sc.ckpt, point)
 	}
-	launcher := dist.SelfExecLauncher(workerArgs(workers)...)
-	_, err = dist.Run(dist.Options{
+	launcher := dist.SelfExecLauncher(workerArgs(sc.workers)...)
+	res, err := dist.Run(dist.Options{
 		Shards:         shards,
 		MaxTrials:      maxTrials,
 		Seed:           seed,
@@ -302,6 +363,9 @@ func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uin
 		Launcher:       launcher,
 		CheckpointPath: path,
 		Policy:         policy,
+		WorkerTimeout:  sc.timeout,
+		MaxRelaunches:  sc.relaunches,
+		Interrupt:      sc.interrupt,
 	}, func(i int, data []byte) error {
 		var r experiment.ShardResult
 		if err := json.Unmarshal(data, &r); err != nil {
@@ -310,7 +374,13 @@ func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uin
 		foldShardResult(st, i, r)
 		return nil
 	}, stop, dist.JSONState{V: st})
-	return err
+	if err != nil {
+		return err
+	}
+	if res.Interrupted {
+		return fmt.Errorf("point %s: %w", st.value, experiment.ErrInterrupted)
+	}
+	return nil
 }
 
 // workerArgs returns the extra worker argv forwarding the in-worker

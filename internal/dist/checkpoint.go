@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -128,6 +129,42 @@ func saveCheckpoint(path string, cp Checkpoint, state State) error {
 	return nil
 }
 
+// parseCheckpoint decodes and structurally validates checkpoint bytes: a
+// well-formed checkpoint is one JSON object of the current schema version
+// whose counters are internally consistent and whose aggregate state is
+// present. Truncated, corrupt, or inconsistent input yields a descriptive
+// error — never a panic, and never a silently accepted state a resume
+// would then fold garbage onto. FuzzCheckpoint drives it with arbitrary
+// bytes.
+func parseCheckpoint(data []byte) (Checkpoint, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return Checkpoint{}, errors.New("file is empty (truncated write?)")
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("not a valid checkpoint (truncated or corrupt): %w", err)
+	}
+	if cp.V != checkpointVersion {
+		return Checkpoint{}, fmt.Errorf("schema version %d, want %d", cp.V, checkpointVersion)
+	}
+	if cp.MaxTrials < 1 {
+		return Checkpoint{}, fmt.Errorf("corrupt: trial cap %d, want >= 1", cp.MaxTrials)
+	}
+	if cp.NextTrial < 0 || cp.NextTrial > cp.MaxTrials {
+		return Checkpoint{}, fmt.Errorf("corrupt: resume point %d outside [0, %d]", cp.NextTrial, cp.MaxTrials)
+	}
+	if cp.Waves < 0 {
+		return Checkpoint{}, fmt.Errorf("corrupt: negative folded-wave count %d", cp.Waves)
+	}
+	if cp.NextTrial > 0 && cp.Waves == 0 {
+		return Checkpoint{}, fmt.Errorf("corrupt: %d folded trials but no folded waves", cp.NextTrial)
+	}
+	if len(bytes.TrimSpace(cp.State)) == 0 {
+		return Checkpoint{}, errors.New("corrupt: aggregate state is missing")
+	}
+	return cp, nil
+}
+
 // loadCheckpoint reads a checkpoint if one exists and verifies it belongs
 // to this run: same spec hash, same seed, same trial cap, same stopping
 // policy. A missing file is not an error: it returns ok = false, meaning a
@@ -140,12 +177,9 @@ func loadCheckpoint(path, wantHash string, wantSeed uint64, wantMax int, wantPol
 	if err != nil {
 		return Checkpoint{}, false, fmt.Errorf("dist: read checkpoint %s: %w", path, err)
 	}
-	var cp Checkpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return Checkpoint{}, false, fmt.Errorf("dist: parse checkpoint %s: %w", path, err)
-	}
-	if cp.V != checkpointVersion {
-		return Checkpoint{}, false, fmt.Errorf("dist: checkpoint %s has schema version %d, want %d", path, cp.V, checkpointVersion)
+	cp, err := parseCheckpoint(data)
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("dist: checkpoint %s: %v — delete it to start over", path, err)
 	}
 	if cp.Hash != wantHash {
 		return Checkpoint{}, false, fmt.Errorf(

@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"sync"
-	"sync/atomic"
+	"time"
 )
 
 // DefaultWave is the coordinator's dispatch wave size when Options.Wave is
@@ -14,6 +16,25 @@ import (
 // checkpoint granularity: at most one wave of work is lost to an
 // interruption or to a stopping predicate firing mid-wave.
 const DefaultWave = 16
+
+// DefaultMaxRelaunches is how many times a failed shard worker is
+// relaunched before the shard is written off and its index stream is
+// redistributed across the survivors (Options.MaxRelaunches = 0).
+const DefaultMaxRelaunches = 3
+
+// NoRelaunch, assigned to Options.MaxRelaunches, disables worker recovery
+// entirely: the first worker failure aborts the run (the behavior before
+// fault tolerance), leaving the checkpoint for a manual resume.
+const NoRelaunch = -1
+
+// DefaultRelaunchBackoff is the delay before a shard's first relaunch when
+// Options.RelaunchBackoff is zero; each further relaunch of the same shard
+// doubles the delay, capped at eight times the base.
+const DefaultRelaunchBackoff = 250 * time.Millisecond
+
+// errWorkerKilled is the cause carried by connection ends the coordinator
+// force-closed; it shows up in worker-death diagnostics, not in run errors.
+var errWorkerKilled = errors.New("worker killed by coordinator")
 
 // Conn is one live worker connection: a writer carrying coordinator
 // commands (the worker's stdin) and a reader yielding the worker's protocol
@@ -26,12 +47,16 @@ type Conn struct {
 	R io.ReadCloser
 	// Wait, if non-nil, blocks until the worker has exited and returns its
 	// terminal status; the coordinator calls it after closing W and
-	// draining R.
+	// draining R (or after Kill).
 	Wait func() error
+	// Kill, if non-nil, forcibly terminates the worker so that pending and
+	// future reads of R and writes to W fail promptly and Wait returns.
+	// The coordinator invokes it when it declares the worker dead (hung or
+	// misbehaving); a merely crashed worker needs no help.
+	Kill func()
 
-	// mu serializes coordinator writes to W: with wave pipelining the
-	// dispatch goroutine and the shutdown path can address the same worker
-	// concurrently.
+	// mu serializes coordinator writes to W: the shard's sender goroutine
+	// and the shutdown path can address the same worker concurrently.
 	mu sync.Mutex
 }
 
@@ -43,10 +68,24 @@ func (c *Conn) send(m Msg) error {
 	return writeMsg(c.W, m)
 }
 
+// kill forcibly tears a connection down: the launcher-specific Kill first
+// (terminating the worker), then both stream ends, unblocking any reader or
+// writer goroutine parked on them.
+func (c *Conn) kill() {
+	if c.Kill != nil {
+		c.Kill()
+	}
+	c.W.Close()
+	c.R.Close()
+}
+
 // Launcher starts shard workers. ExecLauncher spawns real processes;
 // PipeLauncher runs workers as in-process goroutines over synchronous
 // pipes, exercising the identical protocol path without processes (used by
-// tests and available where re-exec is impossible).
+// tests and available where re-exec is impossible); FaultLauncher wraps
+// either with an injected-fault schedule for chaos testing. Launch may be
+// called more than once per shard: the coordinator relaunches failed
+// workers (see Options.MaxRelaunches).
 type Launcher interface {
 	// Launch starts the worker for the given shard and returns its
 	// connection.
@@ -77,7 +116,9 @@ type ExecLauncher struct {
 	// methodology fix).
 	CoreBudget int
 	// Stderr receives the workers' stderr; nil means this process's stderr,
-	// so worker diagnostics stay visible.
+	// so worker diagnostics stay visible. Every line is prefixed with the
+	// worker's "[shard i/S] " identity so interleaved multi-worker output
+	// stays attributable.
 	Stderr io.Writer
 }
 
@@ -122,11 +163,11 @@ func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
 		cmd.Env = append(append([]string(nil), env...),
 			fmt.Sprintf("GOMAXPROCS=%d", CoreShare(l.CoreBudget, shard, shards)))
 	}
-	if l.Stderr != nil {
-		cmd.Stderr = l.Stderr
-	} else {
-		cmd.Stderr = os.Stderr
+	stderr := l.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
 	}
+	cmd.Stderr = &prefixWriter{w: stderr, prefix: []byte(fmt.Sprintf("[shard %s] ", ShardArg(shard, shards)))}
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -138,7 +179,49 @@ func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("dist: start shard %d worker: %w", shard, err)
 	}
-	return &Conn{W: stdin, R: stdout, Wait: cmd.Wait}, nil
+	return &Conn{
+		W:    stdin,
+		R:    stdout,
+		Wait: cmd.Wait,
+		Kill: func() { _ = cmd.Process.Kill() },
+	}, nil
+}
+
+// prefixWriter stamps a per-worker prefix onto every line written through
+// it, buffering nothing: partial lines are remembered across Write calls so
+// the prefix lands exactly once per line. Each worker gets its own
+// prefixWriter (its own mid-line state) over the shared destination, and
+// each Write forwards as a single underlying Write so concurrent workers'
+// lines do not interleave mid-line.
+type prefixWriter struct {
+	w       io.Writer
+	prefix  []byte
+	midline bool
+}
+
+// Write implements io.Writer.
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	var buf bytes.Buffer
+	rest := b
+	for len(rest) > 0 {
+		if !p.midline {
+			buf.Write(p.prefix)
+			p.midline = true
+		}
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			buf.Write(rest)
+			rest = nil
+		} else {
+			buf.Write(rest[:i+1])
+			rest = rest[i+1:]
+			p.midline = false
+		}
+	}
+	if _, err := p.w.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return len(b), nil
 }
 
 // SelfExecLauncher returns an ExecLauncher that re-executes this binary as
@@ -179,7 +262,18 @@ func (l *PipeLauncher) Launch(shard, shards int) (*Conn, error) {
 		workerIn.CloseWithError(err)
 		errc <- err
 	}()
-	return &Conn{W: coordOut, R: coordIn, Wait: func() error { return <-errc }}, nil
+	return &Conn{
+		W:    coordOut,
+		R:    coordIn,
+		Wait: func() error { return <-errc },
+		Kill: func() {
+			// There is no process to signal; severing the coordinator-side
+			// pipe ends makes the worker goroutine's reads and writes fail,
+			// which is as killed as an in-process worker gets.
+			coordOut.CloseWithError(errWorkerKilled)
+			coordIn.CloseWithError(errWorkerKilled)
+		},
+	}, nil
 }
 
 // Options configure a distributed run.
@@ -199,7 +293,9 @@ type Options struct {
 	// are hashed to guard checkpoints and worker handshakes, so equal
 	// configurations must serialize to equal bytes.
 	Spec []byte
-	// Launcher starts the workers. Required.
+	// Launcher starts the workers — and restarts them: after a worker
+	// failure the coordinator calls Launch again for the same shard.
+	// Required.
 	Launcher Launcher
 	// CheckpointPath, when non-empty, makes the run write a checkpoint
 	// after every folded wave and resume from an existing one. Requires a
@@ -218,6 +314,32 @@ type Options struct {
 	// one stopped. Requires CheckpointPath (an interrupted run without a
 	// checkpoint would be unresumable, its folded progress unrecoverable).
 	MaxWaves int
+	// WorkerTimeout, when positive, is the per-shard liveness deadline: a
+	// worker that is busy (mid-handshake, or owing dispatched trials) and
+	// has produced no protocol line for this long is declared dead and
+	// recovered exactly like a crashed one. Zero disables the deadline,
+	// and a hung worker then blocks the run forever. Set it comfortably
+	// above the cost of the slowest single trial: workers emit results as
+	// trials finish, so any healthy busy worker speaks at least that often.
+	WorkerTimeout time.Duration
+	// MaxRelaunches caps how many times one shard's failed worker is
+	// relaunched (with backoff) before the shard is written off and its
+	// outstanding and future trial indices are redistributed across the
+	// surviving shards. Zero means DefaultMaxRelaunches; NoRelaunch
+	// disables recovery entirely, making the first worker failure fatal.
+	MaxRelaunches int
+	// RelaunchBackoff is the delay before a failed shard's first relaunch
+	// (DefaultRelaunchBackoff when zero); each further relaunch of the
+	// same shard doubles it, capped at eight times the base.
+	RelaunchBackoff time.Duration
+	// Interrupt, when non-nil, requests a graceful early exit once it is
+	// closed: the coordinator finishes folding the wave in flight, writes
+	// its checkpoint, halts the workers, and returns with
+	// Result.Interrupted set. The cmds wire SIGINT/SIGTERM to it.
+	Interrupt <-chan struct{}
+	// Log receives fault-tolerance diagnostics (worker deaths, relaunches,
+	// redistributions). Nil means os.Stderr; use io.Discard to silence.
+	Log io.Writer
 }
 
 // Result reports how a distributed run ended.
@@ -234,344 +356,16 @@ type Result struct {
 	// ResumedFrom is the trial index this invocation resumed from; 0 means
 	// a fresh start.
 	ResumedFrom int
-	// Interrupted reports that Options.MaxWaves halted the run before
-	// completion; the checkpoint holds the resume point.
+	// Interrupted reports that Options.MaxWaves or Options.Interrupt
+	// halted the run before completion; the checkpoint holds the resume
+	// point.
 	Interrupted bool
-}
-
-// shardMsg is one worker line tagged with its shard, as pumped to the fold
-// loop.
-type shardMsg struct {
-	shard int
-	m     Msg
-	err   error
-}
-
-// Run executes a distributed trial run: it launches Options.Shards workers,
-// partitions each wave's global trial indices across them (index i belongs
-// to shard i mod Shards), folds the returned payloads into sink strictly in
-// global trial-index order, and evaluates stop after every fold, exactly as
-// experiment.StreamAdaptive does in process — so the folded prefix, and
-// every order-sensitive aggregate built from it, is byte-identical to the
-// single-process run of the same spec and seed at every shard count.
-//
-// stop may be nil for a fixed MaxTrials run. A non-nil sink error aborts
-// the run. state carries the caller's aggregates for checkpointing; it is
-// required when Options.CheckpointPath is set and may be nil otherwise.
-func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool, state State) (Result, error) {
-	if opts.Shards < 1 {
-		return Result{}, fmt.Errorf("dist: Shards = %d, want >= 1", opts.Shards)
-	}
-	if opts.MaxTrials < 1 {
-		return Result{}, fmt.Errorf("dist: MaxTrials = %d, want >= 1", opts.MaxTrials)
-	}
-	if opts.Launcher == nil {
-		return Result{}, fmt.Errorf("dist: Options.Launcher is required")
-	}
-	if sink == nil {
-		return Result{}, fmt.Errorf("dist: sink is required")
-	}
-	if opts.CheckpointPath != "" && state == nil {
-		return Result{}, fmt.Errorf("dist: CheckpointPath is set but no State was provided")
-	}
-	if opts.MaxWaves > 0 && opts.CheckpointPath == "" {
-		return Result{}, fmt.Errorf("dist: MaxWaves without CheckpointPath would interrupt unresumably")
-	}
-	wave := opts.Wave
-	if wave <= 0 {
-		wave = DefaultWave
-	}
-	hash := HashSpec(opts.Spec)
-
-	res := Result{}
-	start := 0
-	if opts.CheckpointPath != "" {
-		cp, ok, err := loadCheckpoint(opts.CheckpointPath, hash, opts.Seed, opts.MaxTrials, opts.Policy)
-		if err != nil {
-			return Result{}, err
-		}
-		if ok {
-			if err := state.Restore(cp.State); err != nil {
-				return Result{}, fmt.Errorf("dist: restore state from checkpoint: %w", err)
-			}
-			start = cp.NextTrial
-			res.ResumedFrom = cp.NextTrial
-			res.Waves = cp.Waves
-			if cp.Done {
-				// The run already finished; the restored state is the final
-				// aggregate, so report its recorded outcome without
-				// launching anything.
-				res.Trials = cp.NextTrial
-				res.Stopped = cp.Stopped
-				return res, nil
-			}
-		}
-	}
-
-	conns, msgs, cleanup, err := launchWorkers(opts, hash)
-	if err != nil {
-		return res, err
-	}
-	defer cleanup()
-
-	// The wave schedule of this invocation, fixed up front: consecutive
-	// [lo, hi) ranges from the resume point to the trial cap, truncated to
-	// MaxWaves when time-slicing.
-	type waveRange struct{ lo, hi int }
-	var waves []waveRange
-	for lo := start; lo < opts.MaxTrials; lo += wave {
-		hi := lo + wave
-		if hi > opts.MaxTrials {
-			hi = opts.MaxTrials
-		}
-		waves = append(waves, waveRange{lo, hi})
-	}
-	interrupted := false
-	if opts.MaxWaves > 0 && opts.MaxWaves < len(waves) {
-		waves = waves[:opts.MaxWaves]
-		interrupted = true
-	}
-
-	// Wave pipelining: a dispatch goroutine keeps up to pipelineDepth waves
-	// outstanding, so workers begin wave w+1 the moment they finish wave w
-	// while the coordinator is still folding, checkpointing, and stop-
-	// checking wave w. Folding order, the stop point, and checkpoint
-	// granularity are untouched — pipelining only removes the worker idle
-	// time at each fold. Depth 2 is exactly "one wave ahead of the fold":
-	// more would only grow the discard pile when a stopping predicate fires.
-	const pipelineDepth = 2
-	sem := make(chan struct{}, pipelineDepth)
-	quit := make(chan struct{})
-	stopSender := sync.OnceFunc(func() { close(quit) })
-	defer stopSender()
-	sendErr := make(chan error, 1)
-	// dispatched counts waves delivered to every shard. A dispatch failure
-	// on wave w must not discard waves before w, whose results are complete
-	// or arriving: the fold loop keeps folding (and checkpointing) up to the
-	// last fully dispatched wave and surfaces the error only when the
-	// schedule reaches the failed one — so a killed coordinator loses at
-	// most the undispatched tail, exactly as without pipelining.
-	var dispatched atomic.Int64
-	go func() {
-		for _, wv := range waves {
-			select {
-			case <-quit:
-				return
-			case sem <- struct{}{}:
-			}
-			for _, c := range conns {
-				if err := c.send(Msg{Type: TypeWave, Lo: wv.lo, Hi: wv.hi}); err != nil {
-					select {
-					case sendErr <- fmt.Errorf("dist: dispatch wave [%d,%d): %w", wv.lo, wv.hi, err):
-					default:
-					}
-					return
-				}
-			}
-			dispatched.Add(1)
-		}
-	}()
-
-	// pending accumulates results by global trial index; with pipelining it
-	// can hold (parts of) the next wave while the current one folds, so it
-	// is only cleared wholesale when a stop discards in-flight work.
-	// waveDones counts wavedone barriers per wave start, because a fast
-	// shard can finish wave w+1 before a slow one finishes wave w.
-	pending := make(map[int][]byte, pipelineDepth*wave)
-	waveDones := make(map[int]int, pipelineDepth)
-	done := start
-	var dispatchErr error
-	for wi, wv := range waves {
-		// The wave barrier: every shard reports wavedone for [lo, hi).
-		for waveDones[wv.lo] < len(conns) {
-			// A recorded dispatch failure aborts only once this wave is the
-			// failed (never fully dispatched) one; earlier waves' barriers
-			// are still satisfiable and their folds still checkpoint.
-			if dispatchErr != nil && int64(wi) >= dispatched.Load() {
-				res.Trials = done
-				return res, dispatchErr
-			}
-			select {
-			case err := <-sendErr:
-				dispatchErr = err
-				continue
-			case sm := <-msgs:
-				switch {
-				case sm.err != nil:
-					res.Trials = done
-					return res, fmt.Errorf("dist: shard %d: %w", sm.shard, sm.err)
-				case sm.m.Type == TypeResult:
-					pending[sm.m.Trial] = sm.m.Data
-				case sm.m.Type == TypeWaveDone:
-					waveDones[sm.m.Lo]++
-				case sm.m.Type == TypeError:
-					res.Trials = done
-					return res, fmt.Errorf("dist: shard %d failed: %s", sm.shard, sm.m.Err)
-				default:
-					res.Trials = done
-					return res, fmt.Errorf("dist: shard %d sent unexpected %s message", sm.shard, sm.m.Type)
-				}
-			}
-		}
-		delete(waveDones, wv.lo)
-		// Fold the wave strictly in global index order, consulting the
-		// stopping predicate after every fold — the same contract as the
-		// in-process engines, so the stop point cannot depend on shard
-		// count or scheduling. Results past a mid-wave stop are discarded,
-		// bounding the waste at the pipeline depth.
-		stopped := false
-		for i := wv.lo; i < wv.hi && !stopped; i++ {
-			data, ok := pending[i]
-			if !ok {
-				res.Trials = done
-				return res, fmt.Errorf("dist: wave [%d,%d) is missing trial %d", wv.lo, wv.hi, i)
-			}
-			delete(pending, i)
-			if err := sink(i, data); err != nil {
-				res.Trials = done
-				return res, fmt.Errorf("dist: fold trial %d: %w", i, err)
-			}
-			done++
-			if stop != nil && stop() {
-				stopped = true
-			}
-		}
-		<-sem
-		res.Waves++
-		res.Trials = done
-		res.Stopped = stopped
-		if opts.CheckpointPath != "" {
-			cp := Checkpoint{
-				Hash:      hash,
-				Seed:      opts.Seed,
-				Policy:    opts.Policy,
-				NextTrial: done,
-				MaxTrials: opts.MaxTrials,
-				Waves:     res.Waves,
-				Done:      stopped || done >= opts.MaxTrials,
-				Stopped:   stopped,
-			}
-			if err := saveCheckpoint(opts.CheckpointPath, cp, state); err != nil {
-				return res, err
-			}
-		}
-		if stopped {
-			return res, nil
-		}
-	}
-	res.Interrupted = interrupted
-	return res, nil
-}
-
-// launchWorkers starts every shard, performs the job/hello handshake, and
-// returns the connections plus a channel merging all worker messages. The
-// returned cleanup halts the workers (best effort), drains their streams,
-// and reaps them; it is safe to call on every exit path, including mid-wave
-// aborts with results still in flight.
-func launchWorkers(opts Options, hash string) ([]*Conn, chan shardMsg, func(), error) {
-	conns := make([]*Conn, 0, opts.Shards)
-	var readers sync.WaitGroup
-	readersStarted := 0
-	msgs := make(chan shardMsg, opts.Shards)
-	cleanup := func() {
-		// Drain concurrently with halting: a worker still mid-wave keeps
-		// emitting results until it reaches the barrier, and those writes
-		// must keep flowing (reader goroutine -> msgs -> this drain) or the
-		// worker would never get around to reading the halt. Synchronous
-		// in-process pipes (PipeLauncher) would deadlock otherwise.
-		drained := make(chan struct{})
-		go func() {
-			readers.Wait()
-			close(msgs)
-		}()
-		go func() {
-			for range msgs {
-			}
-			close(drained)
-		}()
-		var halts sync.WaitGroup
-		for i, c := range conns {
-			halts.Add(1)
-			go func(i int, c *Conn) {
-				defer halts.Done()
-				if i >= readersStarted {
-					// No reader owns this stream yet (handshake-phase
-					// failure); close it so a worker blocked writing its
-					// hello unblocks and can observe the hangup.
-					c.R.Close()
-				}
-				// Halting is best-effort: a worker that already exited (or
-				// died) just yields a write error here. The locked send
-				// serializes against a dispatch goroutine still mid-write on
-				// the same connection.
-				_ = c.send(Msg{Type: TypeHalt})
-				c.W.Close()
-			}(i, c)
-		}
-		halts.Wait()
-		<-drained
-		for _, c := range conns {
-			if c.Wait != nil {
-				_ = c.Wait()
-			}
-		}
-	}
-	fail := func(err error) ([]*Conn, chan shardMsg, func(), error) {
-		cleanup()
-		return nil, nil, nil, err
-	}
-
-	for shard := 0; shard < opts.Shards; shard++ {
-		c, err := opts.Launcher.Launch(shard, opts.Shards)
-		if err != nil {
-			return fail(fmt.Errorf("dist: launch shard %d: %w", shard, err))
-		}
-		conns = append(conns, c)
-		if err := c.send(Msg{
-			Type:   TypeJob,
-			Shard:  shard,
-			Shards: opts.Shards,
-			Seed:   opts.Seed,
-			Hash:   hash,
-			Spec:   opts.Spec,
-		}); err != nil {
-			return fail(fmt.Errorf("dist: send job to shard %d: %w", shard, err))
-		}
-	}
-	// Handshake sequentially: every worker must verify the spec hash and
-	// greet before any wave is dispatched.
-	for shard, c := range conns {
-		dec := newMsgReader(c.R)
-		m, err := dec.next()
-		if err != nil {
-			return fail(fmt.Errorf("dist: shard %d handshake: %w", shard, err))
-		}
-		if m.Type == TypeError {
-			return fail(fmt.Errorf("dist: shard %d rejected job: %s", shard, m.Err))
-		}
-		if m.Type != TypeHello || m.Shard != shard || m.Hash != hash {
-			return fail(fmt.Errorf("dist: shard %d sent bad hello (type %s, shard %d, hash %.12s)",
-				shard, m.Type, m.Shard, m.Hash))
-		}
-		readers.Add(1)
-		readersStarted++
-		go func(shard int, dec *msgReader) {
-			defer readers.Done()
-			for {
-				m, err := dec.next()
-				if err != nil {
-					// EOF mid-wave means the worker died; surfacing it keeps
-					// the barrier from waiting forever. On the normal halt
-					// path the message is drained unseen by cleanup.
-					if err == io.EOF {
-						err = fmt.Errorf("worker exited")
-					}
-					msgs <- shardMsg{shard: shard, err: err}
-					return
-				}
-				msgs <- shardMsg{shard: shard, m: m}
-			}
-		}(shard, dec)
-	}
-	return conns, msgs, cleanup, nil
+	// Relaunches counts the worker relaunches this invocation performed
+	// after worker failures.
+	Relaunches int
+	// Requeued counts the trial-index dispatches that re-sent work after a
+	// worker failure — to a relaunched worker or to a surviving shard. It
+	// can exceed the number of distinct requeued indices when a requeued
+	// trial's new owner fails too.
+	Requeued int
 }

@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // echoPayload is the deterministic payload the test runner emits for a
@@ -437,21 +438,24 @@ func (l *failAfterWaves) Launch(shard, shards int) (*Conn, error) {
 }
 
 // TestRunDispatchFailureFoldsDispatchedWaves pins the pipelined
-// coordinator's loss bound: when dispatching wave w fails, every earlier
-// wave — already delivered to all shards — still folds (and checkpoints),
-// so a killed coordinator loses only the undispatched tail.
+// coordinator's loss bound with recovery disabled (NoRelaunch): when
+// dispatching wave w fails, every earlier wave — already delivered to all
+// shards — still folds (and checkpoints), so a killed coordinator loses
+// only the undispatched tail.
 func TestRunDispatchFailureFoldsDispatchedWaves(t *testing.T) {
 	spec := []byte(`{"job":"echo"}`)
 	const wave = 4
 	for _, okWaves := range []int{1, 3} {
 		st := &foldState{}
 		res, err := Run(Options{
-			Shards:    2,
-			MaxTrials: 40,
-			Wave:      wave,
-			Seed:      7,
-			Spec:      spec,
-			Launcher:  &failAfterWaves{inner: &PipeLauncher{Build: echoBuild}, waves: okWaves},
+			Shards:        2,
+			MaxTrials:     40,
+			Wave:          wave,
+			Seed:          7,
+			Spec:          spec,
+			Launcher:      &failAfterWaves{inner: &PipeLauncher{Build: echoBuild}, waves: okWaves},
+			MaxRelaunches: NoRelaunch,
+			Log:           io.Discard,
 		}, st.sink, nil, st)
 		if err == nil || !strings.Contains(err.Error(), "injected dispatch failure") {
 			t.Fatalf("okWaves=%d: expected injected failure, got %v", okWaves, err)
@@ -464,6 +468,42 @@ func TestRunDispatchFailureFoldsDispatchedWaves(t *testing.T) {
 			if want := fmt.Sprintf("%d:%s", i, echoPayload(spec, 7, i)); st.Seq[i] != want {
 				t.Fatalf("okWaves=%d: fold %d = %q, want %q", okWaves, i, st.Seq[i], want)
 			}
+		}
+	}
+}
+
+// TestRunDispatchFailureSelfHeals is the recovery-enabled companion of
+// TestRunDispatchFailureFoldsDispatchedWaves: the same injected dispatch
+// failure (shard 0's command stream dies after one wave, on every
+// incarnation) no longer aborts the run. The coordinator burns shard 0's
+// relaunch budget, redistributes its index stream to shard 1, and the full
+// fold is byte-identical to a fault-free run.
+func TestRunDispatchFailureSelfHeals(t *testing.T) {
+	spec := []byte(`{"job":"echo"}`)
+	st := &foldState{}
+	res, err := Run(Options{
+		Shards:          2,
+		MaxTrials:       40,
+		Wave:            4,
+		Seed:            7,
+		Spec:            spec,
+		Launcher:        &failAfterWaves{inner: &PipeLauncher{Build: echoBuild}, waves: 1},
+		MaxRelaunches:   2,
+		RelaunchBackoff: time.Millisecond,
+		Log:             io.Discard,
+	}, st.sink, nil, st)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Trials != 40 || st.Count != 40 {
+		t.Fatalf("folded %d/%d trials, want 40", res.Trials, st.Count)
+	}
+	if res.Relaunches == 0 || res.Requeued == 0 {
+		t.Fatalf("res = %+v, want relaunches and requeued trials", res)
+	}
+	for i := 0; i < st.Count; i++ {
+		if want := fmt.Sprintf("%d:%s", i, echoPayload(spec, 7, i)); st.Seq[i] != want {
+			t.Fatalf("fold %d = %q, want %q", i, st.Seq[i], want)
 		}
 	}
 }

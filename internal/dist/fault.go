@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the fault-injection harness: a Launcher wrapper that makes
+// workers fail on a deterministic schedule, so the chaos tests (and the
+// cmd/bench fault_recovery section) can exercise every branch of the
+// coordinator's recovery machinery — crash detection on both stream
+// directions, hang detection via the liveness deadline, garbage frames,
+// relaunch, and redistribution — without ever touching the workers' trial
+// code. Faults sit between the coordinator and the real connection, which
+// keeps the worker honest: a "crashed" worker really is killed, so its
+// half-finished wave genuinely needs requeuing.
+
+// FaultKind selects the failure mode a Fault injects.
+type FaultKind int
+
+const (
+	// FaultCrashBeforeWave kills the worker the moment the coordinator
+	// writes it the After-th wave command (counting from 0): the dispatch
+	// write fails and the process dies before any of that wave's trials
+	// run — the cleanest crash, caught on the command stream.
+	FaultCrashBeforeWave FaultKind = iota
+	// FaultCrashMidWave kills the worker once it has emitted After result
+	// lines: the result stream dies with a wave half-computed, so the
+	// coordinator must requeue exactly the unreceived remainder.
+	FaultCrashMidWave
+	// FaultHang silences the worker after it has emitted After protocol
+	// lines without exiting or closing anything: results stop flowing and
+	// nothing errors, so only Options.WorkerTimeout can catch it. After = 0
+	// hangs before the hello — a worker that connects but never completes
+	// the handshake.
+	FaultHang
+	// FaultGarbage injects one non-JSON line into the result stream after
+	// After forwarded lines — a corrupted frame, caught by the protocol
+	// decoder.
+	FaultGarbage
+)
+
+// String names the fault kind for logs and benchmark reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrashBeforeWave:
+		return "crash-before-wave"
+	case FaultCrashMidWave:
+		return "crash-mid-wave"
+	case FaultHang:
+		return "hang"
+	case FaultGarbage:
+		return "garbage-frame"
+	default:
+		return fmt.Sprintf("fault-kind-%d", int(k))
+	}
+}
+
+// Fault schedules one failure: the Launch-th worker incarnation of a shard
+// misbehaves per Kind when its After trigger count is reached.
+type Fault struct {
+	// Shard is the faulted shard.
+	Shard int
+	// Launch is the incarnation the fault applies to: 0 faults the first
+	// worker launched for the shard, 1 its first relaunch, and so on.
+	Launch int
+	// Kind is the failure mode.
+	Kind FaultKind
+	// After is the kind-specific trigger count: wave commands written
+	// (FaultCrashBeforeWave), result lines emitted (FaultCrashMidWave), or
+	// protocol lines emitted (FaultHang, FaultGarbage).
+	After int
+}
+
+// errFaultCrash is what a fault-killed connection's streams report.
+var errFaultCrash = errors.New("fault: injected worker crash")
+
+// FaultLauncher wraps an inner Launcher with a deterministic fault
+// schedule. Incarnations not named in the schedule pass through untouched,
+// so a faulted shard's relaunch (the next incarnation) behaves normally
+// unless the schedule faults it again.
+type FaultLauncher struct {
+	// Inner launches the real workers.
+	Inner Launcher
+	// Schedule lists the faults to inject.
+	Schedule []Fault
+
+	mu       sync.Mutex
+	launches map[int]int
+}
+
+// Launch starts the shard's next worker incarnation, wrapped with its
+// scheduled fault if one matches.
+func (l *FaultLauncher) Launch(shard, shards int) (*Conn, error) {
+	l.mu.Lock()
+	if l.launches == nil {
+		l.launches = make(map[int]int)
+	}
+	inc := l.launches[shard]
+	l.launches[shard]++
+	var f *Fault
+	for i := range l.Schedule {
+		if l.Schedule[i].Shard == shard && l.Schedule[i].Launch == inc {
+			f = &l.Schedule[i]
+			break
+		}
+	}
+	l.mu.Unlock()
+	c, err := l.Inner.Launch(shard, shards)
+	if err != nil || f == nil {
+		return c, err
+	}
+	return injectFault(c, *f), nil
+}
+
+// faultConn mediates one faulted connection. The result stream is forwarded
+// line by line through a pipe so the fault can cut, corrupt, or freeze it
+// at an exact protocol position; the command stream is intercepted in
+// Write. Killing the faulted connection kills the real worker underneath,
+// so no fault leaks a live process.
+type faultConn struct {
+	inner *Conn
+	f     Fault
+	pw    *io.PipeWriter
+
+	mu    sync.Mutex
+	waves int // wave commands seen on the command stream
+
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+// injectFault wraps a real connection with one scheduled fault.
+func injectFault(inner *Conn, f Fault) *Conn {
+	pr, pw := io.Pipe()
+	fc := &faultConn{inner: inner, f: f, pw: pw, killed: make(chan struct{})}
+	go fc.forward()
+	return &Conn{
+		W:    fc,
+		R:    pr,
+		Wait: inner.Wait,
+		Kill: fc.kill,
+	}
+}
+
+// kill terminates the faulted connection and the real worker under it,
+// unblocking a hung forwarder.
+func (c *faultConn) kill() {
+	c.killOnce.Do(func() { close(c.killed) })
+	c.inner.kill()
+}
+
+// Write intercepts the coordinator's command stream. Only
+// FaultCrashBeforeWave lives here: at its trigger the real worker is
+// killed and the write fails, exactly like a process that died between
+// waves.
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.f.Kind == FaultCrashBeforeWave && bytes.Contains(p, []byte(`"type":"`+TypeWave+`"`)) {
+		c.mu.Lock()
+		n := c.waves
+		c.waves++
+		c.mu.Unlock()
+		if n == c.f.After {
+			c.kill()
+			c.pw.CloseWithError(errFaultCrash)
+			return 0, errFaultCrash
+		}
+	}
+	return c.inner.W.Write(p)
+}
+
+// Close closes the command stream of the real connection.
+func (c *faultConn) Close() error { return c.inner.W.Close() }
+
+// forward pumps the worker's result stream to the coordinator, applying
+// the read-side faults at their trigger positions.
+func (c *faultConn) forward() {
+	br := bufio.NewReaderSize(c.inner.R, 1<<16)
+	lines := 0
+	results := 0
+	injected := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			switch c.f.Kind {
+			case FaultCrashMidWave:
+				if bytes.Contains(line, []byte(`"type":"`+TypeResult+`"`)) {
+					if results == c.f.After {
+						c.kill()
+						c.pw.CloseWithError(errFaultCrash)
+						return
+					}
+					results++
+				}
+			case FaultHang:
+				if lines == c.f.After {
+					// Fall silent without closing anything: the worker
+					// stays alive, the coordinator hears nothing, and only
+					// the liveness deadline (or a kill) ends it.
+					<-c.killed
+					c.pw.CloseWithError(errFaultCrash)
+					return
+				}
+				lines++
+			case FaultGarbage:
+				if lines == c.f.After && !injected {
+					injected = true
+					if _, werr := c.pw.Write([]byte("%% corrupted frame %%\n")); werr != nil {
+						c.inner.kill()
+						return
+					}
+				}
+				lines++
+			}
+			if _, werr := c.pw.Write(line); werr != nil {
+				// The coordinator closed its end (teardown); stop the
+				// worker so nothing leaks.
+				c.inner.kill()
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				c.pw.Close()
+			} else {
+				c.pw.CloseWithError(err)
+			}
+			return
+		}
+	}
+}
+
+// ChaosSchedule builds a deterministic, seed-dependent fault schedule that
+// kills each shard's first worker incarnation exactly once, cycling the
+// fault kinds across shards with a seeded rotation and small trigger
+// counts. Schedules are pure functions of (seed, shards), so a failing
+// chaos run reproduces exactly.
+func ChaosSchedule(seed uint64, shards int) []Fault {
+	x := seed*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	kinds := []FaultKind{FaultCrashBeforeWave, FaultCrashMidWave, FaultHang, FaultGarbage}
+	rot := int(next() >> 33)
+	out := make([]Fault, shards)
+	for i := range out {
+		out[i] = Fault{
+			Shard: i,
+			Kind:  kinds[(rot+i)%len(kinds)],
+			After: 1 + int(next()>>33)%3,
+		}
+	}
+	return out
+}

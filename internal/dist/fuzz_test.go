@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validCheckpointBytes marshals a well-formed checkpoint for seeding tests.
+func validCheckpointBytes(t testing.TB) []byte {
+	t.Helper()
+	data, err := json.Marshal(Checkpoint{
+		V:         checkpointVersion,
+		Hash:      HashSpec([]byte(`{"job":"echo"}`)),
+		Seed:      7,
+		Policy:    "adaptive rel=0.05",
+		NextTrial: 12,
+		MaxTrials: 40,
+		Waves:     3,
+		State:     json.RawMessage(`{"count":12,"seq":[]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLoadCheckpointRejectsCorruptFiles pins the hardening contract: a
+// truncated or corrupt checkpoint file produces a clean, descriptive error
+// pointing at the file — never a panic, and never a silent fresh start
+// that would overwrite the evidence.
+func TestLoadCheckpointRejectsCorruptFiles(t *testing.T) {
+	good := validCheckpointBytes(t)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"whitespace", []byte("  \n\t")},
+		{"truncated", good[:len(good)/2]},
+		{"not-json", []byte("%% not a checkpoint %%")},
+		{"wrong-shape", []byte(`[1,2,3]`)},
+		{"wrong-version", []byte(`{"v":99,"hash":"x","max_trials":10,"state":{}}`)},
+		{"negative-resume", []byte(`{"v":1,"hash":"x","next_trial":-3,"max_trials":10,"state":{}}`)},
+		{"resume-past-cap", []byte(`{"v":1,"hash":"x","next_trial":11,"max_trials":10,"state":{}}`)},
+		{"zero-cap", []byte(`{"v":1,"hash":"x","max_trials":0,"state":{}}`)},
+		{"negative-waves", []byte(`{"v":1,"hash":"x","max_trials":10,"waves":-1,"state":{}}`)},
+		{"trials-no-waves", []byte(`{"v":1,"hash":"x","next_trial":4,"max_trials":10,"state":{}}`)},
+		{"missing-state", []byte(`{"v":1,"hash":"x","max_trials":10}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ckpt")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, ok, err := loadCheckpoint(path, "x", 0, 10, "")
+			if err == nil {
+				t.Fatalf("corrupt checkpoint accepted (ok=%v)", ok)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the file", err)
+			}
+		})
+	}
+}
+
+// TestRunRefusesCorruptCheckpoint checks the behavior end to end: a run
+// pointed at a truncated checkpoint fails up front instead of silently
+// restarting from trial zero.
+func TestRunRefusesCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	good := validCheckpointBytes(t)
+	if err := os.WriteFile(path, good[:len(good)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := &foldState{}
+	_, err := Run(Options{
+		Shards: 1, MaxTrials: 40, Wave: 4, Seed: 7, Spec: []byte(`{"job":"echo"}`),
+		Launcher:       &PipeLauncher{Build: echoBuild},
+		CheckpointPath: path,
+		Policy:         "adaptive rel=0.05",
+	}, st.sink, nil, st)
+	if err == nil || !strings.Contains(err.Error(), "delete it to start over") {
+		t.Fatalf("expected a corrupt-checkpoint error, got %v", err)
+	}
+	if st.Count != 0 {
+		t.Fatalf("folded %d trials against a corrupt checkpoint", st.Count)
+	}
+}
+
+// FuzzCheckpoint drives checkpoint parsing with arbitrary bytes: it must
+// never panic, and anything it accepts must satisfy the structural
+// invariants the coordinator relies on — and round-trip through
+// loadCheckpoint identically.
+func FuzzCheckpoint(f *testing.F) {
+	good := validCheckpointBytes(f)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{"v":1,"hash":"x","max_trials":10,"state":{}}`))
+	f.Add([]byte(`{"v":1,"next_trial":-1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"v":1e999}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := parseCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if cp.V != checkpointVersion || cp.MaxTrials < 1 ||
+			cp.NextTrial < 0 || cp.NextTrial > cp.MaxTrials ||
+			cp.Waves < 0 || len(cp.State) == 0 {
+			t.Fatalf("parseCheckpoint accepted inconsistent checkpoint %+v", cp)
+		}
+		path := filepath.Join(t.TempDir(), "ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := loadCheckpoint(path, cp.Hash, cp.Seed, cp.MaxTrials, cp.Policy)
+		if err != nil || !ok {
+			t.Fatalf("loadCheckpoint rejected bytes parseCheckpoint accepted: ok=%v err=%v", ok, err)
+		}
+		if got.NextTrial != cp.NextTrial || got.Done != cp.Done {
+			t.Fatalf("loadCheckpoint round trip diverged: %+v vs %+v", got, cp)
+		}
+	})
+}

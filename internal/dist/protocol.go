@@ -85,6 +85,13 @@ type Msg struct {
 	Lo int `json:"lo,omitempty"`
 	// Hi is the wave range's exclusive upper bound.
 	Hi int `json:"hi,omitempty"`
+	// Indices, when non-empty on a wave message, overrides the modular
+	// ownership rule: the worker runs exactly these global indices instead
+	// of its share of [Lo, Hi). The coordinator uses it to requeue a dead
+	// shard's outstanding indices — to its relaunched incarnation or to a
+	// surviving shard — without changing which randomness stream any trial
+	// draws (streams depend on the global index alone).
+	Indices []int `json:"indices,omitempty"`
 	// Trial is the global trial index of a result.
 	Trial int `json:"trial"`
 	// Data is the trial's result payload (result messages).

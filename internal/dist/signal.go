@@ -1,0 +1,36 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// InterruptOnSignal installs a graceful-shutdown handler for a coordinator
+// process and returns a channel suitable for Options.Interrupt: it closes on
+// the first SIGINT or SIGTERM, after which the coordinator finishes the wave
+// in flight, folds it, writes the checkpoint, and returns with
+// Result.Interrupted set — rerunning the same command resumes from there. A
+// second signal skips the grace period and exits immediately with the
+// conventional interrupted status (128+SIGINT), for runs the user decides
+// not to wait out. log receives a one-line notice per signal (nil means
+// os.Stderr).
+func InterruptOnSignal(log io.Writer) <-chan struct{} {
+	if log == nil {
+		log = os.Stderr
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(log, "caught %v: finishing the wave in flight and writing the checkpoint (repeat to exit now)\n", s)
+		close(done)
+		<-sigs
+		fmt.Fprintln(log, "second signal: exiting without waiting for the wave")
+		os.Exit(130)
+	}()
+	return done
+}

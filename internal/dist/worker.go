@@ -86,8 +86,15 @@ func Serve(r io.Reader, w io.Writer, shard, shards int, build BuildRunner) error
 		}
 		switch m.Type {
 		case TypeWave:
+			// An explicit index list (a requeued wave) overrides the modular
+			// ownership rule; either way every index draws the stream derived
+			// from its global position, so who computes it cannot matter.
+			indices := m.Indices
+			if len(indices) == 0 {
+				indices = ShardIndices(m.Lo, m.Hi, shard, shards)
+			}
 			var emitErr error
-			err := runner(ShardIndices(m.Lo, m.Hi, shard, shards), func(trial int, data []byte) {
+			err := runner(indices, func(trial int, data []byte) {
 				if emitErr == nil {
 					emitErr = writeMsg(w, Msg{Type: TypeResult, Trial: trial, Data: data})
 				}

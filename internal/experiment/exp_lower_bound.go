@@ -86,15 +86,24 @@ func k4LowerBound() Experiment {
 							NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false),
 							metric,
 							ShardRunOptions{
-								Shards:     p.Shards,
-								MaxTrials:  maxTrials,
-								Seed:       cellSeed,
-								Launcher:   p.ShardLauncher,
-								Checkpoint: k4CheckpointPath(p.CheckpointDir, n, k),
-								Policy:     ConsensusPolicy(rel),
+								Shards:        p.Shards,
+								MaxTrials:     maxTrials,
+								Seed:          cellSeed,
+								Launcher:      p.ShardLauncher,
+								Checkpoint:    k4CheckpointPath(p.CheckpointDir, n, k),
+								Policy:        ConsensusPolicy(rel),
+								WorkerTimeout: p.WorkerTimeout,
+								MaxRelaunches: p.MaxRelaunches,
+								Interrupt:     p.Interrupt,
 							})
 						if err != nil {
 							return fmt.Errorf("n=%d k=%d sharded cell: %w", n, k, err)
+						}
+						if dres.Interrupted {
+							// Stop at the cell boundary instead of printing a
+							// table built on a partial fold; the cell's
+							// checkpoint carries the progress.
+							return fmt.Errorf("n=%d k=%d: %w", n, k, ErrInterrupted)
 						}
 						res = AdaptiveResult{Trials: dres.Trials, Stopped: dres.Stopped}
 						failed = dfailed

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -64,6 +65,17 @@ type Params struct {
 	// checkpoints under this directory and resume from them, so
 	// interrupted multi-hour runs continue instead of restarting.
 	CheckpointDir string
+	// WorkerTimeout is the sharded coordinator's per-shard liveness
+	// deadline (see dist.Options.WorkerTimeout); 0 disables hang detection.
+	WorkerTimeout time.Duration
+	// MaxRelaunches caps per-shard worker relaunches in sharded cells
+	// (see dist.Options.MaxRelaunches); 0 means the dist default,
+	// dist.NoRelaunch disables self-healing.
+	MaxRelaunches int
+	// Interrupt, when closed, gracefully stops sharded cells after their
+	// in-flight wave with a final checkpoint (see dist.Options.Interrupt).
+	// cmd/sweep and cmd/experiments close it on SIGINT/SIGTERM.
+	Interrupt <-chan struct{}
 }
 
 // Adaptive stopping defaults shared by experiments and the CLIs.

@@ -2,15 +2,24 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rng"
 )
+
+// ErrInterrupted reports that a sharded run stopped early at the user's
+// request (Params.Interrupt closed): the wave in flight was folded and the
+// checkpoint written, so rerunning the same command resumes where it
+// stopped. The cmds test for it with errors.Is and map it to exit status
+// 130.
+var ErrInterrupted = errors.New("interrupted: checkpoint written, rerun the same command to resume")
 
 // This file is the experiment side of the distributed trial engine
 // (internal/dist): the versioned job specification a coordinator broadcasts
@@ -237,6 +246,20 @@ type ShardRunOptions struct {
 	// Policy is the stopping-policy identity recorded in checkpoints
 	// (see dist.Options.Policy); typically ConsensusPolicy(rel).
 	Policy string
+	// WorkerTimeout is the per-shard liveness deadline
+	// (see dist.Options.WorkerTimeout); 0 disables hang detection.
+	WorkerTimeout time.Duration
+	// MaxRelaunches caps per-shard worker relaunches
+	// (see dist.Options.MaxRelaunches); 0 means the dist default,
+	// dist.NoRelaunch disables recovery entirely.
+	MaxRelaunches int
+	// Interrupt, when closed, asks the coordinator to stop after the wave
+	// in flight (see dist.Options.Interrupt): the cell checkpoints and
+	// returns with Interrupted set, resumable by rerunning.
+	Interrupt <-chan struct{}
+	// Log is the coordinator's diagnostic sink (see dist.Options.Log);
+	// nil means os.Stderr.
+	Log io.Writer
 }
 
 // RunShardedConsensus distributes an adaptive consensus-time cell across
@@ -273,6 +296,10 @@ func RunShardedConsensus(spec ShardSpec, metric *AdaptiveMetric, opts ShardRunOp
 		Launcher:       opts.Launcher,
 		CheckpointPath: opts.Checkpoint,
 		Policy:         opts.Policy,
+		WorkerTimeout:  opts.WorkerTimeout,
+		MaxRelaunches:  opts.MaxRelaunches,
+		Interrupt:      opts.Interrupt,
+		Log:            opts.Log,
 	}, sink, StopWhenAll(state.Metric), dist.JSONState{V: state})
 	return res, state.Failed, err
 }

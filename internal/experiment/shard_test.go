@@ -239,6 +239,10 @@ func TestShardedConsensusResumeMidWave(t *testing.T) {
 		Shards: 2, MaxTrials: cap, Wave: 4, Seed: seed,
 		Launcher:   &killAfterWaves{inner: &dist.PipeLauncher{Build: ShardBuilder(2)}, waves: 3},
 		Checkpoint: ckpt,
+		// Recovery off: this test is about the kill-then-resume loop, not
+		// self-healing (which TestShardedConsensusSurvivesWorkerKill pins).
+		MaxRelaunches: dist.NoRelaunch,
+		Log:           io.Discard,
 	})
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("injected kill")) {
 		t.Fatalf("expected injected kill, got %v", err)
@@ -261,6 +265,68 @@ func TestShardedConsensusResumeMidWave(t *testing.T) {
 	}
 	if got, want := metricFingerprint(resumed), metricFingerprint(full); got != want {
 		t.Fatalf("resumed aggregates diverged:\n%s\nwant\n%s", got, want)
+	}
+}
+
+// killOnceLauncher kills shard 0's first worker incarnation after its wave
+// budget, then launches replacements untouched — one clean mid-run death.
+type killOnceLauncher struct {
+	inner  dist.Launcher
+	budget int
+	killed bool
+}
+
+func (l *killOnceLauncher) Launch(shard, shards int) (*dist.Conn, error) {
+	c, err := l.inner.Launch(shard, shards)
+	if err != nil || shard != 0 || l.killed {
+		return c, err
+	}
+	l.killed = true
+	budget := l.budget
+	c.W = &killingWriter{w: c.W, remaining: &budget}
+	return c, nil
+}
+
+// TestShardedConsensusSurvivesWorkerKill pins self-healing at the cell
+// level: the same kind of mid-run worker death as the resume test, with
+// recovery left at its default, heals in place — no manual resume — and
+// the cell's aggregates stay bit-identical to an undisturbed run.
+func TestShardedConsensusSurvivesWorkerKill(t *testing.T) {
+	cfg, err := conf.Uniform(2000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 30
+	const seed = 77
+	rule := ConsensusRule(1e-9, cap)
+	spec := NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false)
+
+	full := NewAdaptiveMetric("consensus T", rule)
+	fullRes, fullFailed, err := RunShardedConsensus(spec, full, ShardRunOptions{
+		Shards: 2, MaxTrials: cap, Wave: 4, Seed: seed,
+		Launcher: &dist.PipeLauncher{Build: ShardBuilder(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healed := NewAdaptiveMetric("consensus T", rule)
+	res, failed, err := RunShardedConsensus(spec, healed, ShardRunOptions{
+		Shards: 2, MaxTrials: cap, Wave: 4, Seed: seed,
+		Launcher: &killOnceLauncher{inner: &dist.PipeLauncher{Build: ShardBuilder(2)}, budget: 2},
+		Log:      io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("self-heal run: %v", err)
+	}
+	if res.Relaunches == 0 {
+		t.Fatalf("res = %+v, want at least one relaunch", res)
+	}
+	if res.Trials != fullRes.Trials || res.Stopped != fullRes.Stopped || failed != fullFailed {
+		t.Fatalf("healed run outcome %+v/%d, want %+v/%d", res, failed, fullRes, fullFailed)
+	}
+	if got, want := metricFingerprint(healed), metricFingerprint(full); got != want {
+		t.Fatalf("healed aggregates diverged:\n%s\nwant\n%s", got, want)
 	}
 }
 
@@ -306,6 +372,7 @@ func TestK4ShardedKilledResumedTablesByteIdentical(t *testing.T) {
 	killedParams := sharded
 	killedParams.CheckpointDir = dir
 	killedParams.ShardLauncher = &killAfterWaves{inner: &dist.PipeLauncher{Build: ShardBuilder(2)}, waves: 2}
+	killedParams.MaxRelaunches = dist.NoRelaunch
 	e, _ := Find("K4-lower-bound")
 	var buf bytes.Buffer
 	if err := e.Run(killedParams, &buf); err == nil {
