@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// failAfterFirstLauncher launches a real worker once per shard, then fails
+// every subsequent Launch call.
+type failAfterFirstLauncher struct {
+	inner    Launcher
+	launched map[int]int
+}
+
+func (l *failAfterFirstLauncher) Launch(shard, shards int) (*Conn, error) {
+	if l.launched == nil {
+		l.launched = map[int]int{}
+	}
+	n := l.launched[shard]
+	l.launched[shard]++
+	if n > 0 {
+		return nil, errors.New("simulated persistent launch failure")
+	}
+	return l.inner.Launch(shard, shards)
+}
+
+func TestRelaunchLaunchFailureTerminates(t *testing.T) {
+	opts := Options{
+		Shards:    2,
+		MaxTrials: 32,
+		Wave:      4,
+		Seed:      7,
+		Spec:      []byte(`{"job":"x"}`),
+		Launcher: &failAfterFirstLauncher{
+			inner: &FaultLauncher{
+				Inner:    &PipeLauncher{Build: echoBuild},
+				Schedule: []Fault{{Shard: 0, Kind: FaultCrashMidWave, After: 1}},
+			},
+		},
+		WorkerTimeout:   500 * time.Millisecond,
+		RelaunchBackoff: time.Millisecond,
+		Log:             io.Discard,
+	}
+	st := &foldState{}
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		res, err = Run(opts, st.sink, nil, st)
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Printf("run finished: res=%+v err=%v\n", res, err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not terminate within 10s after persistent relaunch failure")
+	}
+}
