@@ -91,7 +91,8 @@ func BenchmarkConsensus(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				var totalInteractions, runs int64
+				var runs int64
+				var totalInteractions float64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					report, err := Run(cfg, uint64(i)+1)
@@ -101,11 +102,11 @@ func BenchmarkConsensus(b *testing.B) {
 					if report.Result.Outcome != OutcomeConsensus {
 						b.Fatalf("outcome %v", report.Result.Outcome)
 					}
-					totalInteractions += report.Result.Interactions
+					totalInteractions += report.Result.Interactions.Float64()
 					runs++
 				}
-				b.ReportMetric(float64(totalInteractions)/float64(runs), "interactions/run")
-				b.ReportMetric(float64(totalInteractions)/float64(runs)/float64(nk.n), "parallel-time/run")
+				b.ReportMetric(totalInteractions/float64(runs), "interactions/run")
+				b.ReportMetric(totalInteractions/float64(runs)/float64(nk.n), "parallel-time/run")
 			})
 		}
 	}
@@ -127,7 +128,7 @@ func benchKernelTracked(b *testing.B, batched bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var totalInteractions int64
+	var totalInteractions float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -144,10 +145,10 @@ func benchKernelTracked(b *testing.B, batched bool) {
 		if report.Result.Outcome != OutcomeConsensus {
 			b.Fatalf("outcome %v", report.Result.Outcome)
 		}
-		totalInteractions += report.Result.Interactions
+		totalInteractions += report.Result.Interactions.Float64()
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalInteractions), "ns/interaction")
-	b.ReportMetric(float64(totalInteractions)/float64(b.N), "interactions/run")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/totalInteractions, "ns/interaction")
+	b.ReportMetric(totalInteractions/float64(b.N), "interactions/run")
 }
 
 // BenchmarkKernel measures the per-productive-event cost of the aggregate

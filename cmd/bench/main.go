@@ -88,6 +88,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/u128"
 )
 
 // Entry is one (n, kernel) measurement.
@@ -254,6 +255,34 @@ type FleetEntry struct {
 	SpeedupVsExact float64 `json:"speedup_vs_exact"`
 }
 
+// LargeNEntry is the beyond-int64-clock benchmark row: full consensus at
+// n = 10^10, where the ordered-pair clock n² = 10²⁰ is ~10⁴ times past
+// MaxInt64 and the 128-bit interaction clock is load-bearing end to end —
+// in the simulator, the wire format, and the fingerprint fold.
+type LargeNEntry struct {
+	// Workload names the benchmark section.
+	Workload string `json:"workload"`
+	// N is the population size per trial.
+	N int64 `json:"n"`
+	// K is the opinion count.
+	K int `json:"k"`
+	// Kernel is the stepping kernel name.
+	Kernel string `json:"kernel"`
+	// Trials is the fleet size.
+	Trials int `json:"trials"`
+	// Interactions is the fleet's total consensus time in interactions,
+	// in decimal: at this scale it exceeds both int64 and float64's exact
+	// integer range, so the row records the full u128 value as a string.
+	Interactions string `json:"interactions_total"`
+	// WallNanos is the in-process fleet wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// NsPerInteraction is wall time per simulated interaction.
+	NsPerInteraction float64 `json:"ns_per_interaction"`
+	// Identical reports whether the 1- and 2-shard coordinator arms both
+	// folded exactly the in-process result sequence.
+	Identical bool `json:"results_identical"`
+}
+
 // EnvInfo identifies the machine a report was produced on, so perf
 // trajectories from different hosts are never compared as like for like.
 type EnvInfo struct {
@@ -284,6 +313,7 @@ type Report struct {
 	AdaptiveEntries []AdaptiveEntry      `json:"adaptive_engine"`
 	ShardEntries    []ShardEntry         `json:"shard_throughput"`
 	FaultRecovery   []FaultRecoveryEntry `json:"fault_recovery"`
+	LargeN          []LargeNEntry        `json:"large_n"`
 }
 
 // cpuModel returns the processor model string on platforms that expose it
@@ -511,6 +541,18 @@ func run(args []string) error {
 		fre.Workload, fre.N, fre.Trials, fre.Shards, fre.FaultKind, fre.FaultShard,
 		fre.CleanTrialsPerS, fre.FaultTrialsPerS, fre.RecoveryOverhead, fre.Relaunches, fre.Requeued, fre.Identical)
 
+	// The beyond-int64-clock row (128-bit interaction clocks): n = 10^10
+	// consensus under the auto kernel, byte-identical across 1, 2, and 4
+	// shards. It runs in quick mode too — bench-smoke is its CI gate.
+	lne, err := measureLargeN("large-n-consensus", 10_000_000_000, 2, core.KernelAuto(0), 2, *seed)
+	if err != nil {
+		return err
+	}
+	rep.LargeN = append(rep.LargeN, lne)
+	fmt.Printf("%-16s n=%-11d trials=%-3d kernel=%-14s wall %6.2fs  %.3f ns/interaction  total=%s  identical=%v\n",
+		lne.Workload, lne.N, lne.Trials, lne.Kernel, float64(lne.WallNanos)/1e9,
+		lne.NsPerInteraction, lne.Interactions, lne.Identical)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -544,13 +586,13 @@ func measureSmallNFleet(k int, quick bool, seed uint64) ([]FleetEntry, error) {
 		var exactTps float64
 		for _, kern := range kernels {
 			start := time.Now()
-			outs := experiment.CollectArena(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) int64 {
+			outs := experiment.CollectArena(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) u128.U128 {
 				s, err := a.Simulator(cfg, src)
 				if err != nil {
 					panic(err) // configuration validated above
 				}
 				s.SetKernel(kern)
-				return s.Run(0).Interactions
+				return s.Run(core.NoBudget).Interactions
 			})
 			wall := time.Since(start).Nanoseconds()
 			if len(outs) != trials {
@@ -578,11 +620,17 @@ func measureSmallNFleet(k int, quick bool, seed uint64) ([]FleetEntry, error) {
 	return entries, nil
 }
 
+// refOut is one in-process reference trial outcome fed to the fingerprint.
+type refOut struct {
+	t      u128.U128
+	winner int
+}
+
 // shardFingerprint folds one trial outcome into an order-sensitive
 // fingerprint; two fold paths agreeing on the final digest folded identical
 // sequences.
-func shardFingerprint(h io.Writer, i int, interactions int64, winner int) {
-	fmt.Fprintf(h, "%d:%d:%d;", i, interactions, winner)
+func shardFingerprint(h io.Writer, i int, interactions u128.U128, winner int) {
+	fmt.Fprintf(h, "%d:%d.%d:%d;", i, interactions.Hi, interactions.Lo, winner)
 }
 
 // measureShards runs the same consensus fleet through the distributed
@@ -601,19 +649,19 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 	}
 	// The in-process reference fingerprint, same fleet and seeds.
 	ref := sha256.New()
-	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) [2]int64 {
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) refOut {
 		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
 		if err != nil {
 			panic(err) // configuration validated above
 		}
-		res := s.Run(0)
-		return [2]int64{res.Interactions, int64(res.Winner)}
-	}, func(i int, v [2]int64) {
-		shardFingerprint(ref, i, v[0], int(v[1]))
+		res := s.Run(core.NoBudget)
+		return refOut{t: res.Interactions, winner: res.Winner}
+	}, func(i int, v refOut) {
+		shardFingerprint(ref, i, v.t, v.winner)
 	})
 	want := fmt.Sprintf("%x", ref.Sum(nil))
 
-	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, false).Encode()
+	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
 	if err != nil {
 		return nil, err
 	}
@@ -644,7 +692,7 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 			if err := json.Unmarshal(data, &r); err != nil {
 				return err
 			}
-			shardFingerprint(h, i, r.Interactions, r.Winner)
+			shardFingerprint(h, i, r.Interactions(), r.Winner)
 			return nil
 		}, nil, nil)
 		if err != nil {
@@ -695,19 +743,19 @@ func measureFaultRecovery(workload string, n int64, k int, kern core.Kernel, tri
 	}
 	// The in-process reference fingerprint, same fleet and seeds.
 	ref := sha256.New()
-	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) [2]int64 {
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) refOut {
 		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
 		if err != nil {
 			panic(err) // configuration validated above
 		}
-		res := s.Run(0)
-		return [2]int64{res.Interactions, int64(res.Winner)}
-	}, func(i int, v [2]int64) {
-		shardFingerprint(ref, i, v[0], int(v[1]))
+		res := s.Run(core.NoBudget)
+		return refOut{t: res.Interactions, winner: res.Winner}
+	}, func(i int, v refOut) {
+		shardFingerprint(ref, i, v.t, v.winner)
 	})
 	want := fmt.Sprintf("%x", ref.Sum(nil))
 
-	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, false).Encode()
+	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
 	if err != nil {
 		return FaultRecoveryEntry{}, err
 	}
@@ -753,7 +801,7 @@ func measureFaultRecovery(workload string, n int64, k int, kern core.Kernel, tri
 			if err := json.Unmarshal(data, &r); err != nil {
 				return err
 			}
-			shardFingerprint(h, i, r.Interactions, r.Winner)
+			shardFingerprint(h, i, r.Interactions(), r.Winner)
 			return nil
 		}, nil, nil)
 		if err != nil {
@@ -789,6 +837,98 @@ func measureFaultRecovery(workload string, n int64, k int, kern core.Kernel, tri
 	return fe, nil
 }
 
+// measureLargeN prices the beyond-int64-clock regime: a small fleet of
+// full consensus runs at n = 10^10 under the auto kernel, reported as
+// consensus wall-clock and ns per simulated interaction, then the same
+// fleet re-run through the distributed coordinator at 1, 2, and 4 shards.
+// Every arm must fold identical result sequences (results_identical, the
+// field bench-smoke greps) — the determinism gate for populations whose
+// interaction clock no longer fits int64.
+func measureLargeN(workload string, n int64, k int, kern core.Kernel, trials int, seed uint64) (LargeNEntry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return LargeNEntry{}, err
+	}
+	le := LargeNEntry{
+		Workload: workload,
+		N:        n,
+		K:        k,
+		Kernel:   kern.String(),
+		Trials:   trials,
+	}
+	type out struct {
+		t      u128.U128
+		winner int
+		ok     bool
+	}
+	ref := sha256.New()
+	var total u128.U128
+	consensus := 0
+	start := time.Now()
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) out {
+		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
+		if err != nil {
+			panic(err) // configuration validated above
+		}
+		res := s.Run(core.NoBudget)
+		return out{t: res.Interactions, winner: res.Winner, ok: res.Outcome == core.OutcomeConsensus}
+	}, func(i int, v out) {
+		shardFingerprint(ref, i, v.t, v.winner)
+		total = total.Add(v.t)
+		if v.ok {
+			consensus++
+		}
+	})
+	le.WallNanos = time.Since(start).Nanoseconds()
+	if consensus != trials {
+		return le, fmt.Errorf("bench: only %d/%d large-n trials reached consensus", consensus, trials)
+	}
+	le.Interactions = total.String()
+	if f := total.Float64(); f > 0 {
+		le.NsPerInteraction = float64(le.WallNanos) / f
+	}
+	want := fmt.Sprintf("%x", ref.Sum(nil))
+
+	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
+	if err != nil {
+		return le, err
+	}
+	budget := runtime.GOMAXPROCS(0)
+	for _, shards := range []int{1, 2, 4} {
+		launcher := &dist.ExecLauncher{
+			Args: func(shard, shards int) []string {
+				return []string{
+					"-shard-worker", dist.ShardArg(shard, shards),
+					"-shard-par", strconv.Itoa(dist.CoreShare(budget, shard, shards)),
+				}
+			},
+			CoreBudget: budget,
+		}
+		h := sha256.New()
+		if _, err := dist.Run(dist.Options{
+			Shards:    shards,
+			MaxTrials: trials,
+			Seed:      seed,
+			Spec:      spec,
+			Launcher:  launcher,
+		}, func(i int, data []byte) error {
+			var r experiment.ShardResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return err
+			}
+			shardFingerprint(h, i, r.Interactions(), r.Winner)
+			return nil
+		}, nil, nil); err != nil {
+			return le, fmt.Errorf("bench: large-n %d-shard run: %w", shards, err)
+		}
+		if got := fmt.Sprintf("%x", h.Sum(nil)); got != want {
+			return le, fmt.Errorf("bench: large-n %d-shard arm folded fingerprint %s, want in-process %s", shards, got, want)
+		}
+	}
+	le.Identical = true
+	return le, nil
+}
+
 // measureAdaptive runs both arms of the adaptive-vs-fixed comparison
 // against the shared ±relTarget reporting requirement. Both arms consume
 // the same seed-per-trial-index stream, so the adaptive arm folds a strict
@@ -815,7 +955,7 @@ func measureAdaptive(workload string, n int64, k int, kern core.Kernel, fixedTri
 		if err != nil {
 			panic(err) // configuration validated above
 		}
-		return float64(s.Run(0).Interactions)
+		return s.Run(core.NoBudget).Interactions.Float64()
 	}
 
 	var fixed stats.Online
@@ -881,7 +1021,7 @@ func measureTrials(workload string, n int64, k int, kern core.Kernel, trials int
 				a = nil
 				src = rng.New(rng.Derive(seed, uint64(i)))
 			}
-			r, err := experiment.RunTracked(a, cfg, src, budget, 0, kern)
+			r, err := experiment.RunTracked(a, cfg, src, u128.From64(budget), 0, kern)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -935,11 +1075,13 @@ func measure(n int64, k int, kern core.Kernel, budget int64, runs int, seed uint
 		}
 		var productive int64
 		start := time.Now()
-		res := s.RunObserved(budget, func(_ *core.Simulator, ev core.Event) {
+		res := s.RunObserved(u128.From64(budget), func(_ *core.Simulator, ev core.Event) {
 			productive += ev.Count
 		})
 		e.WallNanos += time.Since(start).Nanoseconds()
-		e.Interactions += res.Interactions
+		// Budgeted sections cap each run at a few million interactions, so
+		// the int64 total is exact; only the large_n row needs a u128 form.
+		e.Interactions += int64(res.Interactions.Lo)
 		e.ProductiveEvents += productive
 		if res.Outcome == usd.OutcomeConsensus {
 			e.ReachedConsensus++

@@ -54,15 +54,15 @@ func run(args []string) error {
 		}
 		tr := phase.NewTracker(phase.WithCheckInterval(phase.DefaultCheckInterval(*n)))
 		tr.ObserveNow(s)
-		res := s.RunWatched(0, tr)
+		res := s.RunWatched(core.NoBudget, tr)
 		tr.ObserveNow(s)
 		if res.Outcome != core.OutcomeConsensus {
 			return fmt.Errorf("trial %d did not reach consensus: %v", i, res.Outcome)
 		}
 		winners[res.Winner]++
 		for p := 1; p <= phase.Count; p++ {
-			if d := tr.Times().Duration(p); d >= 0 {
-				durations[p-1] = append(durations[p-1], float64(d))
+			if d, ok := tr.Times().Duration(p); ok {
+				durations[p-1] = append(durations[p-1], d.Float64())
 			}
 		}
 	}

@@ -294,15 +294,16 @@ func (st *pointState) fold(i int, t float64, won bool, fail string) {
 // runPointInProcess folds one sweep point on the shared-arena engine.
 func runPointInProcess(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, workers, trials, adaptiveCap int) {
 	trial := func(i int, src *rng.Source, a *experiment.Arena) experiment.ShardResult {
-		report, err := experiment.RunTracked(a, cfg, src, 0, 0, kern)
+		report, err := experiment.RunTracked(a, cfg, src, core.NoBudget, 0, kern)
 		if err != nil {
 			return experiment.ShardResult{Outcome: err.Error()}
 		}
 		return experiment.ShardResult{
-			Interactions:  report.Result.Interactions,
-			Winner:        report.Result.Winner,
-			InitialLeader: report.InitialLeader,
-			Outcome:       report.Result.Outcome.String(),
+			InteractionsHi: report.Result.Interactions.Hi,
+			InteractionsLo: report.Result.Interactions.Lo,
+			Winner:         report.Result.Winner,
+			InitialLeader:  report.InitialLeader,
+			Outcome:        report.Result.Outcome.String(),
 		}
 	}
 	sink := func(i int, r experiment.ShardResult) { foldShardResult(st, i, r) }
@@ -338,7 +339,7 @@ func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uin
 	if shards < 1 {
 		shards = 1
 	}
-	spec, err := experiment.NewShardSpec(cfg, kern, 0, 0, true).Encode()
+	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, true).Encode()
 	if err != nil {
 		return err
 	}
@@ -398,7 +399,7 @@ func foldShardResult(st *pointState, i int, r experiment.ShardResult) {
 		st.fold(i, 0, false, r.Outcome)
 		return
 	}
-	st.fold(i, float64(r.Interactions), r.Winner == r.InitialLeader, "")
+	st.fold(i, r.Interactions().Float64(), r.Winner == r.InitialLeader, "")
 }
 
 func buildConfig(param, value string, n int64, k int, keps float64, u0 int64) (*usd.Config, error) {

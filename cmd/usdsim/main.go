@@ -44,7 +44,7 @@ func run(args []string) error {
 		mult   = fs.Float64("mult", 0, "multiplicative bias of Opinion 0 (ratio > 1)")
 		zipf   = fs.Float64("zipf", 0, "Zipf exponent for power-law supports")
 		seed   = fs.Uint64("seed", 1, "random seed")
-		budget = fs.Int64("budget", 0, "interaction budget (0 = run to consensus)")
+		budget = fs.Float64("budget", 0, "interaction budget, accepts 1e20-style values (0 = run to consensus)")
 		plot   = fs.Bool("plot", false, "render an ASCII trajectory")
 		kernel = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
 		tol    = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
@@ -68,11 +68,12 @@ func run(args []string) error {
 	}
 	fmt.Printf("theorem 2 bound (up to constants): %.3g interactions\n\n", bound)
 
+	b := usd.ClockOfFloat(*budget)
 	if *plot {
-		return runPlotted(cfg, *seed, *budget, kern)
+		return runPlotted(cfg, *seed, b, kern)
 	}
 
-	report, err := usd.RunWithKernel(cfg, *seed, *budget, kern)
+	report, err := usd.RunWithKernel(cfg, *seed, b, kern)
 	if err != nil {
 		return err
 	}
@@ -113,8 +114,8 @@ func printReport(cfg *usd.Config, report usd.Report, bound float64) {
 		fmt.Printf("winner:        opinion %d (initial support %d, initial leader: %d)\n",
 			res.Winner, cfg.Support[res.Winner], report.InitialLeader)
 	}
-	fmt.Printf("interactions:  %d (%.3g per agent)\n", res.Interactions, res.ParallelTime)
-	fmt.Printf("vs bound:      %.2fx\n\n", float64(res.Interactions)/bound)
+	fmt.Printf("interactions:  %v (%.3g per agent)\n", res.Interactions, res.ParallelTime)
+	fmt.Printf("vs bound:      %.2fx\n\n", res.Interactions.Float64()/bound)
 	fmt.Println("phase structure (paper §2.1):")
 	names := []string{
 		"1: rise of the undecided      (u >= (n-xmax)/2)",
@@ -125,15 +126,16 @@ func printReport(cfg *usd.Config, report usd.Report, bound float64) {
 	}
 	for p := 1; p <= 5; p++ {
 		if report.Phases.Reached(p) {
-			fmt.Printf("  phase %-55s end=%-12d duration=%d\n",
-				names[p-1], report.Phases.End[p-1], report.Phases.Duration(p))
+			d, _ := report.Phases.Duration(p)
+			fmt.Printf("  phase %-55s end=%-12v duration=%v\n",
+				names[p-1], report.Phases.End[p-1], d)
 		} else {
 			fmt.Printf("  phase %-55s not reached\n", names[p-1])
 		}
 	}
 }
 
-func runPlotted(cfg *usd.Config, seed uint64, budget int64, kern core.Kernel) error {
+func runPlotted(cfg *usd.Config, seed uint64, budget usd.Clock, kern core.Kernel) error {
 	s, err := core.New(cfg, rng.New(seed), core.WithKernel(kern))
 	if err != nil {
 		return err
@@ -173,7 +175,7 @@ func runPlotted(cfg *usd.Config, seed uint64, budget int64, kern core.Kernel) er
 		return err
 	}
 	fmt.Println(plot)
-	fmt.Printf("outcome: %v after %d interactions (%.3g per agent)\n",
+	fmt.Printf("outcome: %v after %v interactions (%.3g per agent)\n",
 		res.Outcome, res.Interactions, res.ParallelTime)
 	if res.Outcome == usd.OutcomeConsensus {
 		fmt.Printf("winner: opinion %d\n", res.Winner)

@@ -41,7 +41,7 @@ func ExampleNewSimulator() {
 		fmt.Println("simulator:", err)
 		return
 	}
-	res := s.RunUntil(0, func(sim *usd.Simulator) bool {
+	res := s.RunUntil(usd.NoBudget, func(sim *usd.Simulator) bool {
 		_, xmax := sim.Max()
 		return 3*xmax >= 2*sim.N()
 	})

@@ -41,7 +41,7 @@ func main() {
 			log.Fatalf("trial %d: %v", i, report.Result.Outcome)
 		}
 		winners[report.Result.Winner]++
-		meanT += float64(report.Result.Interactions) / trials
+		meanT += report.Result.Interactions.Float64() / trials
 	}
 	fmt.Printf("perfectly tied start, n=%d k=%d, %d trials\n", n, k, trials)
 	fmt.Printf("winner counts per opinion: %v (uniform-ish expected)\n", winners)
@@ -55,7 +55,7 @@ func main() {
 	}
 	rec := trace.NewRecorder("top-two gap", n/4)
 	target := 4 * usd.SignificanceThreshold(n, 1)
-	s.RunUntil(0, func(sim *core.Simulator) bool {
+	s.RunUntil(core.NoBudget, func(sim *core.Simulator) bool {
 		var first, second int64
 		for i := 0; i < sim.K(); i++ {
 			x := sim.Support(i)

@@ -57,7 +57,7 @@ func main() {
 			if report.Result.Outcome != usd.OutcomeConsensus {
 				log.Fatalf("%s: trial %d ended with %v", reg.name, i, report.Result.Outcome)
 			}
-			sum += float64(report.Result.Interactions)
+			sum += report.Result.Interactions.Float64()
 			if report.Result.Winner == report.InitialLeader {
 				pluralityWins++
 			}

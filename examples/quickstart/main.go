@@ -25,11 +25,13 @@ func main() {
 
 	fmt.Println("outcome:      ", report.Result.Outcome)
 	fmt.Println("winner:       ", report.Result.Winner)
-	fmt.Printf("interactions:  %d (%.1f per agent)\n",
+	fmt.Printf("interactions:  %v (%.1f per agent)\n",
 		report.Result.Interactions, report.Result.ParallelTime)
 
 	// The paper's five-phase decomposition, measured on this very run.
 	for p := 1; p <= 5; p++ {
-		fmt.Printf("phase %d ended at interaction %d\n", p, report.Phases.End[p-1])
+		if report.Phases.Reached(p) {
+			fmt.Printf("phase %d ended at interaction %v\n", p, report.Phases.End[p-1])
+		}
 	}
 }

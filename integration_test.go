@@ -64,12 +64,12 @@ func TestPhaseBoundsWithConstants(t *testing.T) {
 			t.Fatal(err)
 		}
 		for p := 1; p <= 5; p++ {
-			d := report.Phases.Duration(p)
-			if d < 0 {
+			d, ok := report.Phases.Duration(p)
+			if !ok {
 				t.Fatalf("trial %d: phase %d missing", i, p)
 			}
-			if float64(d) > budgets[p-1] {
-				t.Fatalf("trial %d: phase %d took %d > budget %.0f",
+			if d.Float64() > budgets[p-1] {
+				t.Fatalf("trial %d: phase %d took %v > budget %.0f",
 					i, p, d, budgets[p-1])
 			}
 		}
@@ -93,7 +93,7 @@ func TestUndecidedBandDuringRun(t *testing.T) {
 		}
 		inPhase2 := false
 		var violations int
-		s.RunObserved(0, func(sim *core.Simulator, _ core.Event) {
+		s.RunObserved(core.NoBudget, func(sim *core.Simulator, _ core.Event) {
 			_, xmax := sim.Max()
 			u := sim.Undecided()
 			if !inPhase2 && 2*u >= sim.N()-xmax {
@@ -167,7 +167,7 @@ func TestPhaseTimesMatchTrackerOnFacade(t *testing.T) {
 	checkEvery := int(cfg.N()/64) + 1
 	tr := phase.NewTracker(phase.WithCheckInterval(checkEvery))
 	tr.ObserveNow(s)
-	res := s.RunObserved(0, func(sim *core.Simulator, _ core.Event) { tr.Observe(sim) })
+	res := s.RunObserved(core.NoBudget, func(sim *core.Simulator, _ core.Event) { tr.Observe(sim) })
 	tr.ObserveNow(s)
 	if res != report.Result {
 		t.Fatalf("results diverge: %+v vs %+v", res, report.Result)
@@ -202,7 +202,7 @@ func TestMultiplicativeFasterThanAdditive(t *testing.T) {
 			if report.Result.Outcome != OutcomeConsensus {
 				t.Fatalf("%v", report.Result.Outcome)
 			}
-			sum += float64(report.Result.Interactions)
+			sum += report.Result.Interactions.Float64()
 		}
 		return sum / trials
 	}

@@ -16,14 +16,31 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/u128"
 )
 
-// MaxN is the largest population size the simulators support:
-// ⌊√MaxInt64⌋ = 3037000499, the largest n for which the n² ordered-pair
-// interaction clock fits in an int64. One agent more and n² wraps negative,
-// silently corrupting every probability derived from it, so the simulators
-// reject larger populations up front.
-const MaxN = int64(3037000499)
+// MaxN is the largest population size the simulators support: 10¹¹.
+//
+// The old cap was ⌊√MaxInt64⌋ = 3037000499, forced by the n² ordered-pair
+// interaction clock fitting int64. With the clock, the productive weight W,
+// and the Fenwick square sums all carried as u128.U128 that constraint is
+// gone — n² = 10²² ≈ 2⁷⁴ fits 128 bits with ~54 bits of headroom, enough
+// that even the n²·ln n-scale worst-case consensus times stay far from
+// saturation. The remaining binding constraints are:
+//
+//   - Per-opinion supports and their pairwise sums must stay exact in the
+//     float64 probability layer: the multinomial window split and the
+//     Fenwick Add factorization use quantities up to 2n, and 2·10¹¹ ≈ 2³⁸
+//     is far below the 2⁵³ float64 integer limit.
+//   - conf.Validate's wrap-proof running-sum argument needs 2·MaxN to fit
+//     int64; 2·10¹¹ ≪ 2⁶³.
+//   - Practicality: consensus at n = 10¹¹ takes Θ(n log n) productive
+//     interactions, which the batched kernel compresses to minutes of
+//     wall-clock, while n = 10¹² would additionally push per-run memory for
+//     k = Θ(n) regimes past commodity RAM. 10¹¹ is the round decade that
+//     keeps every layer exact with margin.
+const MaxN = int64(100_000_000_000)
 
 // Config is an aggregate opinion configuration. The zero value is invalid;
 // use a generator or FromSupport.
@@ -159,11 +176,12 @@ func (c *Config) MultiplicativeBias() float64 {
 }
 
 // SumSquares returns r₂ = Σ xᵢ², the quantity the paper tracks in
-// Observations 6-7.
-func (c *Config) SumSquares() int64 {
-	var s int64
+// Observations 6-7. At MaxN = 10¹¹ the sum reaches n² ≈ 2⁷⁴, so it is a
+// u128.U128; the per-term products are exact 64×64 multiplies.
+func (c *Config) SumSquares() u128.U128 {
+	var s u128.U128
 	for _, x := range c.Support {
-		s += x * x
+		s = s.Add(u128.Mul64(uint64(x), uint64(x)))
 	}
 	return s
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/u128"
 )
 
 func TestFromSupport(t *testing.T) {
@@ -52,15 +54,23 @@ func TestValidateErrors(t *testing.T) {
 }
 
 func TestMaxNBoundary(t *testing.T) {
-	// MaxN is exactly ⌊√MaxInt64⌋: the n² interaction clock fits at MaxN
-	// and wraps negative one agent later, so the bound must sit precisely
-	// on that edge — large enough for the 2·10⁹–3·10⁹ regime the
-	// lower-bound comparisons need, and not one agent larger.
-	if MaxN*MaxN <= 0 {
-		t.Fatalf("MaxN² = %d overflowed; MaxN too large", MaxN*MaxN)
+	// MaxN = 10¹¹ is set by the constraints documented on the constant, not
+	// by the interaction clock any more (the u128 clock holds n² = 10²²
+	// with ~54 bits of headroom). Pin each documented constraint:
+	//
+	//   - n² must fit u128 without saturating, with room for the
+	//     n²·ln n-scale worst-case consensus times;
+	//   - 2·MaxN must stay exact in float64 (the probability layer uses
+	//     quantities up to 2n) and fit int64 (Validate's running sum).
+	nSq := u128.From64(MaxN).Mul(u128.From64(MaxN))
+	if want := (u128.U128{Hi: 542, Lo: 1864712049423024128}); nSq != want {
+		t.Fatalf("MaxN² = %v, want 10²² = %v", nSq, want)
 	}
-	if over := MaxN + 1; over*over > 0 {
-		t.Fatalf("(MaxN+1)² = %d did not overflow; MaxN too conservative", over*over)
+	if nSq.Len() > 128-50 {
+		t.Fatalf("MaxN² uses %d bits; headroom for n²·ln n budgets is gone", nSq.Len())
+	}
+	if two := 2 * MaxN; two != int64(float64(two)) || two > 1<<53 {
+		t.Fatalf("2·MaxN = %d is not exact in float64", two)
 	}
 	if _, err := Uniform(MaxN, 2, 0); err != nil {
 		t.Fatalf("Uniform(MaxN) rejected: %v", err)
@@ -293,8 +303,8 @@ func TestMultiplicativeBiasInf(t *testing.T) {
 
 func TestSumSquaresAndDecided(t *testing.T) {
 	c := &Config{Support: []int64{3, 4}, Undecided: 2}
-	if c.SumSquares() != 25 {
-		t.Fatalf("SumSquares = %d", c.SumSquares())
+	if !c.SumSquares().Eq(u128.From64(25)) {
+		t.Fatalf("SumSquares = %v", c.SumSquares())
 	}
 	if c.Decided() != 7 {
 		t.Fatalf("Decided = %d", c.Decided())

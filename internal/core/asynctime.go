@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // ContinuousTime converts an interaction count into elapsed continuous time
@@ -16,18 +17,18 @@ import (
 // approximation (exact mean t/n, standard deviation √t/n), whose error is
 // O(1/√t) and negligible at simulation scales; below it, the Gamma is
 // sampled exactly as a sum of exponentials.
-func ContinuousTime(src *rng.Source, interactions, n int64) float64 {
-	if interactions <= 0 || n <= 0 {
+func ContinuousTime(src *rng.Source, interactions u128.U128, n int64) float64 {
+	if interactions.IsZero() || n <= 0 {
 		return 0
 	}
-	if interactions <= gammaExactLimit {
+	if interactions.Leq(u128.From64(gammaExactLimit)) {
 		var sum float64
-		for i := int64(0); i < interactions; i++ {
+		for i := uint64(0); i < interactions.Lo; i++ {
 			sum += src.Exponential(float64(n))
 		}
 		return sum
 	}
-	t := float64(interactions)
+	t := interactions.Float64()
 	mean := t / float64(n)
 	std := math.Sqrt(t) / float64(n)
 	return mean + std*src.Normal()

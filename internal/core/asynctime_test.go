@@ -5,17 +5,18 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func TestContinuousTimeEdgeCases(t *testing.T) {
 	src := rng.New(1)
-	if got := ContinuousTime(src, 0, 100); got != 0 {
+	if got := ContinuousTime(src, u128.U128{}, 100); got != 0 {
 		t.Fatalf("t=0 gave %v", got)
 	}
-	if got := ContinuousTime(src, -5, 100); got != 0 {
-		t.Fatalf("negative interactions gave %v", got)
+	if got := ContinuousTime(src, u128.From64(-5), 100); got != 0 {
+		t.Fatalf("negative (clamped-to-zero) interactions gave %v", got)
 	}
-	if got := ContinuousTime(src, 10, 0); got != 0 {
+	if got := ContinuousTime(src, u128.From64(10), 0); got != 0 {
 		t.Fatalf("n=0 gave %v", got)
 	}
 }
@@ -26,7 +27,7 @@ func TestContinuousTimeExactRegimeMoments(t *testing.T) {
 	const interactions, n, trials = 100, 50, 20000
 	var sum, sum2 float64
 	for i := 0; i < trials; i++ {
-		v := ContinuousTime(src, interactions, n)
+		v := ContinuousTime(src, u128.From64(interactions), n)
 		if v <= 0 {
 			t.Fatalf("non-positive continuous time %v", v)
 		}
@@ -50,7 +51,7 @@ func TestContinuousTimeNormalRegimeMoments(t *testing.T) {
 	const interactions, n, trials = 1 << 20, 1 << 10, 5000
 	var sum, sum2 float64
 	for i := 0; i < trials; i++ {
-		v := ContinuousTime(src, interactions, n)
+		v := ContinuousTime(src, u128.From64(interactions), n)
 		sum += v
 		sum2 += v * v
 	}
@@ -77,7 +78,7 @@ func TestContinuousTimeParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(0)
+	res := s.Run(NoBudget)
 	if res.Outcome != OutcomeConsensus {
 		t.Fatalf("outcome %v", res.Outcome)
 	}

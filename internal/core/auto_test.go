@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func TestKernelAutoIdentity(t *testing.T) {
@@ -58,7 +59,7 @@ func TestAutoReachesConsensus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(0)
+	res := s.Run(NoBudget)
 	if res.Outcome != OutcomeConsensus {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
@@ -82,9 +83,9 @@ func TestAutoInvariantsEveryEvent(t *testing.T) {
 		t.Fatal(err)
 	}
 	var batches, singles int
-	prevClock := int64(0)
+	var prevClock u128.U128
 	var buf []int64
-	res := s.RunObserved(0, func(sim *Simulator, ev Event) {
+	res := s.RunObserved(NoBudget, func(sim *Simulator, ev Event) {
 		switch ev.Kind {
 		case EventBatch:
 			batches++
@@ -96,8 +97,8 @@ func TestAutoInvariantsEveryEvent(t *testing.T) {
 		default:
 			t.Fatalf("unexpected event kind %v", ev.Kind)
 		}
-		if ev.Interactions < prevClock+ev.Count {
-			t.Fatalf("clock %d advanced less than Count from %d", ev.Interactions, prevClock)
+		if ev.Interactions.Less(prevClock.Add64(uint64(ev.Count))) {
+			t.Fatalf("clock %v advanced less than Count from %v", ev.Interactions, prevClock)
 		}
 		prevClock = ev.Interactions
 		buf = sim.Supports(buf[:0])
@@ -112,8 +113,8 @@ func TestAutoInvariantsEveryEvent(t *testing.T) {
 		if sum+sim.Undecided() != sim.N() {
 			t.Fatalf("population leak: Σx=%d u=%d n=%d", sum, sim.Undecided(), sim.N())
 		}
-		if sq != sim.SumSquares() {
-			t.Fatalf("r₂ drift: tracked %d, actual %d", sim.SumSquares(), sq)
+		if !sim.SumSquares().Eq(u128.From64(sq)) {
+			t.Fatalf("r₂ drift: tracked %v, actual %d", sim.SumSquares(), sq)
 		}
 	})
 	if res.Outcome != OutcomeConsensus {
@@ -137,7 +138,7 @@ func TestAutoDeterministicGivenSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run(0)
+		return s.Run(NoBudget)
 	}
 	a, b := run(), run()
 	if a != b {
@@ -166,11 +167,11 @@ func TestAutoAndExactAgreeStatistically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := s.Run(0)
+			res := s.Run(NoBudget)
 			if res.Outcome != OutcomeConsensus {
 				t.Fatalf("outcome %v", res.Outcome)
 			}
-			xs = append(xs, float64(res.Interactions))
+			xs = append(xs, res.Interactions.Float64())
 		}
 		var sum float64
 		for _, x := range xs {
@@ -208,7 +209,7 @@ func TestCategoricalMatchesChainedLaw(t *testing.T) {
 		adoptTot = make([]int64, k)
 		undecideTot = make([]int64, k)
 		vals := s.tree.View()
-		pAdopt := float64(s.u*d) / float64(w)
+		pAdopt := float64(s.u*d) / w.Float64()
 		for i := 0; i < windows; i++ {
 			if categorical {
 				s.sampleWindowCategorical(vals, w, m, d)
@@ -238,7 +239,7 @@ func TestCategoricalMatchesChainedLaw(t *testing.T) {
 				{adoptTot[j], s.Undecided() * x},
 				{undecideTot[j], x * (d - x)},
 			} {
-				exp := total * float64(c.weight) / float64(w)
+				exp := total * float64(c.weight) / w.Float64()
 				if exp < 5 {
 					continue
 				}
@@ -269,13 +270,13 @@ func TestAutoWindowLoopAllocFree(t *testing.T) {
 	for _, kern := range []Kernel{KernelBatched(0), KernelAuto(0)} {
 		src := rng.New(5)
 		s := newSim(t, cfg, 5, WithKernel(kern))
-		s.Run(200_000) // warm up scratch
+		s.Run(u128.From64(200_000)) // warm up scratch
 		avg := testing.AllocsPerRun(10, func() {
 			src.Reseed(9)
 			if err := s.Reset(cfg, src); err != nil {
 				t.Fatal(err)
 			}
-			s.Run(200_000)
+			s.Run(u128.From64(200_000))
 		})
 		if avg != 0 {
 			t.Errorf("kernel %v: %.1f allocs per reset+run, want 0", kern, avg)
@@ -290,7 +291,7 @@ func TestResetShrinksAutoScratch(t *testing.T) {
 	large := mustConfig(t, []int64{10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000}, 0)
 	small := mustConfig(t, []int64{25000, 25000, 25000, 25000}, 0)
 	s := newSim(t, large, 3, WithKernel(KernelAuto(0)))
-	s.Run(0)
+	s.Run(NoBudget)
 	if err := s.Reset(small, rng.New(4)); err != nil {
 		t.Fatal(err)
 	}
@@ -304,9 +305,9 @@ func TestResetShrinksAutoScratch(t *testing.T) {
 			t.Fatalf("population not conserved: %d agents, want %d", total, n)
 		}
 	})
-	got := s.RunWatched(0, conserve)
+	got := s.RunWatched(NoBudget, conserve)
 	fresh := newSim(t, small, 4, WithKernel(KernelAuto(0)))
-	if want := fresh.Run(0); got != want {
+	if want := fresh.Run(NoBudget); got != want {
 		t.Fatalf("reset-shrunk run %+v != fresh %+v", got, want)
 	}
 }
@@ -323,11 +324,11 @@ func TestAutoBudgetTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(budget)
+	res := s.Run(u128.From64(budget))
 	if res.Outcome != OutcomeBudget {
 		t.Fatalf("outcome %v, want budget-exhausted", res.Outcome)
 	}
-	if res.Interactions > budget {
-		t.Fatalf("clock %d overran budget %d", res.Interactions, budget)
+	if u128.From64(budget).Less(res.Interactions) {
+		t.Fatalf("clock %v overran budget %d", res.Interactions, budget)
 	}
 }

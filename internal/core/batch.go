@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"repro/internal/u128"
 )
 
 // Kernel selects the stepping implementation of a Simulator. The zero value
@@ -197,9 +199,9 @@ const wDriftDivisor = 2
 // opinion — the relative drift of each per-opinion rate with support at
 // least 1/tol (smaller supports are allowed one whole unit of change, the
 // tau-leaping granularity floor).
-func (s *Simulator) batchWindow(w int64) int64 {
+func (s *Simulator) batchWindow(w u128.U128) int64 {
 	tol := s.kernel.tol
-	m := math.Min(tol*float64(s.u), tol*float64(w)/(wDriftDivisor*float64(s.n)))
+	m := math.Min(tol*float64(s.u), tol*w.Float64()/(wDriftDivisor*float64(s.n)))
 	if m < 1 {
 		return 1
 	}
@@ -210,19 +212,19 @@ func (s *Simulator) batchWindow(w int64) int64 {
 // returned bool is false when the jump to the next productive interaction
 // crossed the budget; the clock is then clamped to the budget and no event
 // is applied, exactly as if simulation had stopped mid-jump.
-func (s *Simulator) stepSkip(w, budget int64) (Event, bool) {
-	jump := s.src.Geometric(float64(w) / float64(s.nSq))
-	// The comparison is jump > budget−steps, not steps+jump > budget: the
-	// run loop guarantees steps < budget here, so the subtraction cannot
-	// overflow, whereas steps+jump can wrap negative for a saturated jump
-	// and silently skip the budget check. Without a budget the clock
-	// saturates at MaxInt64 instead of wrapping.
-	if budget > 0 && jump > budget-s.steps {
+func (s *Simulator) stepSkip(w, budget u128.U128) (Event, bool) {
+	jump := s.src.GeometricU128(w.Float64() * s.invNSq)
+	// The comparison is budget−steps < jump, not budget < steps+jump: the
+	// run loop guarantees steps < budget here, so the saturating Sub is the
+	// exact remaining budget, whereas steps+jump could saturate at u128.Max
+	// for a degenerate jump and silently pass a budget check phrased on the
+	// sum. Without a budget the clock saturates instead of wrapping.
+	if !budget.IsZero() && budget.Sub(s.steps).Less(jump) {
 		s.steps = budget
 		return Event{}, false
 	}
 	s.steps = satAdd(s.steps, jump)
-	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
+	ev := s.applyProductive(s.src.Uint128n(w))
 	ev.Interactions = s.steps
 	return ev, true
 }
@@ -236,18 +238,22 @@ func (s *Simulator) stepSkip(w, budget int64) (Event, bool) {
 // onto phantom opinions.
 func (s *Simulator) ensureBatchScratch(k int) {
 	// The categorical sampler's cumulative array is padded to a power of
-	// two; the guide table carries two buckets per cumulative slot (a draw's
-	// bucket is its uniform's top bits), which keeps the expected guide scan
-	// under half a step so the scan branch stays predictable.
+	// two strictly greater than 2k, so at least one trailing slot holds the
+	// absorbing u128.Max sentinel: the guide build's forward scan must stop
+	// inside the array even for buckets whose smallest threshold is >= W
+	// (the threshold-space bucketing reaches such buckets; no draw does).
+	// The guide table carries two buckets per cumulative slot, which keeps
+	// the expected guide scan under half a step so the scan branch stays
+	// predictable.
 	cumLen := 1
-	for cumLen < 2*k {
+	for cumLen <= 2*k {
 		cumLen <<= 1
 	}
 	if cap(s.batchVals) < k || cap(s.batchCum) < cumLen {
 		s.batchVals = make([]int64, k)
 		s.batchCounts = make([]int64, 2*k)
 		s.batchWeights = make([]float64, k)
-		s.batchCum = make([]int64, cumLen)
+		s.batchCum = make([]u128.U128, cumLen)
 		s.batchGuide = make([]int32, 2*cumLen)
 	}
 	s.batchVals = s.batchVals[:k]
@@ -289,63 +295,58 @@ func (s *Simulator) sampleWindowChained(vals []int64, m, d int64, pAdopt float64
 // sampler's 2k inversion setups whenever m is small relative to k. It fills
 // batchCounts from the pre-window supports vals and returns the adopt
 // total.
-func (s *Simulator) sampleWindowCategorical(vals []int64, w, m, d int64) int64 {
+func (s *Simulator) sampleWindowCategorical(vals []int64, w u128.U128, m, d int64) int64 {
 	k := len(vals)
 	cum := s.batchCum
 	counts := s.batchCounts
-	var c int64
+	var c u128.U128
 	for j, x := range vals {
-		c += s.u * x
+		c = c.Add(u128.Mul64(uint64(s.u), uint64(x)))
 		cum[j] = c
 		counts[j] = 0
 	}
 	for j, x := range vals {
-		c += x * (d - x)
+		c = c.Add(u128.Mul64(uint64(x), uint64(d-x)))
 		cum[k+j] = c
 		counts[k+j] = 0
 	}
 	// c == W by construction; thresholds are drawn in [0, W). The power-of-
 	// two padding is an absorbing sentinel a draw can never reach.
 	for j := 2 * k; j < len(cum); j++ {
-		cum[j] = math.MaxInt64
+		cum[j] = u128.Max
 	}
-	// Guide table (Chen's method): bucket g covers the uniforms whose top
-	// bits equal g, and guide[g] is the first category index a threshold in
-	// that bucket can select. A draw then starts its linear scan at its
-	// bucket's entry, which leaves O(1) expected scan steps because the
-	// bucket count matches the category count. The build is one merge pass:
-	// the category pointer only moves forward.
+	// Guide table (Chen's method), bucketed by a threshold's top bits within
+	// the draw space [0, w): with lz = w's leading-zero count, a threshold
+	// shifted left by lz normalizes to the top of the 128-bit range, and its
+	// top gb bits select the bucket. Bucket g therefore covers thresholds in
+	// [g·2^(128−gb−lz), (g+1)·2^(128−gb−lz)), and guide[g] is the first
+	// category index a threshold in that bucket can select — correct as a
+	// scan start because thresholds grow with the bucket index. A draw then
+	// begins its linear scan at its bucket's entry, which leaves O(1)
+	// expected scan steps because the bucket count matches the category
+	// count. The build is one merge pass: the category pointer only moves
+	// forward.
 	guide := s.batchGuide
-	shift := uint(64 - bits.Len(uint(len(guide))-1))
+	gb := uint(bits.Len(uint(len(guide)) - 1)) // log₂ of the bucket count
+	lz := uint(128 - w.Len())
 	idx := 0
 	for g := range guide {
-		// Smallest threshold of bucket g: r_g = hi(u_g · w) for the
-		// bucket's smallest uniform u_g. Thresholds grow with the uniform,
-		// so every draw in the bucket selects a category >= guide[g].
-		rg, _ := bits.Mul64(uint64(g)<<shift, uint64(w))
-		for cum[idx] <= int64(rg) {
+		// Smallest threshold of bucket g.
+		rg := u128.U128{Hi: uint64(g) << (64 - gb)}.Rsh(lz)
+		for cum[idx].Leq(rg) {
 			idx++
 		}
 		guide[g] = int32(idx)
 	}
 	for e := int64(0); e < m; e++ {
-		// Lemire multiply-shift draw of r uniform in [0, w), inlined so the
-		// per-event path is call-free; the rejection branch is taken with
-		// probability w/2⁶⁴ and effectively never. The selected category
-		// is a single indexed increment — adopt vs undecide is resolved by
-		// the count slot, not a per-draw branch.
-		u := s.src.Uint64()
-		hi, lo := bits.Mul64(u, uint64(w))
-		if lo < uint64(w) {
-			threshold := -uint64(w) % uint64(w)
-			for lo < threshold {
-				u = s.src.Uint64()
-				hi, lo = bits.Mul64(u, uint64(w))
-			}
-		}
-		r := int64(hi)
-		idx := int(guide[u>>shift])
-		for cum[idx] <= r {
+		// For w within 64 bits Uint128n is the same Lemire multiply-shift
+		// draw the pre-u128 sampler inlined, consuming identical raw
+		// outputs; wider w takes its mask-rejection path. The selected
+		// category is a single indexed increment — adopt vs undecide is
+		// resolved by the count slot, not a per-draw branch.
+		r := s.src.Uint128n(w)
+		idx := int(guide[r.Lsh(lz).Hi>>(64-gb)])
+		for cum[idx].Leq(r) {
 			idx++
 		}
 		counts[idx]++
@@ -369,11 +370,11 @@ func (s *Simulator) sampleWindowCategorical(vals []int64, w, m, d int64) int64 {
 // resampled at half the size (falling back to the exact law below the
 // kernel's exact-stepping floor), which conditions away a large-deviation
 // event of probability o(1) in the window size.
-func (s *Simulator) batchStep(w, m, budget int64, categorical bool) (Event, bool) {
+func (s *Simulator) batchStep(w u128.U128, m int64, budget u128.U128, categorical bool) (Event, bool) {
 	d := s.n - s.u
 	k := s.tree.Len()
 	s.ensureBatchScratch(k)
-	pAdopt := float64(s.u*d) / float64(w)
+	pAdopt := u128.Mul64(uint64(s.u), uint64(d)).Float64() / w.Float64()
 	floor := int64(minBatchWindow)
 	if s.kernel.auto {
 		floor = minAutoWindow
@@ -396,7 +397,7 @@ func (s *Simulator) batchStep(w, m, budget int64, categorical bool) (Event, bool
 		// update and a full rebuild.
 		feasible := true
 		touched := 0
-		var r2 int64
+		var r2 u128.U128
 		k2 := len(vals)
 		for j, x := range vals {
 			delta := s.batchCounts[j] - s.batchCounts[k2+j]
@@ -409,7 +410,7 @@ func (s *Simulator) batchStep(w, m, budget int64, categorical bool) (Event, bool
 				touched++
 			}
 			s.batchVals[j] = nx
-			r2 += nx * nx
+			r2 = r2.Add(u128.Mul64(uint64(nx), uint64(nx)))
 		}
 		if !feasible {
 			m /= 2
@@ -422,14 +423,15 @@ func (s *Simulator) batchStep(w, m, budget int64, categorical bool) (Event, bool
 		// The m productive events of the window are spread over a span of
 		// interactions distributed NegativeBinomial(m, W/n²) — the law of
 		// m consecutive geometric skips of the exact kernel (sampled via
-		// rng.NegativeBinomial, whose large-m normal approximation carries
-		// O(1/√m) relative error, well inside the kernel's tolerance).
-		span := s.src.NegativeBinomial(m, float64(w)/float64(s.nSq))
-		// Saturating comparison, as in stepSkip: rng.NegativeBinomial can
-		// return MaxInt64 for extreme parameters, and steps+span would then
-		// wrap negative, pass the budget check, and drive the clock
-		// backwards. steps < budget holds here, so budget−steps is safe.
-		if budget > 0 && span > budget-s.steps {
+		// rng.NegativeBinomialU128, whose large-m normal approximation
+		// carries O(1/√m) relative error, well inside the kernel's
+		// tolerance).
+		span := s.src.NegativeBinomialU128(m, w.Float64()*s.invNSq)
+		// Saturating comparison, as in stepSkip: the span can saturate at
+		// u128.Max for degenerate parameters, and a budget check phrased on
+		// steps+span would then saturate too and silently pass. steps <
+		// budget holds here, so budget−steps is the exact remaining budget.
+		if !budget.IsZero() && budget.Sub(s.steps).Less(span) {
 			s.steps = budget
 			return Event{}, false
 		}
@@ -469,30 +471,31 @@ func (s *Simulator) applyWindow(touched, k int) {
 // additionally picks the per-window sampling strategy — categorical draws
 // under roughly autoCategoricalFactor·k events, binomial chaining above —
 // and batches down to minAutoWindow instead of minBatchWindow.
-func (s *Simulator) runLoopBatched(budget int64, obs Watcher, stop func(*Simulator) bool) Result {
+func (s *Simulator) runLoopBatched(budget u128.U128, obs Watcher, stop func(*Simulator) bool) Result {
 	for {
 		if s.IsConsensus() {
 			winner, _ := s.Max()
 			return s.result(OutcomeConsensus, winner)
 		}
 		w := s.productiveWeight()
-		if w == 0 {
+		if w.IsZero() {
 			return s.result(OutcomeAllUndecided, -1)
 		}
-		if budget > 0 && s.steps >= budget {
+		if !budget.IsZero() && budget.Leq(s.steps) {
 			return s.result(OutcomeBudget, -1)
 		}
 		m := s.batchWindow(w)
-		if budget > 0 {
+		if !budget.IsZero() {
 			// Shrink windows to at most a quarter of the expected number of
 			// productive events left in the budget: batching continues all
 			// the way to the budget with geometrically smaller windows, the
 			// overshoot-discard tail stays negligible, and the final handful
 			// of events run exact, preserving single-event truncation
-			// resolution.
-			remaining := float64(budget-s.steps) * float64(w) / float64(s.nSq)
-			if q := int64(remaining / 4); q < m {
-				m = q
+			// resolution. The arithmetic stays in float64 — the remaining
+			// interaction count can exceed int64 but m is bounded by tol·n.
+			remaining := budget.Sub(s.steps).Float64() * w.Float64() * s.invNSq
+			if q := remaining / 4; q < float64(m) {
+				m = int64(q)
 				if m < 1 {
 					m = 1
 				}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func TestKernelString(t *testing.T) {
@@ -49,15 +50,15 @@ func TestBatchedReachesConsensus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(0)
+	res := s.Run(NoBudget)
 	if res.Outcome != OutcomeConsensus {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
 	if res.Winner != 0 {
 		t.Logf("winner %d (bias start: usually 0)", res.Winner)
 	}
-	if res.Interactions <= 0 {
-		t.Fatalf("interactions = %d", res.Interactions)
+	if res.Interactions.IsZero() {
+		t.Fatalf("interactions = %v", res.Interactions)
 	}
 	if !s.IsConsensus() {
 		t.Fatal("simulator not at consensus after consensus outcome")
@@ -77,9 +78,9 @@ func TestBatchedInvariantsEveryEvent(t *testing.T) {
 		t.Fatal(err)
 	}
 	var batches, singles int
-	prevClock := int64(0)
+	var prevClock u128.U128
 	var buf []int64
-	res := s.RunObserved(0, func(sim *Simulator, ev Event) {
+	res := s.RunObserved(NoBudget, func(sim *Simulator, ev Event) {
 		switch ev.Kind {
 		case EventBatch:
 			batches++
@@ -97,8 +98,8 @@ func TestBatchedInvariantsEveryEvent(t *testing.T) {
 		default:
 			t.Fatalf("unexpected event kind %v", ev.Kind)
 		}
-		if ev.Interactions < prevClock+ev.Count {
-			t.Fatalf("clock %d advanced less than Count from %d", ev.Interactions, prevClock)
+		if ev.Interactions.Less(prevClock.Add64(uint64(ev.Count))) {
+			t.Fatalf("clock %v advanced less than Count from %v", ev.Interactions, prevClock)
 		}
 		prevClock = ev.Interactions
 		buf = sim.Supports(buf[:0])
@@ -113,8 +114,8 @@ func TestBatchedInvariantsEveryEvent(t *testing.T) {
 		if sum+sim.Undecided() != sim.N() {
 			t.Fatalf("population leak: Σx=%d u=%d n=%d", sum, sim.Undecided(), sim.N())
 		}
-		if sq != sim.SumSquares() {
-			t.Fatalf("r₂ drift: tracked %d, actual %d", sim.SumSquares(), sq)
+		if !sim.SumSquares().Eq(u128.From64(sq)) {
+			t.Fatalf("r₂ drift: tracked %v, actual %d", sim.SumSquares(), sq)
 		}
 	})
 	if res.Outcome != OutcomeConsensus {
@@ -138,12 +139,12 @@ func TestBatchedBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := s.Run(budget)
+		res := s.Run(u128.From64(budget))
 		if res.Outcome != OutcomeBudget {
 			t.Fatalf("budget %d: outcome %v", budget, res.Outcome)
 		}
-		if res.Interactions > budget {
-			t.Fatalf("budget %d: clock %d overran", budget, res.Interactions)
+		if u128.From64(budget).Less(res.Interactions) {
+			t.Fatalf("budget %d: clock %v overran", budget, res.Interactions)
 		}
 	}
 }
@@ -154,12 +155,12 @@ func TestBatchedAllUndecidedStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(0)
+	res := s.Run(NoBudget)
 	if res.Outcome != OutcomeAllUndecided {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
-	if res.Interactions != 0 {
-		t.Fatalf("clock advanced %d in an absorbing start", res.Interactions)
+	if !res.Interactions.IsZero() {
+		t.Fatalf("clock advanced %v in an absorbing start", res.Interactions)
 	}
 }
 
@@ -173,7 +174,7 @@ func TestBatchedDeterministicGivenSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run(0)
+		return s.Run(NoBudget)
 	}
 	a, b := run(), run()
 	if a != b {
@@ -191,7 +192,7 @@ func TestBatchedRunUntil(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := s.N()
-	res := s.RunUntil(0, func(sim *Simulator) bool {
+	res := s.RunUntil(NoBudget, func(sim *Simulator) bool {
 		_, xmax := sim.Max()
 		return 3*xmax >= 2*n
 	})
@@ -225,11 +226,11 @@ func TestBatchedAndExactAgreeStatistically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := s.Run(0)
+			res := s.Run(NoBudget)
 			if res.Outcome != OutcomeConsensus {
 				t.Fatalf("outcome %v", res.Outcome)
 			}
-			xs = append(xs, float64(res.Interactions))
+			xs = append(xs, res.Interactions.Float64())
 		}
 		var sum float64
 		for _, x := range xs {
@@ -254,51 +255,48 @@ func TestBatchedAndExactAgreeStatistically(t *testing.T) {
 // forceClock pins the interaction clock near a boundary; the regression
 // tests below stand in for a forced-saturation randomness source by placing
 // the clock where any realistic jump or span crosses the boundary.
-func forceClock(s *Simulator, steps int64) { s.steps = steps }
+func forceClock(s *Simulator, steps u128.U128) { s.steps = steps }
 
 func TestBatchedBudgetComparisonDoesNotWrap(t *testing.T) {
 	// Regression: with the clock a few ticks under a huge budget, the old
-	// check `steps+span > budget` wrapped negative whenever the sampled
-	// span was large (rng.NegativeBinomial saturates at MaxInt64), skipped
-	// the budget clamp, and drove the clock negative. The saturating
-	// comparison must clamp to the budget instead. The configuration keeps
+	// int64 check `steps+span > budget` wrapped negative whenever the
+	// sampled span was large, skipped the budget clamp, and drove the
+	// clock negative. The saturating u128 comparison must clamp to the
+	// budget instead — here with the budget just under the 128-bit
+	// ceiling, where any wrap would be immediate. The configuration keeps
 	// the productive probability ~6·10⁻³ so every jump and window span is
 	// orders of magnitude larger than the remaining budget.
 	cfg := mustConfig(t, []int64{995_000, 1000}, 4000)
 	for _, kern := range []Kernel{KernelExact, KernelBatched(0)} {
 		s := newSim(t, cfg, 11, WithKernel(kern))
-		const budget = int64(math.MaxInt64 - 7)
-		forceClock(s, budget-3)
+		budget := u128.Max.Sub64(7)
+		forceClock(s, budget.Sub64(3))
 		res := s.Run(budget)
-		if res.Interactions < 0 {
-			t.Fatalf("kernel %v: clock wrapped negative: %d", kern, res.Interactions)
+		if res.Outcome == OutcomeBudget && !res.Interactions.Eq(budget) {
+			t.Fatalf("kernel %v: budget stop at %v, want exactly %v", kern, res.Interactions, budget)
 		}
-		if res.Outcome == OutcomeBudget && res.Interactions != budget {
-			t.Fatalf("kernel %v: budget stop at %d, want exactly %d", kern, res.Interactions, budget)
-		}
-		if res.Interactions > budget {
-			t.Fatalf("kernel %v: clock %d overran budget %d", kern, res.Interactions, budget)
+		if budget.Less(res.Interactions) {
+			t.Fatalf("kernel %v: clock %v overran budget %v", kern, res.Interactions, budget)
 		}
 	}
 }
 
-func TestUnbudgetedClockSaturatesAtMaxInt64(t *testing.T) {
-	// Regression for the budget-0 path: without a budget there is no clamp
-	// to hide behind, so a clock near MaxInt64 must saturate there — never
-	// wrap — while the run still finishes by absorption.
+func TestUnbudgetedClockSaturatesAtMax(t *testing.T) {
+	// Regression for the no-budget path: without a budget there is no
+	// clamp to hide behind, so a clock near the 128-bit ceiling must
+	// saturate at u128.Max — never wrap — while the run still finishes by
+	// absorption. (The int64 predecessor of this test saturated at
+	// MaxInt64; the ceiling moved with the clock width.)
 	cfg := mustConfig(t, []int64{900, 100}, 24)
 	for _, kern := range []Kernel{KernelExact, KernelBatched(0)} {
 		s := newSim(t, cfg, 5, WithKernel(kern))
-		forceClock(s, math.MaxInt64-2)
-		res := s.Run(0)
-		if res.Interactions < 0 {
-			t.Fatalf("kernel %v: clock wrapped negative: %d", kern, res.Interactions)
-		}
+		forceClock(s, u128.Max.Sub64(2))
+		res := s.Run(NoBudget)
 		if res.Outcome != OutcomeConsensus {
 			t.Fatalf("kernel %v: outcome %v, want consensus", kern, res.Outcome)
 		}
-		if res.Interactions != math.MaxInt64 {
-			t.Fatalf("kernel %v: clock %d, want saturation at MaxInt64", kern, res.Interactions)
+		if !res.Interactions.IsMax() {
+			t.Fatalf("kernel %v: clock %v, want saturation at u128.Max", kern, res.Interactions)
 		}
 	}
 }
@@ -306,10 +304,10 @@ func TestUnbudgetedClockSaturatesAtMaxInt64(t *testing.T) {
 func TestBatchedClockMonotoneAcrossWindows(t *testing.T) {
 	cfg := mustConfig(t, []int64{30000, 20000, 10000}, 5000)
 	s := newSim(t, cfg, 17, WithKernel(KernelBatched(0)))
-	last := int64(0)
-	s.RunWatched(0, Observer(func(_ *Simulator, ev Event) {
-		if ev.Interactions < last {
-			t.Fatalf("clock moved backwards: %d after %d", ev.Interactions, last)
+	var last u128.U128
+	s.RunWatched(NoBudget, Observer(func(_ *Simulator, ev Event) {
+		if ev.Interactions.Less(last) {
+			t.Fatalf("clock moved backwards: %v after %v", ev.Interactions, last)
 		}
 		last = ev.Interactions
 	}))
@@ -324,7 +322,7 @@ func TestResetShrinksBatchScratch(t *testing.T) {
 	large := mustConfig(t, []int64{10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000}, 0)
 	small := mustConfig(t, []int64{25000, 25000, 25000, 25000}, 0)
 	s := newSim(t, large, 3, WithKernel(KernelBatched(0)))
-	s.Run(0) // allocate and dirty the k=10 scratch
+	s.Run(NoBudget) // allocate and dirty the k=10 scratch
 	if err := s.Reset(small, rng.New(4)); err != nil {
 		t.Fatal(err)
 	}
@@ -338,9 +336,9 @@ func TestResetShrinksBatchScratch(t *testing.T) {
 			t.Fatalf("population not conserved: %d agents, want %d", total, n)
 		}
 	})
-	got := s.RunWatched(0, conserve)
+	got := s.RunWatched(NoBudget, conserve)
 	fresh := newSim(t, small, 4, WithKernel(KernelBatched(0)))
-	if want := fresh.Run(0); got != want {
+	if want := fresh.Run(NoBudget); got != want {
 		t.Fatalf("reset-shrunk run %+v != fresh %+v", got, want)
 	}
 }

@@ -70,11 +70,11 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/conf"
 	"repro/internal/fenwick"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // EventKind classifies what happened in one simulated step.
@@ -123,8 +123,10 @@ type Event struct {
 	// it is -1 otherwise.
 	Opinion int
 	// Interactions is the interaction clock after the step, counting
-	// every interaction including skipped unproductive ones.
-	Interactions int64
+	// every interaction including skipped unproductive ones. It is a
+	// 128-bit count: at MaxN = 10¹¹ a run's clock reaches ~n²·ln n ≈ 2⁷⁹,
+	// past int64.
+	Interactions u128.U128
 	// Count is the number of productive interactions the step applied:
 	// 1 for EventAdopt and EventUndecide, the window size for EventBatch,
 	// and 0 for EventNone and EventAbsorbed.
@@ -166,7 +168,7 @@ type Result struct {
 	// Winner is the consensus opinion for OutcomeConsensus and -1 otherwise.
 	Winner int
 	// Interactions is the value of the interaction clock at termination.
-	Interactions int64
+	Interactions u128.U128
 	// ParallelTime is Interactions/n, the standard conversion between
 	// population-protocol interactions and parallel rounds.
 	ParallelTime float64
@@ -226,10 +228,11 @@ type Simulator struct {
 	tree   *fenwick.Dual // per-opinion support with Σx and Σx² prefix sums
 	src    *rng.Source
 	n      int64
-	nSq    int64
+	nSq    u128.U128 // n² ordered pairs; reaches 10²² ≈ 2⁷⁴ at MaxN
+	invNSq float64   // 1/float64(n²), hoisted once per Reset (see below)
 	u      int64
-	r2     int64 // Σ xᵢ², maintained incrementally
-	steps  int64 // interaction clock
+	r2     u128.U128 // Σ xᵢ², maintained incrementally
+	steps  u128.U128 // interaction clock
 	skip   bool
 	kernel Kernel
 
@@ -240,7 +243,7 @@ type Simulator struct {
 	batchVals    []int64
 	batchCounts  []int64
 	batchWeights []float64
-	batchCum     []int64
+	batchCum     []u128.U128
 	batchGuide   []int32
 }
 
@@ -255,10 +258,13 @@ func WithSkipping(enabled bool) Option {
 	return func(s *Simulator) { s.skip = enabled }
 }
 
-// MaxN is the largest population size the simulator accepts: ⌊√MaxInt64⌋,
-// the largest n whose n² ordered-pair count still fits in an int64. Beyond
-// it nSq would wrap negative and corrupt every transition probability, so
-// New and Reset reject larger populations with a clear error.
+// MaxN is the largest population size the simulator accepts, 10¹¹. The
+// interaction clock, the pair count n², and every quantity derived from them
+// are 128-bit (see package u128 and conf.MaxN for the ceiling derivation),
+// so the bound is no longer the old ⌊√MaxInt64⌋ clock-overflow fence; New
+// and Reset still reject larger populations with a clear error because the
+// float64 probability layer's exactness audit covers supports only up to
+// this bound.
 const MaxN = conf.MaxN
 
 // New returns a simulator initialized with a copy of the configuration c,
@@ -295,10 +301,17 @@ func (s *Simulator) Reset(c *conf.Config, src *rng.Source, opts ...Option) error
 	}
 	s.src = src
 	s.n = c.N()
-	s.nSq = s.n * s.n
+	s.nSq = u128.Mul64(uint64(s.n), uint64(s.n))
+	// One correctly-rounded reciprocal per Reset: nSq.Float64() is the
+	// correctly rounded float64 of n² (exact only up to 2⁵³, audited
+	// round-to-odd beyond), and the division is one more correctly rounded
+	// operation. Every per-step probability p = w/n² is then computed as
+	// w.Float64()·invNSq, so the clock-to-float boundary costs two roundings
+	// total instead of re-truncating n² at every step.
+	s.invNSq = 1 / s.nSq.Float64()
 	s.u = c.Undecided
 	s.r2 = c.SumSquares()
-	s.steps = 0
+	s.steps = u128.U128{}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -324,13 +337,13 @@ func (s *Simulator) Support(i int) int64 { return s.tree.Get(i) }
 func (s *Simulator) Supports(dst []int64) []int64 { return s.tree.Values(dst) }
 
 // SumSquares returns r₂ = Σ xᵢ².
-func (s *Simulator) SumSquares() int64 { return s.r2 }
+func (s *Simulator) SumSquares() u128.U128 { return s.r2 }
 
 // Interactions returns the current interaction clock.
-func (s *Simulator) Interactions() int64 { return s.steps }
+func (s *Simulator) Interactions() u128.U128 { return s.steps }
 
 // ParallelTime returns Interactions()/n.
-func (s *Simulator) ParallelTime() float64 { return float64(s.steps) / float64(s.n) }
+func (s *Simulator) ParallelTime() float64 { return s.steps.Float64() / float64(s.n) }
 
 // Max returns the index and support of the currently largest opinion in
 // O(k). Ties resolve to the smallest index.
@@ -360,54 +373,59 @@ func (s *Simulator) IsConsensus() bool {
 // IsAbsorbed reports whether no interaction can ever change the
 // configuration again: either consensus or all agents undecided.
 func (s *Simulator) IsAbsorbed() bool {
-	return s.productiveWeight() == 0
+	return s.productiveWeight().IsZero()
 }
 
 // productiveWeight returns W = u·D + (D²−r₂), the number of ordered agent
-// pairs whose interaction is productive, where D = n−u.
-func (s *Simulator) productiveWeight() int64 {
-	d := s.n - s.u
-	return s.u*d + (d*d - s.r2)
+// pairs whose interaction is productive, where D = n−u. Both products are
+// exact 64×64 multiplies and the subtraction is exact (r₂ = Σxᵢ² <= D²), so
+// W is the exact pair count even at n = MaxN where it reaches ~2⁷⁴.
+func (s *Simulator) productiveWeight() u128.U128 {
+	d := uint64(s.n - s.u)
+	return u128.Mul64(uint64(s.u), d).Add(u128.Mul64(d, d).Sub(s.r2))
 }
 
 // ProductiveProbability returns the probability that a single interaction
 // changes the configuration.
 func (s *Simulator) ProductiveProbability() float64 {
-	return float64(s.productiveWeight()) / float64(s.nSq)
+	return s.productiveWeight().Float64() * s.invNSq
 }
 
 // adopt applies "undecided responder adopts opinion j".
 func (s *Simulator) adopt(j int) {
 	x := s.tree.Get(j)
 	s.tree.Add(j, 1)
-	s.r2 += 2*x + 1
+	s.r2 = s.r2.Add64(uint64(2*x + 1))
 	s.u--
 }
 
-// undecide applies "opinion-i responder becomes undecided".
+// undecide applies "opinion-i responder becomes undecided". The r₂ update
+// subtracts 2x−1 >= 1 exactly: the responder's opinion has support x >= 1,
+// so r₂ >= x² >= 2x−1.
 func (s *Simulator) undecide(i int) {
 	x := s.tree.Get(i)
 	s.tree.Add(i, -1)
-	s.r2 += -2*x + 1
+	s.r2 = s.r2.Sub64(uint64(2*x - 1))
 	s.u++
 }
 
 // applyProductive samples and applies one productive event given r uniform
 // in [0, W) with W = productiveWeight(), and returns the event. The
 // interaction clock is not advanced here.
-func (s *Simulator) applyProductive(r int64) Event {
+func (s *Simulator) applyProductive(r u128.U128) Event {
 	d := s.n - s.u
-	wDown := s.u * d
-	if r < wDown {
+	wDown := u128.Mul64(uint64(s.u), uint64(d))
+	if r.Less(wDown) {
 		// Undecided responder adopts opinion j ∝ xⱼ. r is uniform over
 		// [0, u·D); r/u is uniform over [0, D), an exact threshold for
-		// the support descent.
-		j := s.tree.FindSupport(r / s.u)
+		// the support descent. The quotient is below D <= n, so its low
+		// word carries the whole value.
+		j := s.tree.FindSupport(int64(r.Div64(uint64(s.u)).Lo))
 		s.adopt(j)
 		return Event{Kind: EventAdopt, Opinion: j, Count: 1}
 	}
 	// Decided responder i ∝ xᵢ(D−xᵢ) becomes undecided.
-	i := s.tree.FindWeighted(d, r-wDown)
+	i := s.tree.FindWeighted(d, r.Sub(wDown))
 	s.undecide(i)
 	return Event{Kind: EventUndecide, Opinion: i, Count: 1}
 }
@@ -417,12 +435,12 @@ func (s *Simulator) applyProductive(r int64) Event {
 // EventAbsorbed is returned.
 func (s *Simulator) Step() Event {
 	w := s.productiveWeight()
-	if w == 0 {
+	if w.IsZero() {
 		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
 	}
-	s.steps = satAdd(s.steps, 1)
-	r := int64(s.src.Uint64n(uint64(s.nSq)))
-	if r >= w {
+	s.steps = satAdd(s.steps, u128.U128{Lo: 1})
+	r := s.src.Uint128n(s.nSq)
+	if !r.Less(w) {
 		return Event{Kind: EventNone, Opinion: -1, Interactions: s.steps}
 	}
 	ev := s.applyProductive(r)
@@ -436,28 +454,29 @@ func (s *Simulator) Step() Event {
 // is returned.
 func (s *Simulator) StepProductive() Event {
 	w := s.productiveWeight()
-	if w == 0 {
+	if w.IsZero() {
 		return Event{Kind: EventAbsorbed, Opinion: -1, Interactions: s.steps}
 	}
-	p := float64(w) / float64(s.nSq)
-	s.steps = satAdd(s.steps, s.src.Geometric(p))
-	ev := s.applyProductive(int64(s.src.Uint64n(uint64(w))))
+	p := w.Float64() * s.invNSq
+	s.steps = satAdd(s.steps, s.src.GeometricU128(p))
+	ev := s.applyProductive(s.src.Uint128n(w))
 	ev.Interactions = s.steps
 	return ev
 }
 
 // Run simulates until consensus, absorption, or the interaction budget is
-// exhausted. A budget <= 0 means "until absorbed". With skipping enabled, a
-// geometric jump that lands past the budget is truncated at the budget and
-// its productive event is discarded, exactly as if simulation had stopped
-// mid-jump.
-func (s *Simulator) Run(budget int64) Result {
+// exhausted. A zero budget means "until absorbed" (u128.From64 maps
+// non-positive int64 budgets there, preserving the old "budget <= 0 is
+// unlimited" convention). With skipping enabled, a geometric jump that lands
+// past the budget is truncated at the budget and its productive event is
+// discarded, exactly as if simulation had stopped mid-jump.
+func (s *Simulator) Run(budget u128.U128) Result {
 	return s.runLoop(budget, nil, nil)
 }
 
 // RunObserved is Run with an observer invoked after every event (including
 // EventNone events when skipping is disabled).
-func (s *Simulator) RunObserved(budget int64, obs Observer) Result {
+func (s *Simulator) RunObserved(budget u128.U128, obs Observer) Result {
 	var w Watcher
 	if obs != nil {
 		w = obs
@@ -466,18 +485,18 @@ func (s *Simulator) RunObserved(budget int64, obs Observer) Result {
 }
 
 // RunWatched is RunObserved with an interface-valued observer; see Watcher.
-func (s *Simulator) RunWatched(budget int64, w Watcher) Result {
+func (s *Simulator) RunWatched(budget u128.U128, w Watcher) Result {
 	return s.runLoop(budget, w, nil)
 }
 
 // RunUntil simulates until stop returns true (checked after every event),
 // until absorption, or until the budget is exhausted. The Outcome is
 // OutcomeBudget when stop terminated the run without consensus.
-func (s *Simulator) RunUntil(budget int64, stop func(*Simulator) bool) Result {
+func (s *Simulator) RunUntil(budget u128.U128, stop func(*Simulator) bool) Result {
 	return s.runLoop(budget, nil, stop)
 }
 
-func (s *Simulator) runLoop(budget int64, obs Watcher, stop func(*Simulator) bool) Result {
+func (s *Simulator) runLoop(budget u128.U128, obs Watcher, stop func(*Simulator) bool) Result {
 	if s.kernel.batched {
 		return s.runLoopBatched(budget, obs, stop)
 	}
@@ -487,10 +506,10 @@ func (s *Simulator) runLoop(budget int64, obs Watcher, stop func(*Simulator) boo
 			return s.result(OutcomeConsensus, winner)
 		}
 		w := s.productiveWeight()
-		if w == 0 {
+		if w.IsZero() {
 			return s.result(OutcomeAllUndecided, -1)
 		}
-		if budget > 0 && s.steps >= budget {
+		if !budget.IsZero() && budget.Leq(s.steps) {
 			return s.result(OutcomeBudget, -1)
 		}
 		var ev Event
@@ -520,16 +539,19 @@ func (s *Simulator) runLoop(budget int64, obs Watcher, stop func(*Simulator) boo
 	}
 }
 
-// satAdd returns a+b clamped to MaxInt64, for non-negative a and b. Every
-// advance of the interaction clock goes through it (or through the
-// saturating budget comparison span > budget−steps), so the clock can
-// saturate but never wrap negative — geometric jumps and negative-binomial
-// spans both clamp at extreme values rather than staying bounded.
-func satAdd(a, b int64) int64 {
-	if sum := a + b; sum >= a {
-		return sum
-	}
-	return math.MaxInt64
+// NoBudget is the zero interaction budget: run until an absorbing
+// configuration with no interaction cap. It reads better at call sites
+// than a literal zero u128.U128.
+var NoBudget u128.U128
+
+// satAdd returns a+b clamped to u128.Max. Every advance of the interaction
+// clock goes through it (or through the saturating budget comparison
+// budget−steps < span), so the clock can saturate but never wrap — the same
+// defense-in-depth invariant the old int64 clock's satAdd provided, now at a
+// ceiling no admissible simulation can reach (a saturated clock would need
+// ~2¹²⁸ interactions; the longest run at MaxN takes ~2⁸⁰).
+func satAdd(a, b u128.U128) u128.U128 {
+	return a.Add(b)
 }
 
 func (s *Simulator) result(o Outcome, winner int) Result {

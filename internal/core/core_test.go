@@ -2,12 +2,14 @@ package core
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/conf"
 	"repro/internal/potential"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func mustConfig(t *testing.T, support []int64, u int64) *conf.Config {
@@ -53,8 +55,8 @@ func TestAccessors(t *testing.T) {
 	if s.N() != 10 || s.K() != 2 || s.Undecided() != 1 || s.Decided() != 9 {
 		t.Fatalf("shape accessors wrong: n=%d k=%d u=%d", s.N(), s.K(), s.Undecided())
 	}
-	if s.SumSquares() != 45 {
-		t.Fatalf("SumSquares = %d, want 45", s.SumSquares())
+	if !s.SumSquares().Eq(u128.From64(45)) {
+		t.Fatalf("SumSquares = %v, want 45", s.SumSquares())
 	}
 	if op, sup := s.Max(); op != 0 || sup != 6 {
 		t.Fatalf("Max = (%d,%d)", op, sup)
@@ -97,10 +99,10 @@ func TestAllUndecidedAbsorbing(t *testing.T) {
 	if ev.Kind != EventAbsorbed {
 		t.Fatalf("Step on absorbed config = %v", ev.Kind)
 	}
-	if s.Interactions() != 0 {
+	if !s.Interactions().IsZero() {
 		t.Fatal("clock advanced on absorbed configuration")
 	}
-	res := s.Run(1000)
+	res := s.Run(u128.From64(1000))
 	if res.Outcome != OutcomeAllUndecided {
 		t.Fatalf("Run outcome = %v, want all-undecided", res.Outcome)
 	}
@@ -121,7 +123,7 @@ func TestStepConservation(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prevClock := int64(0)
+		var prevClock u128.U128
 		for i := 0; i < 300; i++ {
 			var ev Event
 			if s.skip {
@@ -144,10 +146,10 @@ func TestStepConservation(t *testing.T) {
 			if sum+s.Undecided() != n || s.Undecided() < 0 {
 				return false
 			}
-			if r2 != s.SumSquares() {
+			if !s.SumSquares().Eq(u128.From64(r2)) {
 				return false
 			}
-			if s.Interactions() < prevClock {
+			if s.Interactions().Less(prevClock) {
 				return false
 			}
 			prevClock = s.Interactions()
@@ -216,7 +218,7 @@ func TestSkippingConditionalLawMatches(t *testing.T) {
 	src := rng.New(43)
 	n := c.N()
 	d := c.Decided()
-	w := c.Undecided*d + (d*d - c.SumSquares())
+	w := c.Undecided*d + (d*d - int64(c.SumSquares().Lo))
 	const trials = 300000
 	adoptCounts := make([]int, c.K())
 	undecideCounts := make([]int, c.K())
@@ -227,7 +229,7 @@ func TestSkippingConditionalLawMatches(t *testing.T) {
 			t.Fatal(err)
 		}
 		ev := s.StepProductive()
-		jumpSum += float64(ev.Interactions)
+		jumpSum += ev.Interactions.Float64()
 		switch ev.Kind {
 		case EventAdopt:
 			adoptCounts[ev.Opinion]++
@@ -267,14 +269,14 @@ func TestRunReachesConsensusTwoOpinions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := s.Run(0)
+		res := s.Run(NoBudget)
 		if res.Outcome != OutcomeConsensus {
 			t.Fatalf("trial %d outcome %v", i, res.Outcome)
 		}
 		if res.Winner == 0 {
 			winners0++
 		}
-		if res.Interactions <= 0 {
+		if res.Interactions.IsZero() {
 			t.Fatal("no interactions recorded")
 		}
 	}
@@ -289,7 +291,7 @@ func TestRunReachesConsensusManyOpinions(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newSim(t, c, 11)
-	res := s.Run(0)
+	res := s.Run(NoBudget)
 	if res.Outcome != OutcomeConsensus {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
@@ -299,7 +301,7 @@ func TestRunReachesConsensusManyOpinions(t *testing.T) {
 	if s.Support(res.Winner) != 1000 {
 		t.Fatal("winner does not hold the whole population")
 	}
-	if res.ParallelTime != float64(res.Interactions)/1000 {
+	if res.ParallelTime != res.Interactions.Float64()/1000 {
 		t.Fatal("parallel time inconsistent")
 	}
 }
@@ -311,12 +313,12 @@ func TestRunBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := newSim(t, c, 3, WithSkipping(skip))
-		res := s.Run(500)
+		res := s.Run(u128.From64(500))
 		if res.Outcome != OutcomeBudget {
 			t.Fatalf("skip=%v: outcome %v, want budget", skip, res.Outcome)
 		}
-		if res.Interactions != 500 {
-			t.Fatalf("skip=%v: clock = %d, want exactly 500", skip, res.Interactions)
+		if !res.Interactions.Eq(u128.From64(500)) {
+			t.Fatalf("skip=%v: clock = %v, want exactly 500", skip, res.Interactions)
 		}
 	}
 }
@@ -329,7 +331,7 @@ func TestRunUntil(t *testing.T) {
 	s := newSim(t, c, 5)
 	// Stop when the undecided count first reaches (n - xmax)/2 (end of
 	// Phase 1).
-	res := s.RunUntil(0, func(sim *Simulator) bool {
+	res := s.RunUntil(NoBudget, func(sim *Simulator) bool {
 		_, xmax := sim.Max()
 		return sim.Undecided() >= (sim.N()-xmax)/2
 	})
@@ -349,11 +351,11 @@ func TestObserverSeesEveryProductiveEvent(t *testing.T) {
 	}
 	s := newSim(t, c, 9)
 	var events int
-	var lastClock int64
-	res := s.RunObserved(0, func(sim *Simulator, ev Event) {
+	var lastClock u128.U128
+	res := s.RunObserved(NoBudget, func(sim *Simulator, ev Event) {
 		events++
-		if ev.Interactions <= lastClock {
-			t.Fatalf("event clock not strictly increasing: %d then %d", lastClock, ev.Interactions)
+		if ev.Interactions.Leq(lastClock) {
+			t.Fatalf("event clock not strictly increasing: %v then %v", lastClock, ev.Interactions)
 		}
 		lastClock = ev.Interactions
 		if ev.Kind != EventAdopt && ev.Kind != EventUndecide {
@@ -366,8 +368,8 @@ func TestObserverSeesEveryProductiveEvent(t *testing.T) {
 	if events == 0 {
 		t.Fatal("observer saw no events")
 	}
-	if lastClock != res.Interactions {
-		t.Fatalf("last event clock %d != final clock %d", lastClock, res.Interactions)
+	if !lastClock.Eq(res.Interactions) {
+		t.Fatalf("last event clock %v != final clock %v", lastClock, res.Interactions)
 	}
 }
 
@@ -390,11 +392,11 @@ func TestSkipAndExactKernelsAgreeStatistically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := s.Run(0)
+			res := s.Run(NoBudget)
 			if res.Outcome != OutcomeConsensus {
 				t.Fatalf("outcome %v", res.Outcome)
 			}
-			xs = append(xs, float64(res.Interactions))
+			xs = append(xs, res.Interactions.Float64())
 		}
 		var sum float64
 		for _, x := range xs {
@@ -427,7 +429,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run(0)
+		return s.Run(NoBudget)
 	}
 	a, b := run(), run()
 	if a != b {
@@ -547,8 +549,8 @@ func TestNewAtMaxNIsUsable(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		ev := s.StepProductive()
-		if ev.Interactions < 0 {
-			t.Fatalf("clock went negative: %d", ev.Interactions)
+		if ev.Interactions.IsZero() {
+			t.Fatalf("clock did not advance on a productive step")
 		}
 	}
 }
@@ -560,7 +562,7 @@ func TestResetMatchesFreshSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reused.Run(0) // dirty every piece of reusable state
+		reused.Run(NoBudget) // dirty every piece of reusable state
 		for trial := uint64(0); trial < 5; trial++ {
 			fresh, err := New(cfg, rng.New(trial), WithKernel(kern))
 			if err != nil {
@@ -569,10 +571,10 @@ func TestResetMatchesFreshSimulator(t *testing.T) {
 			if err := reused.Reset(cfg, rng.New(trial)); err != nil {
 				t.Fatal(err)
 			}
-			if got, want := reused.Interactions(), int64(0); got != want {
-				t.Fatalf("Reset clock = %d", got)
+			if got := reused.Interactions(); !got.IsZero() {
+				t.Fatalf("Reset clock = %v", got)
 			}
-			a, b := fresh.Run(0), reused.Run(0)
+			a, b := fresh.Run(NoBudget), reused.Run(NoBudget)
 			if a != b {
 				t.Fatalf("kernel %v trial %d: fresh %+v != reset %+v", kern, trial, a, b)
 			}
@@ -584,7 +586,7 @@ func TestResetChangesOpinionCount(t *testing.T) {
 	small := mustConfig(t, []int64{60, 40}, 0)
 	large := mustConfig(t, []int64{30, 30, 20, 10, 5, 5}, 0)
 	s := newSim(t, small, 3)
-	s.Run(0)
+	s.Run(NoBudget)
 	if err := s.Reset(large, rng.New(4)); err != nil {
 		t.Fatal(err)
 	}
@@ -592,7 +594,7 @@ func TestResetChangesOpinionCount(t *testing.T) {
 		t.Fatalf("after Reset: k=%d n=%d", s.K(), s.N())
 	}
 	fresh := newSim(t, large, 4)
-	if a, b := fresh.Run(0), s.Run(0); a != b {
+	if a, b := fresh.Run(NoBudget), s.Run(NoBudget); a != b {
 		t.Fatalf("fresh %+v != reset-across-k %+v", a, b)
 	}
 }
@@ -614,7 +616,7 @@ func TestWatchersBroadcast(t *testing.T) {
 	var a, b int
 	w := Watchers(nil, Observer(func(*Simulator, Event) { a++ }), nil,
 		Observer(func(*Simulator, Event) { b++ }))
-	s.RunWatched(0, w)
+	s.RunWatched(NoBudget, w)
 	if a == 0 || a != b {
 		t.Fatalf("watcher counts diverge: %d vs %d", a, b)
 	}
@@ -630,18 +632,70 @@ func TestWatchersBroadcast(t *testing.T) {
 }
 
 func TestSatAdd(t *testing.T) {
-	cases := []struct{ a, b, want int64 }{
-		{0, 0, 0},
-		{1, 2, 3},
-		{math.MaxInt64, 0, math.MaxInt64},
-		{math.MaxInt64, 1, math.MaxInt64},
-		{math.MaxInt64 - 5, 10, math.MaxInt64},
-		{math.MaxInt64 / 2, math.MaxInt64/2 + 2, math.MaxInt64},
+	from := u128.From64
+	cases := []struct{ a, b, want u128.U128 }{
+		{from(0), from(0), from(0)},
+		{from(1), from(2), from(3)},
+		// The old int64 rim is now an ordinary point: no saturation there.
+		{from(math.MaxInt64), from(1), from(math.MaxInt64).Add64(1)},
+		// Lo-word carry into the hi word.
+		{u128.U128{Lo: ^uint64(0)}, from(1), u128.U128{Hi: 1, Lo: 0}},
+		{u128.U128{Hi: 1, Lo: ^uint64(0)}, from(1), u128.U128{Hi: 2, Lo: 0}},
+		// Hi-word saturation at the 128-bit ceiling.
+		{u128.Max, from(0), u128.Max},
+		{u128.Max, from(1), u128.Max},
+		{u128.Max.Sub64(5), from(10), u128.Max},
+		{u128.Max, u128.Max, u128.Max},
+		{u128.U128{Hi: ^uint64(0) - 1, Lo: ^uint64(0)}, u128.U128{Hi: 1}, u128.Max},
 	}
 	for _, tc := range cases {
 		if got := satAdd(tc.a, tc.b); got != tc.want {
-			t.Fatalf("satAdd(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+			t.Fatalf("satAdd(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
 		}
+	}
+	// The budget regime the 128-bit clock exists for: MaxN² = 10²² must be
+	// representable and addable headroom-free — far from saturating.
+	nSq := u128.From64(MaxN).Mul(u128.From64(MaxN))
+	if want := (u128.U128{Hi: 542, Lo: 1864712049423024128}); nSq != want {
+		t.Fatalf("MaxN² = %v, want %v", nSq, want)
+	}
+	if got := satAdd(nSq, nSq); got != nSq.Add(nSq) || got.IsMax() {
+		t.Fatalf("satAdd(MaxN², MaxN²) saturated prematurely: %v", got)
+	}
+}
+
+func TestProductiveProbabilityPrecisionAtMaxN(t *testing.T) {
+	// Regression for the float64 precision satellite: nSq = 10²² is far
+	// past 2⁵³, so a naive 1/float64-cast-of-nSq path can be off by many
+	// ulps. The hoisted invNSq comes from the correctly-rounded
+	// u128.Float64, so the productive probability must sit within a few
+	// ulps of a 128-bit math/big reference at n = MaxN.
+	c := mustConfig(t, []int64{MaxN / 2, MaxN/2 - 7}, 7)
+	s := newSim(t, c, 1)
+	got := s.ProductiveProbability()
+
+	d := c.Decided()
+	w := new(big.Int).Mul(big.NewInt(c.Undecided), big.NewInt(d))
+	dd := new(big.Int).Mul(big.NewInt(d), big.NewInt(d))
+	for _, x := range c.Support {
+		var sq big.Int
+		sq.Mul(big.NewInt(x), big.NewInt(x))
+		dd.Sub(dd, &sq)
+	}
+	w.Add(w, dd)
+	n := big.NewInt(c.N())
+	nsq := new(big.Int).Mul(n, n)
+	ref := new(big.Float).SetPrec(256).Quo(
+		new(big.Float).SetPrec(256).SetInt(w),
+		new(big.Float).SetPrec(256).SetInt(nsq))
+	want, _ := ref.Float64()
+	ulp := math.Nextafter(want, math.Inf(1)) - want
+	if math.Abs(got-want) > 4*ulp {
+		t.Fatalf("ProductiveProbability at MaxN = %v, want %v (math/big reference, gap %v)",
+			got, want, math.Abs(got-want))
+	}
+	if got <= 0 || got > 1 || math.IsNaN(got) {
+		t.Fatalf("productive probability %v out of range at n = MaxN", got)
 	}
 }
 

@@ -47,8 +47,11 @@ type Checkpoint struct {
 	State json.RawMessage `json:"state"`
 }
 
-// checkpointVersion is the current Checkpoint schema version.
-const checkpointVersion = 1
+// checkpointVersion is the current Checkpoint schema version. Version 2
+// switched the sharded trial payloads held in State to the 128-bit
+// interaction clock's hi/lo word pairs; version 1 states carry int64
+// clocks that overflow past n = ⌊√MaxInt64⌋ and cannot be resumed.
+const checkpointVersion = 2
 
 // State is the caller-owned fold state a checkpoint captures: the
 // aggregates the sink updates, serialized well enough that Restore followed
@@ -145,6 +148,11 @@ func parseCheckpoint(data []byte) (Checkpoint, error) {
 		return Checkpoint{}, fmt.Errorf("not a valid checkpoint (truncated or corrupt): %w", err)
 	}
 	if cp.V != checkpointVersion {
+		if cp.V == 1 {
+			return Checkpoint{}, fmt.Errorf(
+				"schema version 1, want %d: it was written by a pre-128-bit-clock build and its aggregates cannot be resumed losslessly",
+				checkpointVersion)
+		}
 		return Checkpoint{}, fmt.Errorf("schema version %d, want %d", cp.V, checkpointVersion)
 	}
 	if cp.MaxTrials < 1 {

@@ -342,6 +342,48 @@ func TestProtocolVersionRejected(t *testing.T) {
 	}
 }
 
+// v1Launcher fakes a worker built against protocol version 1: it consumes
+// the job header and answers with a v1 hello line.
+type v1Launcher struct{}
+
+func (v1Launcher) Launch(shard, shards int) (*Conn, error) {
+	workerIn, coordOut := io.Pipe()
+	coordIn, workerOut := io.Pipe()
+	go func() {
+		r := newMsgReader(workerIn)
+		r.next() // the job header (a version-2 line; the old build would also reject it)
+		fmt.Fprintf(workerOut, `{"v":1,"type":"hello","shard":%d,"shards":%d}`+"\n", shard, shards)
+		workerOut.Close()
+		workerIn.Close()
+	}()
+	return &Conn{W: coordOut, R: coordIn}, nil
+}
+
+// TestRunRejectsOldProtocolWorker pins the cross-version handshake
+// contract: a worker speaking protocol version 1 (the pre-128-bit-clock
+// wire format) fails the run with a descriptive error naming the shard —
+// no panic, no silent restart, and no relaunch loop reproducing the same
+// build mismatch.
+func TestRunRejectsOldProtocolWorker(t *testing.T) {
+	st := &foldState{}
+	res, err := Run(Options{
+		Shards: 1, MaxTrials: 8, Wave: 4, Seed: 3, Spec: []byte(`{"job":"x"}`),
+		Launcher: v1Launcher{},
+		Log:      io.Discard,
+	}, st.sink, nil, st)
+	if err == nil {
+		t.Fatalf("old-protocol worker accepted: %+v", res)
+	}
+	for _, want := range []string{"shard 0", "version 1", "128-bit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if st.Count != 0 {
+		t.Fatalf("folded %d trials from a cross-version worker", st.Count)
+	}
+}
+
 // TestCoreShare pins the core-budget partition: shares sum to the budget
 // when it covers every shard, differ by at most one, and floor at one when
 // the budget is short.

@@ -30,14 +30,24 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
 
 // ProtocolVersion is the version tag every protocol line carries. Workers
 // and coordinators reject lines from any other version, so mixed-binary
-// fleets fail loudly instead of folding garbage.
-const ProtocolVersion = 1
+// fleets fail loudly instead of folding garbage. Version 2 switched the
+// trial payloads and job specs to the 128-bit interaction clock's hi/lo
+// word pairs (budget_hi/budget_lo, interactions_hi/interactions_lo);
+// version 1 carried single int64 clock fields, which overflow past
+// n = ⌊√MaxInt64⌋, and is rejected.
+const ProtocolVersion = 2
+
+// errProtocolVersion marks a cross-version protocol line: the failure is a
+// build mismatch, deterministic across relaunches, so the coordinator
+// aborts instead of spending relaunch budget reproducing it.
+var errProtocolVersion = errors.New("protocol version mismatch")
 
 // Message types sent by the coordinator.
 const (
@@ -142,7 +152,8 @@ func (d *msgReader) next() (Msg, error) {
 		return Msg{}, fmt.Errorf("dist: bad protocol line %.80q: %w", line, err)
 	}
 	if m.V != ProtocolVersion {
-		return Msg{}, fmt.Errorf("dist: protocol version %d, want %d", m.V, ProtocolVersion)
+		return Msg{}, fmt.Errorf("dist: protocol version %d, want %d (%w; version 1 predates the 128-bit interaction clock — rebuild so coordinator and workers match)",
+			m.V, ProtocolVersion, errProtocolVersion)
 	}
 	return m, nil
 }

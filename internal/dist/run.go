@@ -472,6 +472,13 @@ func (co *coordinator) handle(sm shardMsg) {
 			}
 			return
 		}
+		if errors.Is(sm.err, errProtocolVersion) {
+			// A cross-version worker is a build mismatch: every relaunch
+			// would reproduce it, so fail the run naming the shard.
+			co.setFatal(fmt.Errorf("dist: shard %d/%d: %v", s.id, len(co.slots), sm.err))
+			co.markLost(s)
+			return
+		}
 		co.slotDown(s, sm.err, sm.sendErr)
 		return
 	}
@@ -626,6 +633,10 @@ func (co *coordinator) markLost(s *shardSlot) {
 func (co *coordinator) relaunch(s *shardSlot) {
 	co.logf("dist: relaunching shard %d/%d worker (attempt %d/%d)\n",
 		s.id, len(co.slots), s.relaunches, co.maxRelaunches)
+	// Leave backoff before attempting the launch: slotDown ignores shards
+	// already in healthBackoff, so a failed Launch would otherwise loop on
+	// its expired deadline forever without consuming relaunch budget.
+	s.health = healthLaunching
 	if err := co.launchSlot(s); err != nil {
 		co.slotDown(s, fmt.Errorf("relaunch: %w", err), false)
 		return

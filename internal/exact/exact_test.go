@@ -268,11 +268,11 @@ func TestSimulatorMatchesExactChain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := s.Run(0)
+		res := s.Run(core.NoBudget)
 		if res.Outcome != core.OutcomeConsensus {
 			t.Fatalf("trial %d: %v", i, res.Outcome)
 		}
-		ft := float64(res.Interactions)
+		ft := res.Interactions.Float64()
 		sumT += ft
 		sumT2 += ft * ft
 		if res.Winner == 0 {

@@ -23,7 +23,7 @@ func adaptiveAggregates(t *testing.T, cfg *conf.Config, par, maxTrials, stopAt i
 	folded := 0
 	res := StreamAdaptive(AdaptiveOptions{MaxTrials: maxTrials, Parallelism: par, Seed: 99},
 		func(i int, src *rng.Source, a *Arena) USDRun {
-			r, err := RunTracked(a, cfg, src, 0, 0, core.KernelBatched(0))
+			r, err := RunTracked(a, cfg, src, core.NoBudget, 0, core.KernelBatched(0))
 			if err != nil {
 				t.Errorf("trial %d: %v", i, err)
 			}
@@ -31,8 +31,8 @@ func adaptiveAggregates(t *testing.T, cfg *conf.Config, par, maxTrials, stopAt i
 		},
 		func(i int, r USDRun) {
 			folded++
-			o.Add(float64(r.Result.Interactions))
-			med.Add(float64(r.Result.Interactions))
+			o.Add(r.Result.Interactions.Float64())
+			med.Add(r.Result.Interactions.Float64())
 		},
 		func() bool { return folded >= stopAt })
 	return fmt.Sprintf("%v %v %v %v %v %v", o.N(), o.Mean(), o.Var(), o.Min(), o.Max(), med.Value()), res
@@ -52,14 +52,14 @@ func TestStreamAdaptiveByteIdenticalToStream(t *testing.T) {
 	var o stats.Online
 	med := stats.NewP2(0.5)
 	Stream(stopAt, 1, 99, func(i int, src *rng.Source, a *Arena) USDRun {
-		r, err := RunTracked(a, cfg, src, 0, 0, core.KernelBatched(0))
+		r, err := RunTracked(a, cfg, src, core.NoBudget, 0, core.KernelBatched(0))
 		if err != nil {
 			t.Errorf("trial %d: %v", i, err)
 		}
 		return r
 	}, func(i int, r USDRun) {
-		o.Add(float64(r.Result.Interactions))
-		med.Add(float64(r.Result.Interactions))
+		o.Add(r.Result.Interactions.Float64())
+		med.Add(r.Result.Interactions.Float64())
 	})
 	want := fmt.Sprintf("%v %v %v %v %v %v", o.N(), o.Mean(), o.Var(), o.Min(), o.Max(), med.Value())
 

@@ -49,8 +49,8 @@ func a1Skip() Experiment {
 						if err != nil {
 							return math.NaN()
 						}
-						res := s.Run(0)
-						return float64(res.Interactions)
+						res := s.Run(core.NoBudget)
+						return res.Interactions.Float64()
 					})
 				elapsed := time.Since(start)
 				s, err := stats.Summarize(times)
@@ -112,11 +112,11 @@ func a2Engine() Experiment {
 				return err
 			}
 			agg := CollectArena(trials, p.Parallelism, p.Seed+83, func(i int, src *rng.Source, a *Arena) float64 {
-				t, _, err := consensusTime(a, cfg, src, 0, p.Kernel)
+				t, _, err := consensusTime(a, cfg, src, core.NoBudget, p.Kernel)
 				if err != nil {
 					return math.NaN()
 				}
-				return float64(t)
+				return t.Float64()
 			})
 			agent := Collect(trials, p.Parallelism, p.Seed+84, func(i int, src *rng.Source) float64 {
 				e, err := pop.NewEngine(cfg, pop.USD{Opinions: k}, pop.UniformScheduler{Src: src})

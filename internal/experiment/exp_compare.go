@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/potential"
 	"repro/internal/rng"
@@ -93,7 +94,7 @@ func f4ModelCompare() Experiment {
 				}
 				for _, rg := range regimes {
 					md := potential.MonochromaticDistance(rg.cfg.Support)
-					popStats, _, _, err := timeStats(p, p.Seed+uint64(k)*61, rg.cfg, trials, 0)
+					popStats, _, _, err := timeStats(p, p.Seed+uint64(k)*61, rg.cfg, trials, core.NoBudget)
 					if err != nil {
 						return err
 					}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -57,11 +58,11 @@ func x3Exact() Experiment {
 				}
 				outs := CollectArena(trials, p.Parallelism, p.Seed+uint64(idx)*107,
 					func(i int, src *rng.Source, a *Arena) obs {
-						t, winner, err := consensusTime(a, cfg, src, 0, p.Kernel)
+						t, winner, err := consensusTime(a, cfg, src, core.NoBudget, p.Kernel)
 						if err != nil {
 							return obs{t: math.NaN()}
 						}
-						return obs{t: float64(t), won: winner == 0}
+						return obs{t: t.Float64(), won: winner == 0}
 					})
 				var times []float64
 				wins := 0

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -91,7 +92,7 @@ func x2LargeK() Experiment {
 				if err != nil {
 					return err
 				}
-				s, _, _, err := timeStats(p, p.Seed+uint64(k)*103, cfg, trials, 0)
+				s, _, _, err := timeStats(p, p.Seed+uint64(k)*103, cfg, trials, core.NoBudget)
 				if err != nil {
 					return err
 				}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/u128"
 )
 
 // f7Fluid compares stochastic USD trajectories against the mean-field ODE:
@@ -70,8 +71,8 @@ func f7Fluid() Experiment {
 					}
 					rec := trace.NewRecorder(fmt.Sprintf("simulated u/n, n=%d", n), n/8)
 					var worst float64
-					sim.RunObserved(int64(horizon*float64(n)), func(s *core.Simulator, ev core.Event) {
-						tau := float64(ev.Interactions) / float64(n)
+					sim.RunObserved(u128.FromFloat64(horizon*float64(n)), func(s *core.Simulator, ev core.Event) {
+						tau := ev.Interactions.Float64() / float64(n)
 						simU := float64(s.Undecided()) / float64(n)
 						rec.Observe(ev.Interactions, simU)
 						if fluidU, ok := grid[int(tau*1000+0.5)]; ok {

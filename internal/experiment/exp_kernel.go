@@ -43,7 +43,7 @@ func k1KernelAgreement() Experiment {
 			}
 			collect := func(cfg *conf.Config, kern core.Kernel, seedOff uint64) []trial {
 				return CollectArena(trials, p.Parallelism, p.Seed+seedOff, func(i int, src *rng.Source, a *Arena) trial {
-					r, err := RunTracked(a, cfg, src, 0, 0, kern)
+					r, err := RunTracked(a, cfg, src, core.NoBudget, 0, kern)
 					if err != nil || r.Result.Outcome != core.OutcomeConsensus {
 						return trial{}
 					}
@@ -85,13 +85,13 @@ func k1KernelAgreement() Experiment {
 						continue
 					}
 					g.oks++
-					g.times = append(g.times, float64(t.run.Result.Interactions))
+					g.times = append(g.times, t.run.Result.Interactions.Float64())
 					if t.run.Result.Winner == t.run.InitialLeader {
 						g.wins++
 					}
 					for ph := 1; ph <= 5; ph++ {
 						if t.run.Phases.Reached(ph) {
-							g.phases[ph-1] = append(g.phases[ph-1], float64(t.run.Phases.End[ph-1]))
+							g.phases[ph-1] = append(g.phases[ph-1], t.run.Phases.End[ph-1].Float64())
 						}
 					}
 				}
@@ -184,13 +184,33 @@ func k2NScaling() Experiment {
 				[]int64{1_000_000, 10_000_000, 100_000_000, 1_000_000_000})
 			k := 32
 			trials := p.trials(5)
+			// The 10¹⁰ smoke point exercises the 128-bit interaction clock
+			// past the old ⌊√MaxInt64⌋ ceiling (n² ≈ 10²⁰ > MaxInt64) under
+			// the auto kernel; a single trial at smaller k keeps the
+			// full-mode wall-clock in check while still crossing the
+			// boundary every 64-bit clock would overflow at.
+			type cell struct {
+				n      int64
+				k      int
+				trials int
+				kern   core.Kernel
+				fit    bool
+			}
+			cells := make([]cell, 0, len(ns)+1)
+			for _, n := range ns {
+				cells = append(cells, cell{n: n, k: k, trials: trials, kern: core.KernelBatched(0), fit: true})
+			}
+			if !p.Quick {
+				cells = append(cells, cell{n: 10_000_000_000, k: 2, trials: 1, kern: core.KernelAuto(0)})
+			}
 			tbl := NewTable(
 				fmt.Sprintf("Batched kernel (tol %g), uniform start, k=%d, %d trials per n:",
 					core.DefaultTolerance, k, trials),
-				"n", "mean T", "std", "par. time", "T/(k n ln n)", "leader wins")
+				"n", "k", "kernel", "mean T", "std", "par. time", "T/(k n ln n)", "leader wins")
 			var xs, ys []float64
-			for _, n := range ns {
-				cfg, err := conf.Uniform(n, k, 0)
+			for _, c := range cells {
+				n := c.n
+				cfg, err := conf.Uniform(n, c.k, 0)
 				if err != nil {
 					return err
 				}
@@ -199,12 +219,12 @@ func k2NScaling() Experiment {
 					won bool
 					ok  bool
 				}
-				outs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n), func(i int, src *rng.Source, a *Arena) out {
-					t, winner, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+				outs := CollectArena(c.trials, p.Parallelism, p.Seed+uint64(n), func(i int, src *rng.Source, a *Arena) out {
+					t, winner, err := consensusTime(a, cfg, src, core.NoBudget, c.kern)
 					if err != nil {
 						return out{}
 					}
-					return out{t: float64(t), won: winner == 0, ok: true}
+					return out{t: t.Float64(), won: winner == 0, ok: true}
 				})
 				var times []float64
 				wins := 0
@@ -221,11 +241,13 @@ func k2NScaling() Experiment {
 				if err != nil {
 					return fmt.Errorf("n=%d: %w", n, err)
 				}
-				norm := s.Mean / (float64(k) * float64(n) * math.Log(float64(n)))
-				tbl.AddRowf(n, s.Mean, s.Std, s.Mean/float64(n), norm,
+				norm := s.Mean / (float64(c.k) * float64(n) * math.Log(float64(n)))
+				tbl.AddRowf(n, c.k, c.kern.Name(), s.Mean, s.Std, s.Mean/float64(n), norm,
 					fmt.Sprintf("%d/%d", wins, len(times)))
-				xs = append(xs, float64(n))
-				ys = append(ys, s.Mean)
+				if c.fit {
+					xs = append(xs, float64(n))
+					ys = append(ys, s.Mean)
+				}
 			}
 			if err := tbl.Fprint(w); err != nil {
 				return err

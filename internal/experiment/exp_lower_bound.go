@@ -83,7 +83,7 @@ func k4LowerBound() Experiment {
 						// same stopping rule after every fold, so the table
 						// below is byte-identical to the in-process branch.
 						dres, dfailed, err := RunShardedConsensus(
-							NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false),
+							NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false),
 							metric,
 							ShardRunOptions{
 								Shards:        p.Shards,
@@ -115,11 +115,11 @@ func k4LowerBound() Experiment {
 								Seed:        cellSeed,
 							},
 							func(i int, src *rng.Source, a *Arena) float64 {
-								t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+								t, _, err := consensusTime(a, cfg, src, core.NoBudget, core.KernelBatched(0))
 								if err != nil {
 									return math.NaN()
 								}
-								return float64(t)
+								return t.Float64()
 							},
 							func(_ int, t float64) {
 								if math.IsNaN(t) {

@@ -95,11 +95,11 @@ func k3ManyOpinions() Experiment {
 					failed := 0
 					seed := p.Seed + uint64(n)*13 + uint64(g.eps*1000)
 					trial := func(i int, src *rng.Source, a *Arena) float64 {
-						t, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+						t, _, err := consensusTime(a, cfg, src, core.NoBudget, core.KernelBatched(0))
 						if err != nil {
 							return math.NaN()
 						}
-						return float64(t)
+						return t.Float64()
 					}
 					trialCell := fmt.Sprintf("%d", trials)
 					if p.Adaptive {
@@ -192,7 +192,7 @@ func k3ManyOpinions() Experiment {
 					_, x := s.Max()
 					return float64(x) / float64(s.N())
 				})
-			res := s.RunWatched(0, sampler)
+			res := s.RunWatched(core.NoBudget, sampler)
 			sampler.Final(s)
 			plot, err := trace.RenderASCII(64, 12, sampler.Series()...)
 			if err != nil {

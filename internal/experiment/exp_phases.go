@@ -36,7 +36,7 @@ func t1Phases() Experiment {
 						return err
 					}
 					runs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n)+uint64(k), func(i int, src *rng.Source, a *Arena) USDRun {
-						r, err := RunTracked(a, cfg, src, 0, 0, p.Kernel)
+						r, err := RunTracked(a, cfg, src, core.NoBudget, 0, p.Kernel)
 						if err != nil {
 							return USDRun{}
 						}
@@ -57,8 +57,8 @@ func t1Phases() Experiment {
 							float64(n) * lnN,
 						}
 						for ph := 1; ph <= 5; ph++ {
-							if d := r.Phases.Duration(ph); d >= 0 {
-								norm[ph-1] = append(norm[ph-1], float64(d)/bounds[ph-1])
+							if d, ok := r.Phases.Duration(ph); ok {
+								norm[ph-1] = append(norm[ph-1], d.Float64()/bounds[ph-1])
 							}
 						}
 						totals = append(totals, r.Result.ParallelTime/(float64(k)*lnN))
@@ -139,7 +139,7 @@ func t6Phase1() Experiment {
 					if err != nil {
 						return obs{}
 					}
-					res := s.RunUntil(0, endPhase1)
+					res := s.RunUntil(core.NoBudget, endPhase1)
 					if res.Outcome == core.OutcomeAllUndecided {
 						return obs{}
 					}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/pop"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -51,7 +52,13 @@ func x4Scheduler() Experiment {
 					if err != nil {
 						return outcome{}
 					}
-					res, err := e.Run(1000 * n * n)
+					// The agent-level engine keeps an int64 clock; clamp the
+					// generous 1000·n² cutoff so it cannot wrap for large n.
+					budget := int64(math.MaxInt64)
+					if b := 1000 * float64(n) * float64(n); b < float64(math.MaxInt64) {
+						budget = 1000 * n * n
+					}
+					res, err := e.Run(budget)
 					if err != nil || !res.Consensus {
 						return outcome{}
 					}
@@ -128,7 +135,7 @@ func x5UndecidedStart() Experiment {
 				if cfg.Undecided <= (n-cfg.Support[0])/2 {
 					within = "yes"
 				}
-				s, winRate, done, err := timeStats(p, p.Seed+uint64(frac*100)+7, cfg, trials, 0)
+				s, winRate, done, err := timeStats(p, p.Seed+uint64(frac*100)+7, cfg, trials, core.NoBudget)
 				if err != nil {
 					return err
 				}

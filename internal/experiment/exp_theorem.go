@@ -6,13 +6,15 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/u128"
 )
 
 // timeStats runs `trials` USD simulations from cfg and returns the summary
 // of consensus interactions and the fraction won by opinion 0.
-func timeStats(p Params, seed uint64, cfg *conf.Config, trials int, budget int64) (stats.Summary, float64, int, error) {
+func timeStats(p Params, seed uint64, cfg *conf.Config, trials int, budget u128.U128) (stats.Summary, float64, int, error) {
 	type outcome struct {
 		t   float64
 		won bool
@@ -23,7 +25,7 @@ func timeStats(p Params, seed uint64, cfg *conf.Config, trials int, budget int64
 		if err != nil {
 			return outcome{}
 		}
-		return outcome{t: float64(t), won: winner == 0, ok: true}
+		return outcome{t: t.Float64(), won: winner == 0, ok: true}
 	})
 	var times []float64
 	wins, completed := 0, 0
@@ -69,7 +71,7 @@ func t2Multiplicative() Experiment {
 				if err != nil {
 					return err
 				}
-				s, winRate, done, err := timeStats(p, p.Seed+uint64(n)*31+uint64(k), cfg, trials, 0)
+				s, winRate, done, err := timeStats(p, p.Seed+uint64(n)*31+uint64(k), cfg, trials, core.NoBudget)
 				if err != nil {
 					return err
 				}
@@ -116,7 +118,7 @@ func t3Additive() Experiment {
 				if err != nil {
 					return err
 				}
-				s, winRate, done, err := timeStats(p, p.Seed+uint64(n)*37+uint64(k), cfg, trials, 0)
+				s, winRate, done, err := timeStats(p, p.Seed+uint64(n)*37+uint64(k), cfg, trials, core.NoBudget)
 				if err != nil {
 					return err
 				}
@@ -165,7 +167,7 @@ func t4NoBias() Experiment {
 					return err
 				}
 				runs := CollectArena(trials, p.Parallelism, p.Seed+uint64(n)*41, func(i int, src *rng.Source, a *Arena) USDRun {
-					r, err := RunTracked(a, cfg, src, 0, 0, p.Kernel)
+					r, err := RunTracked(a, cfg, src, core.NoBudget, 0, p.Kernel)
 					if err != nil {
 						return USDRun{}
 					}
@@ -181,7 +183,7 @@ func t4NoBias() Experiment {
 					}
 					completed++
 					winnerCounts[r.Result.Winner]++
-					times = append(times, float64(r.Result.Interactions))
+					times = append(times, r.Result.Interactions.Float64())
 					if r.Phases.LeaderAtT2 == r.Result.Winner {
 						agree++
 					}
@@ -235,7 +237,7 @@ func f5KScaling() Experiment {
 				if err != nil {
 					return err
 				}
-				s, _, _, err := timeStats(p, p.Seed+uint64(k)*43, cfg, trials, 0)
+				s, _, _, err := timeStats(p, p.Seed+uint64(k)*43, cfg, trials, core.NoBudget)
 				if err != nil {
 					return err
 				}

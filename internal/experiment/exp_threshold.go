@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/stats"
 )
 
@@ -46,7 +47,7 @@ func f3Threshold() Experiment {
 							return err
 						}
 						_, winRate, done, err := timeStats(p,
-							p.Seed+uint64(n)*53+uint64(k)*59+uint64(beta), cfg, trials, 0)
+							p.Seed+uint64(n)*53+uint64(k)*59+uint64(beta), cfg, trials, core.NoBudget)
 						if err != nil {
 							return err
 						}

@@ -38,7 +38,7 @@ func f1Undecided() Experiment {
 			}
 			recU := trace.NewRecorder("u(t)", n/2)
 			recMax := trace.NewRecorder("xmax(t)", n/2)
-			res := s.RunObserved(0, func(sim *core.Simulator, ev core.Event) {
+			res := s.RunObserved(core.NoBudget, func(sim *core.Simulator, ev core.Event) {
 				_, xmax := sim.Max()
 				recU.Observe(ev.Interactions, float64(sim.Undecided()))
 				recMax.Observe(ev.Interactions, float64(xmax))
@@ -78,7 +78,7 @@ func f1Undecided() Experiment {
 					return o
 				}
 				inPhase2 := false
-				s.RunObserved(0, func(sim *core.Simulator, _ core.Event) {
+				s.RunObserved(core.NoBudget, func(sim *core.Simulator, _ core.Event) {
 					_, xmax := sim.Max()
 					u := sim.Undecided()
 					if !inPhase2 && 2*u >= sim.N()-xmax {
@@ -147,10 +147,10 @@ func f2GapGrowth() Experiment {
 				if err != nil {
 					return gapObs{}
 				}
-				r1 := s.RunUntil(0, func(sim *core.Simulator) bool { return gap(sim) >= target1 })
-				t1 := float64(r1.Interactions)
-				r2 := s.RunUntil(0, func(sim *core.Simulator) bool { return gap(sim) >= target2 })
-				return gapObs{t1: t1, t2: float64(r2.Interactions), ok: true}
+				r1 := s.RunUntil(core.NoBudget, func(sim *core.Simulator) bool { return gap(sim) >= target1 })
+				t1 := r1.Interactions.Float64()
+				r2 := s.RunUntil(core.NoBudget, func(sim *core.Simulator) bool { return gap(sim) >= target2 })
+				return gapObs{t1: t1, t2: r2.Interactions.Float64(), ok: true}
 			})
 			var t1s, t2s []float64
 			for _, o := range outs {
@@ -185,7 +185,7 @@ func f2GapGrowth() Experiment {
 				return err
 			}
 			rec := trace.NewRecorder("|x1-x2|", n/4)
-			s.RunUntil(0, func(sim *core.Simulator) bool {
+			s.RunUntil(core.NoBudget, func(sim *core.Simulator) bool {
 				rec.Observe(sim.Interactions(), gap(sim))
 				return gap(sim) >= target2
 			})

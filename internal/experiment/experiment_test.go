@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/u128"
 )
 
 func TestTableFormatting(t *testing.T) {
@@ -86,7 +87,7 @@ func TestRunTracked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := runTracked(cfg, rng.New(5), 0, 0, core.KernelExact)
+	r, err := runTracked(cfg, rng.New(5), core.NoBudget, 0, core.KernelExact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRunTracked(t *testing.T) {
 		}
 	}
 	if r.Phases.End[4] != r.Result.Interactions {
-		t.Fatalf("T5 = %d, consensus at %d", r.Phases.End[4], r.Result.Interactions)
+		t.Fatalf("T5 = %v, consensus at %v", r.Phases.End[4], r.Result.Interactions)
 	}
 	if r.InitialLeader != 0 {
 		t.Fatalf("initial leader = %d", r.InitialLeader)
@@ -111,7 +112,7 @@ func TestConsensusTimeBudgetError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := consensusTime(nil, cfg, rng.New(1), 10, core.KernelExact); err == nil {
+	if _, _, err := consensusTime(nil, cfg, rng.New(1), u128.From64(10), core.KernelExact); err == nil {
 		t.Fatal("budget exhaustion not reported")
 	}
 }

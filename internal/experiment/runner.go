@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/phase"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // The trial engine runs Monte-Carlo trials across a bounded worker pool.
@@ -237,7 +238,7 @@ type USDRun struct {
 // resolution-preserving default — per-interval for the exact kernel,
 // per-window for a batched kernel (whose observations already cover many
 // events each).
-func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
+func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, checkEvery int, kern core.Kernel) (USDRun, error) {
 	if checkEvery <= 0 {
 		checkEvery = phase.CheckIntervalFor(c.N(), kern)
 	}
@@ -271,14 +272,14 @@ func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget int64, checkEv
 
 // runTracked is RunTracked without an arena, kept for call sites outside
 // the trial engine.
-func runTracked(c *conf.Config, src *rng.Source, budget int64, checkEvery int, kern core.Kernel) (USDRun, error) {
+func runTracked(c *conf.Config, src *rng.Source, budget u128.U128, checkEvery int, kern core.Kernel) (USDRun, error) {
 	return RunTracked(nil, c, src, budget, checkEvery, kern)
 }
 
 // consensusTime runs the USD from c to consensus under the given kernel,
 // reusing the arena's simulator when a is non-nil, and returns the
 // interaction count and winner. It fails if the budget is exhausted first.
-func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget int64, kern core.Kernel) (int64, int, error) {
+func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, kern core.Kernel) (u128.U128, int, error) {
 	var s *core.Simulator
 	var err error
 	if a != nil {
@@ -290,11 +291,11 @@ func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget int64, kern
 		s, err = core.New(c, src, core.WithKernel(kern))
 	}
 	if err != nil {
-		return 0, -1, err
+		return u128.U128{}, -1, err
 	}
 	res := s.Run(budget)
 	if res.Outcome != core.OutcomeConsensus {
-		return res.Interactions, -1, fmt.Errorf("experiment: no consensus within %d interactions (outcome %v)", budget, res.Outcome)
+		return res.Interactions, -1, fmt.Errorf("experiment: no consensus within %v interactions (outcome %v)", budget, res.Outcome)
 	}
 	return res.Interactions, res.Winner, nil
 }

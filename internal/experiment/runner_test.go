@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/u128"
 )
 
 // renderRuns serializes tracked-run outputs byte-for-byte, so the
@@ -37,7 +38,7 @@ func TestCollectByteIdenticalAcrossParallelism(t *testing.T) {
 		var want []byte
 		for _, par := range levels {
 			runs := CollectArena(60, par, 99, func(i int, src *rng.Source, a *Arena) USDRun {
-				r, err := RunTracked(a, cfg, src, 0, 0, kern)
+				r, err := RunTracked(a, cfg, src, core.NoBudget, 0, kern)
 				if err != nil {
 					t.Errorf("trial %d: %v", i, err)
 				}
@@ -64,14 +65,14 @@ func TestArenaReuseMatchesFreshAllocation(t *testing.T) {
 	}
 	for _, kern := range []core.Kernel{core.KernelExact, core.KernelBatched(0)} {
 		reused := CollectArena(40, 1, 7, func(i int, src *rng.Source, a *Arena) USDRun {
-			r, err := RunTracked(a, cfg, src, 0, 0, kern)
+			r, err := RunTracked(a, cfg, src, core.NoBudget, 0, kern)
 			if err != nil {
 				t.Errorf("trial %d: %v", i, err)
 			}
 			return r
 		})
 		fresh := Collect(40, 1, 7, func(i int, src *rng.Source) USDRun {
-			r, err := RunTracked(nil, cfg, src, 0, 0, kern)
+			r, err := RunTracked(nil, cfg, src, core.NoBudget, 0, kern)
 			if err != nil {
 				t.Errorf("trial %d: %v", i, err)
 			}
@@ -181,7 +182,7 @@ func TestArenaSimulatorAcrossConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got, want := s.Run(0), fresh.Run(0); got != want {
+		if got, want := s.Run(core.NoBudget), fresh.Run(core.NoBudget); got != want {
 			t.Fatalf("trial %d: arena %+v != fresh %+v", trial, got, want)
 		}
 	}
@@ -208,7 +209,7 @@ func TestStreamFoldAllocFree(t *testing.T) {
 						panic(err)
 					}
 					s.SetKernel(core.KernelAuto(0))
-					return float64(s.Run(20_000).Interactions)
+					return s.Run(u128.From64(20_000)).Interactions.Float64()
 				},
 				func(_ int, v float64) { online.Add(v) })
 		}

@@ -11,7 +11,9 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/phase"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // ErrInterrupted reports that a sharded run stopped early at the user's
@@ -29,7 +31,11 @@ var ErrInterrupted = errors.New("interrupted: checkpoint written, rerun the same
 // byte-identically to the in-process StreamAdaptive path.
 
 // ShardSpecKind is the job-spec discriminator of the USD trial family.
-const ShardSpecKind = "usd-trial/v1"
+// v2 moved the interaction budget and every clock-valued result field to a
+// 128-bit hi/lo integer encoding (the clock exceeds int64 once n > ~3·10⁹),
+// so v1 specs and checkpoints are rejected by kind mismatch with a
+// descriptive error rather than silently misread.
+const ShardSpecKind = "usd-trial/v2"
 
 // ShardSpec is the distributed job specification of a USD trial family: a
 // full opinion configuration plus the kernel and run options that the
@@ -48,8 +54,13 @@ type ShardSpec struct {
 	Kernel string `json:"kernel"`
 	// Tol is the batched/auto kernel's drift tolerance (0 = default).
 	Tol float64 `json:"tol"`
-	// Budget is the interaction budget (0 = run to absorption).
-	Budget int64 `json:"budget"`
+	// BudgetHi is the high word of the 128-bit interaction budget
+	// (both words 0 = run to absorption). The clock exceeds int64 at the
+	// raised population ceiling, so the wire form carries both words
+	// losslessly.
+	BudgetHi uint64 `json:"budget_hi"`
+	// BudgetLo is the low word of the 128-bit interaction budget.
+	BudgetLo uint64 `json:"budget_lo"`
 	// CheckEvery is the phase-condition check interval (0 = kernel default);
 	// only meaningful when Tracked.
 	CheckEvery int `json:"check_every"`
@@ -61,17 +72,23 @@ type ShardSpec struct {
 
 // NewShardSpec captures a configuration and run options as a distributable
 // job spec.
-func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget int64, checkEvery int, tracked bool) ShardSpec {
+func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget u128.U128, checkEvery int, tracked bool) ShardSpec {
 	return ShardSpec{
 		Kind:       ShardSpecKind,
 		Support:    append([]int64(nil), cfg.Support...),
 		Undecided:  cfg.Undecided,
 		Kernel:     kern.Name(),
 		Tol:        kern.Tolerance(),
-		Budget:     budget,
+		BudgetHi:   budget.Hi,
+		BudgetLo:   budget.Lo,
 		CheckEvery: checkEvery,
 		Tracked:    tracked,
 	}
+}
+
+// Budget returns the spec's interaction budget as a 128-bit clock value.
+func (s ShardSpec) Budget() u128.U128 {
+	return u128.U128{Hi: s.BudgetHi, Lo: s.BudgetLo}
 }
 
 // Encode returns the spec's canonical wire bytes.
@@ -107,16 +124,25 @@ func decodeShardSpec(data []byte) (ShardSpec, *conf.Config, core.Kernel, error) 
 // or string valued, so encoding is lossless and a coordinator folding these
 // payloads computes bit-identical aggregates to an in-process run.
 type ShardResult struct {
-	// Interactions is the interaction clock at termination.
-	Interactions int64 `json:"interactions"`
+	// InteractionsHi is the high word of the 128-bit interaction clock
+	// at termination.
+	InteractionsHi uint64 `json:"interactions_hi"`
+	// InteractionsLo is the low word of the 128-bit interaction clock.
+	InteractionsLo uint64 `json:"interactions_lo"`
 	// Winner is the consensus opinion, or -1 without consensus.
 	Winner int `json:"winner"`
 	// InitialLeader is the opinion with the largest initial support.
 	InitialLeader int `json:"initial_leader"`
 	// Outcome is the terminal core.Outcome string.
 	Outcome string `json:"outcome"`
-	// PhaseEnds holds the phase end clocks of a tracked run (phase.Times.End).
-	PhaseEnds []int64 `json:"phase_ends,omitempty"`
+	// PhaseEndsHi holds the high words of the 128-bit phase end clocks
+	// of a tracked run (phase.Times.End), indexed by 0-based phase.
+	PhaseEndsHi []uint64 `json:"phase_ends_hi,omitempty"`
+	// PhaseEndsLo holds the matching low words of the phase end clocks.
+	PhaseEndsLo []uint64 `json:"phase_ends_lo,omitempty"`
+	// PhaseEnded holds the per-phase reached flags (phase.Times.Ended),
+	// indexed by 0-based phase.
+	PhaseEnded []bool `json:"phase_ended,omitempty"`
 	// LeaderAtT2 is the unique significant opinion when phase 2 ended, or
 	// -1 (tracked runs only).
 	LeaderAtT2 int `json:"leader_at_t2,omitempty"`
@@ -125,6 +151,28 @@ type ShardResult struct {
 // Consensus reports whether the trial reached consensus.
 func (r ShardResult) Consensus() bool {
 	return r.Outcome == core.OutcomeConsensus.String()
+}
+
+// Interactions returns the trial's terminal interaction clock.
+func (r ShardResult) Interactions() u128.U128 {
+	return u128.U128{Hi: r.InteractionsHi, Lo: r.InteractionsLo}
+}
+
+// PhaseTimes reassembles the tracked run's phase end times from the wire
+// fields; the zero Times is returned for untracked results.
+func (r ShardResult) PhaseTimes() phase.Times {
+	t := phase.NewTimes()
+	t.LeaderAtT2 = r.LeaderAtT2
+	for i := 0; i < phase.Count && i < len(r.PhaseEnded); i++ {
+		if !r.PhaseEnded[i] {
+			continue
+		}
+		t.Ended[i] = true
+		if i < len(r.PhaseEndsHi) && i < len(r.PhaseEndsLo) {
+			t.End[i] = u128.U128{Hi: r.PhaseEndsHi[i], Lo: r.PhaseEndsLo[i]}
+		}
+	}
+	return t
 }
 
 // ShardBuilder returns the dist.BuildRunner that turns a USD job spec into
@@ -180,17 +228,25 @@ func ShardBuilder(parallelism int) dist.BuildRunner {
 // non-consensus terminations ride in the result's Outcome.
 func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Source, a *Arena) (ShardResult, error) {
 	if s.Tracked {
-		run, err := RunTracked(a, cfg, src, s.Budget, s.CheckEvery, kern)
+		run, err := RunTracked(a, cfg, src, s.Budget(), s.CheckEvery, kern)
 		if err != nil {
 			return ShardResult{}, err
 		}
+		endsHi := make([]uint64, phase.Count)
+		endsLo := make([]uint64, phase.Count)
+		for i, e := range run.Phases.End {
+			endsHi[i], endsLo[i] = e.Hi, e.Lo
+		}
 		return ShardResult{
-			Interactions:  run.Result.Interactions,
-			Winner:        run.Result.Winner,
-			InitialLeader: run.InitialLeader,
-			Outcome:       run.Result.Outcome.String(),
-			PhaseEnds:     append([]int64(nil), run.Phases.End[:]...),
-			LeaderAtT2:    run.Phases.LeaderAtT2,
+			InteractionsHi: run.Result.Interactions.Hi,
+			InteractionsLo: run.Result.Interactions.Lo,
+			Winner:         run.Result.Winner,
+			InitialLeader:  run.InitialLeader,
+			Outcome:        run.Result.Outcome.String(),
+			PhaseEndsHi:    endsHi,
+			PhaseEndsLo:    endsLo,
+			PhaseEnded:     append([]bool(nil), run.Phases.Ended[:]...),
+			LeaderAtT2:     run.Phases.LeaderAtT2,
 		}, nil
 	}
 	sim, err := a.Simulator(cfg, src)
@@ -199,12 +255,13 @@ func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Sou
 	}
 	sim.SetKernel(kern)
 	leader, _ := cfg.Max()
-	res := sim.Run(s.Budget)
+	res := sim.Run(s.Budget())
 	return ShardResult{
-		Interactions:  res.Interactions,
-		Winner:        res.Winner,
-		InitialLeader: leader,
-		Outcome:       res.Outcome.String(),
+		InteractionsHi: res.Interactions.Hi,
+		InteractionsLo: res.Interactions.Lo,
+		Winner:         res.Winner,
+		InitialLeader:  leader,
+		Outcome:        res.Outcome.String(),
 	}, nil
 }
 
@@ -284,7 +341,7 @@ func RunShardedConsensus(spec ShardSpec, metric *AdaptiveMetric, opts ShardRunOp
 			state.Failed++
 			return nil
 		}
-		state.Metric.Add(float64(r.Interactions))
+		state.Metric.Add(r.Interactions().Float64())
 		return nil
 	}
 	res, err := dist.Run(dist.Options{

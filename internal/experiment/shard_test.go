@@ -9,12 +9,14 @@ import (
 	"math"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // metricFingerprint serializes every order-sensitive bit of an adaptive
@@ -33,7 +35,7 @@ func TestShardSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := NewShardSpec(cfg, core.KernelBatched(0.02), 1234, 7, true)
+	spec := NewShardSpec(cfg, core.KernelBatched(0.02), u128.From64(1234), 7, true)
 	data, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +73,7 @@ func TestShardedFixedRunByteIdenticalToStream(t *testing.T) {
 	}
 	const trials = 24
 	const seed = 99
-	spec := NewShardSpec(cfg, core.KernelBatched(0), 0, 0, true)
+	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, true)
 	specBytes, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
@@ -135,11 +137,11 @@ func TestRunShardedConsensusByteIdenticalToStreamAdaptive(t *testing.T) {
 	refRes := StreamAdaptive(
 		AdaptiveOptions{MaxTrials: cap, Parallelism: 4, Seed: seed},
 		func(i int, src *rng.Source, a *Arena) float64 {
-			tt, _, err := consensusTime(a, cfg, src, 0, core.KernelBatched(0))
+			tt, _, err := consensusTime(a, cfg, src, core.NoBudget, core.KernelBatched(0))
 			if err != nil {
 				return math.NaN()
 			}
-			return float64(tt)
+			return tt.Float64()
 		},
 		func(_ int, v float64) {
 			if math.IsNaN(v) {
@@ -150,7 +152,7 @@ func TestRunShardedConsensusByteIdenticalToStreamAdaptive(t *testing.T) {
 		},
 		StopWhenAll(ref))
 
-	spec := NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false)
+	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
 	for _, shards := range []int{1, 2, 4} {
 		metric := NewAdaptiveMetric("consensus T", rule)
 		res, failed, err := RunShardedConsensus(spec, metric, ShardRunOptions{
@@ -171,6 +173,121 @@ func TestRunShardedConsensusByteIdenticalToStreamAdaptive(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedLargeNByteIdenticalAndResumable is the 128-bit-clock
+// acceptance test: at n = 10¹⁰ (n² ≈ 10²⁰, past every int64 clock) under
+// the auto kernel, sharded runs at 1, 2, and 4 shards fold exactly the
+// in-process per-trial results, and a run killed mid-stream resumes from
+// its checkpoint to bit-identical aggregates. The auto kernel's window
+// leaping keeps a 10¹⁰-agent consensus trial in the milliseconds.
+func TestShardedLargeNByteIdenticalAndResumable(t *testing.T) {
+	cfg, err := conf.Uniform(10_000_000_000, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 8
+	const seed = 424
+	kern := core.KernelAuto(0)
+	spec := NewShardSpec(cfg, kern, core.NoBudget, 0, false)
+	specBytes, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []ShardResult
+	Stream(trials, 1, seed, func(i int, src *rng.Source, a *Arena) ShardResult {
+		r, err := runShardTrial(spec, cfg, kern, src, a)
+		if err != nil {
+			t.Errorf("trial %d: %v", i, err)
+		}
+		return r
+	}, func(_ int, r ShardResult) { want = append(want, r) })
+	for i, r := range want {
+		if r.Outcome != "consensus" {
+			t.Fatalf("trial %d outcome %q at n=1e10", i, r.Outcome)
+		}
+		if got := r.Interactions(); got.IsZero() {
+			t.Fatalf("trial %d: zero interaction clock", i)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		var got []ShardResult
+		res, err := dist.Run(dist.Options{
+			Shards:    shards,
+			MaxTrials: trials,
+			Seed:      seed,
+			Spec:      specBytes,
+			Launcher:  &dist.PipeLauncher{Build: ShardBuilder(1)},
+		}, func(i int, data []byte) error {
+			var r ShardResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return err
+			}
+			got = append(got, r)
+			return nil
+		}, nil, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Trials != trials || !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: folded %d trials, identical=%v", shards, res.Trials, reflect.DeepEqual(got, want))
+		}
+	}
+
+	// Kill after one wave, then resume from the checkpoint: the folded
+	// sequence must match the uninterrupted reference field for field.
+	ckpt := filepath.Join(t.TempDir(), "largen.ckpt")
+	killWaves := 1
+	killedFc := &foldCount{}
+	_, err = dist.Run(dist.Options{
+		Shards: 2, MaxTrials: trials, Wave: 4, Seed: seed, Spec: specBytes,
+		Launcher: &killAfterWaves{
+			inner: &dist.PipeLauncher{Build: ShardBuilder(1)}, waves: killWaves},
+		CheckpointPath: ckpt,
+		MaxRelaunches:  dist.NoRelaunch,
+		Log:            io.Discard,
+	}, func(i int, data []byte) error { killedFc.N++; return nil }, nil, killedFc)
+	if err == nil || !strings.Contains(err.Error(), "injected kill") {
+		t.Fatalf("expected injected kill, got %v", err)
+	}
+
+	var got []ShardResult
+	fc := &foldCount{}
+	res, err := dist.Run(dist.Options{
+		Shards: 2, MaxTrials: trials, Wave: 4, Seed: seed, Spec: specBytes,
+		Launcher:       &dist.PipeLauncher{Build: ShardBuilder(1)},
+		CheckpointPath: ckpt,
+	}, func(i int, data []byte) error {
+		var r ShardResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return err
+		}
+		if i != fc.N {
+			return fmt.Errorf("fold out of order: trial %d at position %d", i, fc.N)
+		}
+		fc.N++
+		got = append(got, r)
+		return nil
+	}, nil, fc)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.ResumedFrom == 0 {
+		t.Fatal("resume started from trial 0; the kill left no progress to resume")
+	}
+	if !reflect.DeepEqual(got, want[res.ResumedFrom:]) {
+		t.Fatalf("resumed tail diverged from uninterrupted reference (resumed from %d)", res.ResumedFrom)
+	}
+}
+
+// foldCount is a minimal checkpointable state: the number of folded trials.
+type foldCount struct {
+	N int `json:"n"`
+}
+
+func (s *foldCount) Snapshot() ([]byte, error) { return json.Marshal(s) }
+func (s *foldCount) Restore(b []byte) error    { return json.Unmarshal(b, s) }
 
 // killAfterWaves fails shard 0's command stream once its wave budget is
 // spent, simulating a coordinator killed mid-run (after wave w, before the
@@ -222,7 +339,7 @@ func TestShardedConsensusResumeMidWave(t *testing.T) {
 	// A rule that cannot fire keeps the cell running to the cap, so the
 	// kill lands mid-run for sure.
 	rule := ConsensusRule(1e-9, cap)
-	spec := NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false)
+	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
 
 	full := NewAdaptiveMetric("consensus T", rule)
 	fullRes, fullFailed, err := RunShardedConsensus(spec, full, ShardRunOptions{
@@ -299,7 +416,7 @@ func TestShardedConsensusSurvivesWorkerKill(t *testing.T) {
 	const cap = 30
 	const seed = 77
 	rule := ConsensusRule(1e-9, cap)
-	spec := NewShardSpec(cfg, core.KernelBatched(0), 0, 0, false)
+	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
 
 	full := NewAdaptiveMetric("consensus T", rule)
 	fullRes, fullFailed, err := RunShardedConsensus(spec, full, ShardRunOptions{
@@ -396,11 +513,11 @@ func TestStreamIndicesMatchesStream(t *testing.T) {
 	}
 	const trials = 12
 	trial := func(i int, src *rng.Source, a *Arena) int64 {
-		tt, _, err := consensusTime(a, cfg, src, 0, core.KernelExact)
+		tt, _, err := consensusTime(a, cfg, src, core.NoBudget, core.KernelExact)
 		if err != nil {
 			t.Errorf("trial %d: %v", i, err)
 		}
-		return tt
+		return int64(tt.Lo)
 	}
 	byIndex := map[int]int64{}
 	Stream(trials, 1, 42, trial, func(i int, v int64) { byIndex[i] = v })

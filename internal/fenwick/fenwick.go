@@ -15,7 +15,15 @@
 //
 // Both descents are exact (no rejection); the caller supplies a uniform
 // random threshold in [0, Total).
+//
+// Dual's square sums are u128.U128: with populations up to conf.MaxN = 10¹¹
+// both Σxᵢ² and the weighted total D·Σxᵢ − Σxᵢ² reach n² ≈ 10²² ≈ 2⁷⁴, past
+// int64. The value sums Σxᵢ stay int64 — they are bounded by n. All u128
+// arithmetic in the tree is exact: node sums are bounded by n² ≪ 2¹²⁸ and
+// every subtraction removes a quantity its minuend provably contains.
 package fenwick
+
+import "repro/internal/u128"
 
 // Tree is a Fenwick tree over n int64 values, all initially zero.
 // The zero value is not usable; construct with New or FromSlice.
@@ -111,8 +119,8 @@ func (t *Tree) Find(r int64) int {
 // The zero value is not usable; construct with NewDual or DualFromSlice.
 type Dual struct {
 	n    int
-	sx   []int64 // Fenwick over xᵢ
-	sx2  []int64 // Fenwick over xᵢ²
+	sx   []int64     // Fenwick over xᵢ (bounded by n, int64 suffices)
+	sx2  []u128.U128 // Fenwick over xᵢ² (reaches n² ≈ 2⁷⁴ at MaxN)
 	vals []int64
 	log  uint
 }
@@ -125,7 +133,7 @@ func NewDual(n int) *Dual {
 	return &Dual{
 		n:    n,
 		sx:   make([]int64, n+1),
-		sx2:  make([]int64, n+1),
+		sx2:  make([]u128.U128, n+1),
 		vals: make([]int64, n),
 		log:  highBit(n),
 	}
@@ -141,10 +149,10 @@ func DualFromSlice(xs []int64) *Dual {
 			panic("fenwick: DualFromSlice called with negative value")
 		}
 		d.sx[i+1] += v
-		d.sx2[i+1] += v * v
+		d.sx2[i+1] = d.sx2[i+1].Add(u128.Mul64(uint64(v), uint64(v)))
 		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
 			d.sx[parent] += d.sx[i+1]
-			d.sx2[parent] += d.sx2[i+1]
+			d.sx2[parent] = d.sx2[parent].Add(d.sx2[i+1])
 		}
 	}
 	return d
@@ -165,10 +173,23 @@ func (d *Dual) Add(i int, delta int64) {
 		panic("fenwick: Dual.Add would make value negative")
 	}
 	d.vals[i] = nv
-	d2 := nv*nv - old*old
-	for j := i + 1; j <= d.n; j += j & -j {
-		d.sx[j] += delta
-		d.sx2[j] += d2
+	// The square delta nv² − old² = delta·(nv+old) factors into a 64×64
+	// product (|delta| <= n and nv+old <= 2n both fit uint64 for any
+	// admissible population), applied by sign. The subtraction is exact:
+	// every node covering index i holds at least old² >= |nv²−old²| when
+	// delta is negative.
+	if delta >= 0 {
+		d2 := u128.Mul64(uint64(delta), uint64(nv+old))
+		for j := i + 1; j <= d.n; j += j & -j {
+			d.sx[j] += delta
+			d.sx2[j] = d.sx2[j].Add(d2)
+		}
+	} else {
+		d2 := u128.Mul64(uint64(-delta), uint64(nv+old))
+		for j := i + 1; j <= d.n; j += j & -j {
+			d.sx[j] += delta
+			d.sx2[j] = d.sx2[j].Sub(d2)
+		}
 	}
 }
 
@@ -176,7 +197,7 @@ func (d *Dual) Add(i int, delta int64) {
 func (d *Dual) Sum() int64 { return d.prefixX(d.n) }
 
 // SumSquares returns Σ xᵢ² over all indices.
-func (d *Dual) SumSquares() int64 { return d.prefixX2(d.n) }
+func (d *Dual) SumSquares() u128.U128 { return d.prefixX2(d.n) }
 
 func (d *Dual) prefixX(j int) int64 { // 1-based exclusive bound
 	var s int64
@@ -186,18 +207,19 @@ func (d *Dual) prefixX(j int) int64 { // 1-based exclusive bound
 	return s
 }
 
-func (d *Dual) prefixX2(j int) int64 {
-	var s int64
+func (d *Dual) prefixX2(j int) u128.U128 {
+	var s u128.U128
 	for ; j > 0; j -= j & -j {
-		s += d.sx2[j]
+		s = s.Add(d.sx2[j])
 	}
 	return s
 }
 
 // TotalWeighted returns Σᵢ (D·xᵢ − xᵢ²) = D·Σxᵢ − Σxᵢ². With D = Σxᵢ this is
 // the number of ordered pairs of decided agents holding different opinions.
-func (d *Dual) TotalWeighted(dTotal int64) int64 {
-	return dTotal*d.Sum() - d.SumSquares()
+// The subtraction is exact: Σxᵢ² <= D·Σxᵢ whenever every xᵢ <= D.
+func (d *Dual) TotalWeighted(dTotal int64) u128.U128 {
+	return u128.Mul64(uint64(dTotal), uint64(d.Sum())).Sub(d.SumSquares())
 }
 
 // FindWeighted returns the smallest index i such that the prefix sum of
@@ -205,18 +227,15 @@ func (d *Dual) TotalWeighted(dTotal int64) int64 {
 // (so all weights are non-negative) and 0 <= r < TotalWeighted(D). Sampling
 // r uniformly selects index i with probability wᵢ/Σw, the exact distribution
 // of the responder in a "decided meets differently-decided" interaction.
-func (d *Dual) FindWeighted(dTotal, r int64) int {
-	if r < 0 {
-		panic("fenwick: FindWeighted called with negative threshold")
-	}
+func (d *Dual) FindWeighted(dTotal int64, r u128.U128) int {
 	pos := 0
 	for step := 1 << d.log; step > 0; step >>= 1 {
 		next := pos + step
 		if next <= d.n {
-			w := dTotal*d.sx[next] - d.sx2[next]
-			if w <= r {
+			w := u128.Mul64(uint64(dTotal), uint64(d.sx[next])).Sub(d.sx2[next])
+			if w.Leq(r) {
 				pos = next
-				r -= w
+				r = r.Sub(w)
 			}
 		}
 	}
@@ -266,14 +285,14 @@ func (d *Dual) SetAll(xs []int64) {
 	copy(d.vals, xs)
 	for i := range d.sx {
 		d.sx[i] = 0
-		d.sx2[i] = 0
+		d.sx2[i] = u128.U128{}
 	}
 	for i, v := range xs {
 		d.sx[i+1] += v
-		d.sx2[i+1] += v * v
+		d.sx2[i+1] = d.sx2[i+1].Add(u128.Mul64(uint64(v), uint64(v)))
 		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
 			d.sx[parent] += d.sx[i+1]
-			d.sx2[parent] += d.sx2[i+1]
+			d.sx2[parent] = d.sx2[parent].Add(d.sx2[i+1])
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package fenwick
 
 import (
+	"math/big"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func naivePrefix(xs []int64, i int) int64 {
@@ -176,16 +178,16 @@ func TestDualBasics(t *testing.T) {
 	if got := d.Sum(); got != 8 {
 		t.Fatalf("Sum = %d, want 8", got)
 	}
-	if got := d.SumSquares(); got != 34 {
-		t.Fatalf("SumSquares = %d, want 34", got)
+	if got := d.SumSquares(); got != u128.From64(34) {
+		t.Fatalf("SumSquares = %v, want 34", got)
 	}
 	// D = 8: weights are x_i*(8-x_i): [15, 0, 15, 0], total 30.
-	if got := d.TotalWeighted(8); got != 30 {
-		t.Fatalf("TotalWeighted(8) = %d, want 30", got)
+	if got := d.TotalWeighted(8); got != u128.From64(30) {
+		t.Fatalf("TotalWeighted(8) = %v, want 30", got)
 	}
 	d.Add(2, -5)
-	if got := d.SumSquares(); got != 9 {
-		t.Fatalf("SumSquares after removal = %d, want 9", got)
+	if got := d.SumSquares(); got != u128.From64(9) {
+		t.Fatalf("SumSquares after removal = %v, want 9", got)
 	}
 }
 
@@ -197,11 +199,12 @@ func TestDualFromSliceMatchesIncremental(t *testing.T) {
 		b.Add(i, v)
 	}
 	if a.Sum() != b.Sum() || a.SumSquares() != b.SumSquares() {
-		t.Fatalf("FromSlice (%d,%d) != incremental (%d,%d)",
+		t.Fatalf("FromSlice (%d,%v) != incremental (%d,%v)",
 			a.Sum(), a.SumSquares(), b.Sum(), b.SumSquares())
 	}
-	for r := int64(0); r < a.TotalWeighted(a.Sum()); r++ {
-		if a.FindWeighted(a.Sum(), r) != b.FindWeighted(b.Sum(), r) {
+	total := a.TotalWeighted(a.Sum())
+	for r := int64(0); u128.From64(r).Less(total); r++ {
+		if a.FindWeighted(a.Sum(), u128.From64(r)) != b.FindWeighted(b.Sum(), u128.From64(r)) {
 			t.Fatalf("FindWeighted diverges at r=%d", r)
 		}
 	}
@@ -213,7 +216,7 @@ func TestDualSetAllMatchesFromSlice(t *testing.T) {
 	d.SetAll(xs)
 	ref := DualFromSlice(xs)
 	if d.Sum() != ref.Sum() || d.SumSquares() != ref.SumSquares() {
-		t.Fatalf("SetAll (%d,%d) != fresh (%d,%d)",
+		t.Fatalf("SetAll (%d,%v) != fresh (%d,%v)",
 			d.Sum(), d.SumSquares(), ref.Sum(), ref.SumSquares())
 	}
 	for i := range xs {
@@ -227,8 +230,9 @@ func TestDualSetAllMatchesFromSlice(t *testing.T) {
 		}
 	}
 	dTotal := d.Sum()
-	for r := int64(0); r < d.TotalWeighted(dTotal); r++ {
-		if d.FindWeighted(dTotal, r) != ref.FindWeighted(dTotal, r) {
+	wTotal := d.TotalWeighted(dTotal)
+	for r := int64(0); u128.From64(r).Less(wTotal); r++ {
+		if d.FindWeighted(dTotal, u128.From64(r)) != ref.FindWeighted(dTotal, u128.From64(r)) {
 			t.Fatalf("FindWeighted diverges at r=%d", r)
 		}
 	}
@@ -282,17 +286,18 @@ func TestDualFindWeightedPropertyVsNaive(t *testing.T) {
 		}
 		d := DualFromSlice(xs)
 		dTotal := d.Sum() // weights x_i(D - x_i) with D = sum: all valid
-		total := d.TotalWeighted(dTotal)
-		if total <= 0 {
+		wTotal := d.TotalWeighted(dTotal)
+		if wTotal.IsZero() {
 			return true
 		}
+		total := int64(wTotal.Lo) // bounded by 48·50·2400 ≪ 2⁶³
 		step := max64(1, total/23)
 		for r := int64(0); r < total; r += step {
-			if d.FindWeighted(dTotal, r) != naiveFindWeighted(xs, dTotal, r) {
+			if d.FindWeighted(dTotal, u128.From64(r)) != naiveFindWeighted(xs, dTotal, r) {
 				return false
 			}
 		}
-		return d.FindWeighted(dTotal, total-1) == naiveFindWeighted(xs, dTotal, total-1)
+		return d.FindWeighted(dTotal, u128.From64(total-1)) == naiveFindWeighted(xs, dTotal, total-1)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -305,12 +310,12 @@ func TestDualSamplingDistribution(t *testing.T) {
 	xs := []int64{10, 0, 5, 25, 60}
 	d := DualFromSlice(xs)
 	dTotal := d.Sum()
-	total := d.TotalWeighted(dTotal)
+	total := int64(d.TotalWeighted(dTotal).Lo)
 	src := rng.New(123)
 	const trials = 200000
 	counts := make([]int64, len(xs))
 	for i := 0; i < trials; i++ {
-		counts[d.FindWeighted(dTotal, src.Int63n(total))]++
+		counts[d.FindWeighted(dTotal, u128.From64(src.Int63n(total)))]++
 	}
 	for i, v := range xs {
 		w := v * (dTotal - v)
@@ -322,6 +327,70 @@ func TestDualSamplingDistribution(t *testing.T) {
 		if w > 0 && abs(got-want) > 5*sqrtf(want) {
 			t.Fatalf("index %d sampled %v times, want ~%v", i, got, want)
 		}
+	}
+}
+
+// TestDualMaxNScale exercises the 128-bit square-sum path with supports at
+// the 10¹¹ population scale, where Σxᵢ² and the weighted total overflow
+// int64, checking every query and descent against math/big.
+func TestDualMaxNScale(t *testing.T) {
+	const maxN = int64(100_000_000_000)
+	xs := []int64{maxN / 2, 0, maxN / 3, maxN / 7, maxN/2 - maxN/3 - maxN/7}
+	d := DualFromSlice(xs)
+	dTotal := d.Sum()
+	if dTotal != maxN {
+		t.Fatalf("Sum = %d, want %d", dTotal, maxN)
+	}
+	big64 := func(v int64) *big.Int { return big.NewInt(v) }
+	u2big := func(x u128.U128) *big.Int {
+		b := new(big.Int).SetUint64(x.Hi)
+		b.Lsh(b, 64)
+		return b.Or(b, new(big.Int).SetUint64(x.Lo))
+	}
+	wantSq, wantTotal := new(big.Int), new(big.Int)
+	weights := make([]*big.Int, len(xs))
+	for i, v := range xs {
+		sq := new(big.Int).Mul(big64(v), big64(v))
+		wantSq.Add(wantSq, sq)
+		w := new(big.Int).Mul(big64(dTotal), big64(v))
+		w.Sub(w, sq)
+		weights[i] = w
+		wantTotal.Add(wantTotal, w)
+	}
+	if got := u2big(d.SumSquares()); got.Cmp(wantSq) != 0 {
+		t.Fatalf("SumSquares = %v, want %v", got, wantSq)
+	}
+	if got := u2big(d.TotalWeighted(dTotal)); got.Cmp(wantTotal) != 0 {
+		t.Fatalf("TotalWeighted = %v, want %v", got, wantTotal)
+	}
+	if wantSq.BitLen() <= 63 {
+		t.Fatalf("test is not exercising the >int64 regime (Σx² has %d bits)", wantSq.BitLen())
+	}
+	// Each slot's cumulative weight band must descend to exactly that slot,
+	// at both band edges.
+	cum := new(big.Int)
+	for i, w := range weights {
+		if w.Sign() > 0 {
+			lo := new(big.Int).Set(cum)
+			hi := new(big.Int).Add(cum, w)
+			hi.Sub(hi, big.NewInt(1))
+			for _, r := range []*big.Int{lo, hi} {
+				rq, rr := new(big.Int).QuoRem(r, new(big.Int).Lsh(big.NewInt(1), 64), new(big.Int))
+				ru := u128.U128{Hi: rq.Uint64(), Lo: rr.Uint64()}
+				if got := d.FindWeighted(dTotal, ru); got != i {
+					t.Fatalf("FindWeighted(r=%v) = %d, want %d", r, got, i)
+				}
+			}
+		}
+		cum.Add(cum, w)
+	}
+	// A point update at this scale keeps the square sums exact.
+	d.Add(0, -maxN/4)
+	wantSq.Sub(wantSq, new(big.Int).Mul(big64(maxN/2), big64(maxN/2)))
+	nv := maxN/2 - maxN/4
+	wantSq.Add(wantSq, new(big.Int).Mul(big64(nv), big64(nv)))
+	if got := u2big(d.SumSquares()); got.Cmp(wantSq) != 0 {
+		t.Fatalf("SumSquares after Add = %v, want %v", got, wantSq)
 	}
 }
 
@@ -410,11 +479,11 @@ func BenchmarkDualFindWeighted(b *testing.B) {
 	}
 	d := DualFromSlice(xs)
 	dTotal := d.Sum()
-	total := d.TotalWeighted(dTotal)
+	total := int64(d.TotalWeighted(dTotal).Lo)
 	src := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = d.FindWeighted(dTotal, src.Int63n(total))
+		_ = d.FindWeighted(dTotal, u128.From64(src.Int63n(total)))
 	}
 }
 

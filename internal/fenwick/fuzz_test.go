@@ -2,6 +2,8 @@ package fenwick
 
 import (
 	"testing"
+
+	"repro/internal/u128"
 )
 
 // FuzzDual drives a Dual tree through an arbitrary interleaving of SetAll,
@@ -45,11 +47,11 @@ func FuzzDual(f *testing.F) {
 			if got := d.Sum(); got != sum {
 				t.Fatalf("Sum = %d, model %d (model %v)", got, sum, model)
 			}
-			if got := d.SumSquares(); got != sum2 {
-				t.Fatalf("SumSquares = %d, model %d (model %v)", got, sum2, model)
+			if got := d.SumSquares(); got != u128.From64(sum2) {
+				t.Fatalf("SumSquares = %v, model %d (model %v)", got, sum2, model)
 			}
-			if got, want := d.TotalWeighted(sum), sum*sum-sum2; got != want {
-				t.Fatalf("TotalWeighted(%d) = %d, want %d (model %v)", sum, got, want, model)
+			if got, want := d.TotalWeighted(sum), u128.From64(sum*sum-sum2); got != want {
+				t.Fatalf("TotalWeighted(%d) = %v, want %v (model %v)", sum, got, want, model)
 			}
 			if vals := d.Values(nil); len(vals) != n {
 				t.Fatalf("Values returned %d slots, want %d", len(vals), n)
@@ -74,10 +76,10 @@ func FuzzDual(f *testing.F) {
 			for i, v := range model {
 				w := sum*v - v*v
 				if w > 0 {
-					if got := d.FindWeighted(sum, wcum); got != i {
+					if got := d.FindWeighted(sum, u128.From64(wcum)); got != i {
 						t.Fatalf("FindWeighted(%d, %d) = %d, want %d (model %v)", sum, wcum, got, i, model)
 					}
-					if got := d.FindWeighted(sum, wcum+w-1); got != i {
+					if got := d.FindWeighted(sum, u128.From64(wcum+w-1)); got != i {
 						t.Fatalf("FindWeighted(%d, %d) = %d, want %d (model %v)", sum, wcum+w-1, got, i, model)
 					}
 				}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func mustState(t *testing.T, a []float64, u float64) State {
@@ -266,10 +267,10 @@ func TestStochasticTrajectoryTracksFluid(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		budget := int64(horizon * float64(n))
+		budget := u128.FromFloat64(horizon * float64(n))
 		var worst float64
 		sim.RunObserved(budget, func(s *core.Simulator, ev core.Event) {
-			tau := float64(ev.Interactions) / float64(n)
+			tau := ev.Interactions.Float64() / float64(n)
 			fluidU, ok := grid[int(tau*1000+0.5)]
 			if !ok {
 				return

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/u128"
 )
 
 // Count is the number of analysis phases.
@@ -37,14 +38,18 @@ type View interface {
 	// Supports appends the per-opinion supports to dst.
 	Supports(dst []int64) []int64
 	// Interactions returns the interaction clock.
-	Interactions() int64
+	Interactions() u128.U128
 }
 
-// Times records when each phase ended, in interactions.
+// Times records when each phase ended, in interactions. The clock is a
+// 128-bit saturating counter (n² exceeds int64 once n > ⌊√MaxInt64⌋), so
+// "not ended" is carried by the Ended flags rather than a -1 sentinel.
 type Times struct {
-	// End[p] is the interaction clock at which phase p+1 ended, or -1 if
-	// the phase has not ended.
-	End [Count]int64
+	// End[p] is the interaction clock at which phase p+1 ended. It is
+	// meaningful only when Ended[p] is true.
+	End [Count]u128.U128
+	// Ended[p] reports whether phase p+1 has ended.
+	Ended [Count]bool
 	// LeaderAtT2 is the opinion that was the unique significant opinion
 	// when phase 2 ended, or -1. The paper shows the eventual winner is
 	// fixed from this moment on.
@@ -53,30 +58,26 @@ type Times struct {
 
 // NewTimes returns a Times with no phase ended.
 func NewTimes() Times {
-	t := Times{LeaderAtT2: -1}
-	for i := range t.End {
-		t.End[i] = -1
-	}
-	return t
+	return Times{LeaderAtT2: -1}
 }
 
 // Reached reports whether phase p (1-based) has ended.
 func (t Times) Reached(p int) bool {
-	return p >= 1 && p <= Count && t.End[p-1] >= 0
+	return p >= 1 && p <= Count && t.Ended[p-1]
 }
 
 // Duration returns the length of phase p (1-based) in interactions:
-// End[p] − End[p−1], with phase 1 starting at 0. It returns -1 if the phase
-// has not ended.
-func (t Times) Duration(p int) int64 {
+// End[p] − End[p−1], with phase 1 starting at 0. The second result is false
+// if the phase has not ended.
+func (t Times) Duration(p int) (u128.U128, bool) {
 	if !t.Reached(p) {
-		return -1
+		return u128.U128{}, false
 	}
-	start := int64(0)
+	start := u128.U128{}
 	if p > 1 {
 		start = t.End[p-2]
 	}
-	return t.End[p-1] - start
+	return t.End[p-1].Sub(start), true
 }
 
 // DefaultCheckInterval returns the default number of observations between
@@ -212,6 +213,7 @@ func (tr *Tracker) check(v View) {
 			return
 		}
 		tr.times.End[tr.next] = t
+		tr.times.Ended[tr.next] = true
 		if tr.next == 1 { // phase 2 just ended: record the unique leader
 			tr.times.LeaderAtT2 = maxIdx
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 // fakeView is a hand-rolled View for unit tests.
@@ -21,7 +22,7 @@ func (f *fakeView) N() int64                     { return f.n }
 func (f *fakeView) K() int                       { return len(f.xs) }
 func (f *fakeView) Undecided() int64             { return f.u }
 func (f *fakeView) Supports(dst []int64) []int64 { return append(dst, f.xs...) }
-func (f *fakeView) Interactions() int64          { return f.t }
+func (f *fakeView) Interactions() u128.U128      { return u128.From64(f.t) }
 
 func TestNewTimes(t *testing.T) {
 	tm := NewTimes()
@@ -29,8 +30,8 @@ func TestNewTimes(t *testing.T) {
 		if tm.Reached(p) {
 			t.Fatalf("fresh Times reports phase %d reached", p)
 		}
-		if tm.Duration(p) != -1 {
-			t.Fatalf("fresh Times duration %d != -1", p)
+		if _, ok := tm.Duration(p); ok {
+			t.Fatalf("fresh Times reports a duration for phase %d", p)
 		}
 	}
 	if tm.LeaderAtT2 != -1 {
@@ -56,7 +57,7 @@ func TestPhasesDetectedInOrder(t *testing.T) {
 	// stays below the phase-2 threshold sqrt(1000 ln 1000) ~ 83.1.
 	v.u, v.xs, v.t = 300, []int64{400, 350}, 10
 	tr.Observe(v)
-	if !tr.Times().Reached(1) || tr.Times().End[0] != 10 {
+	if !tr.Times().Reached(1) || tr.Times().End[0] != u128.From64(10) {
 		t.Fatalf("phase 1 not detected: %+v", tr.Times())
 	}
 	if tr.Times().Reached(2) {
@@ -66,7 +67,7 @@ func TestPhasesDetectedInOrder(t *testing.T) {
 	// End phase 2: gap 430-300=130 >= 83.1.
 	v.xs, v.t = []int64{430, 300}, 20
 	tr.Observe(v)
-	if !tr.Times().Reached(2) || tr.Times().End[1] != 20 {
+	if !tr.Times().Reached(2) || tr.Times().End[1] != u128.From64(20) {
 		t.Fatalf("phase 2 not detected: %+v", tr.Times())
 	}
 	if tr.Times().LeaderAtT2 != 0 {
@@ -77,21 +78,21 @@ func TestPhasesDetectedInOrder(t *testing.T) {
 	v.xs, v.t = []int64{500, 250}, 30
 	v.u = 250
 	tr.Observe(v)
-	if !tr.Times().Reached(3) || tr.Times().End[2] != 30 {
+	if !tr.Times().Reached(3) || tr.Times().End[2] != u128.From64(30) {
 		t.Fatalf("phase 3 not detected: %+v", tr.Times())
 	}
 
 	// End phase 4: 3*700 >= 2*1000.
 	v.xs, v.u, v.t = []int64{700, 100}, 200, 40
 	tr.Observe(v)
-	if !tr.Times().Reached(4) || tr.Times().End[3] != 40 {
+	if !tr.Times().Reached(4) || tr.Times().End[3] != u128.From64(40) {
 		t.Fatalf("phase 4 not detected: %+v", tr.Times())
 	}
 
 	// End phase 5: consensus.
 	v.xs, v.u, v.t = []int64{1000, 0}, 0, 50
 	tr.Observe(v)
-	if !tr.Times().Reached(5) || tr.Times().End[4] != 50 {
+	if !tr.Times().Reached(5) || tr.Times().End[4] != u128.From64(50) {
 		t.Fatalf("phase 5 not detected: %+v", tr.Times())
 	}
 	if !tr.Done() {
@@ -101,8 +102,8 @@ func TestPhasesDetectedInOrder(t *testing.T) {
 	// Durations.
 	want := []int64{10, 10, 10, 10, 10}
 	for p := 1; p <= Count; p++ {
-		if got := tr.Times().Duration(p); got != want[p-1] {
-			t.Fatalf("duration(%d) = %d, want %d", p, got, want[p-1])
+		if got, ok := tr.Times().Duration(p); !ok || got != u128.From64(want[p-1]) {
+			t.Fatalf("duration(%d) = %v (ok=%v), want %d", p, got, ok, want[p-1])
 		}
 	}
 }
@@ -114,7 +115,7 @@ func TestMultiplePhasesEndAtOnce(t *testing.T) {
 	v := &fakeView{n: 100, xs: []int64{100, 0}, u: 0, t: 7}
 	tr.Observe(v)
 	for p := 1; p <= Count; p++ {
-		if !tr.Times().Reached(p) || tr.Times().End[p-1] != 7 {
+		if !tr.Times().Reached(p) || tr.Times().End[p-1] != u128.From64(7) {
 			t.Fatalf("phase %d not ended at t=7: %+v", p, tr.Times())
 		}
 	}
@@ -204,25 +205,25 @@ func TestTrackerAgainstRealRun(t *testing.T) {
 	}
 	tr := NewTracker()
 	tr.Observe(s)
-	res := s.RunObserved(0, func(sim *core.Simulator, _ core.Event) {
+	res := s.RunObserved(core.NoBudget, func(sim *core.Simulator, _ core.Event) {
 		tr.Observe(sim)
 	})
 	if res.Outcome != core.OutcomeConsensus {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
 	times := tr.Times()
-	prev := int64(0)
+	var prev u128.U128
 	for p := 1; p <= Count; p++ {
 		if !times.Reached(p) {
 			t.Fatalf("phase %d never ended: %+v", p, times)
 		}
-		if times.End[p-1] < prev {
+		if times.End[p-1].Less(prev) {
 			t.Fatalf("phase times decreasing: %+v", times)
 		}
 		prev = times.End[p-1]
 	}
 	if times.End[4] != res.Interactions {
-		t.Fatalf("T5 = %d but consensus at %d", times.End[4], res.Interactions)
+		t.Fatalf("T5 = %v but consensus at %v", times.End[4], res.Interactions)
 	}
 	if times.LeaderAtT2 != res.Winner {
 		t.Fatalf("leader at T2 = %d but winner = %d (paper: winner fixed after T2)",

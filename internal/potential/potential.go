@@ -130,7 +130,7 @@ func UndecidedProbs(c *conf.Config) Probs {
 	n := float64(c.N())
 	u := float64(c.Undecided)
 	d := n - u
-	r2 := float64(c.SumSquares())
+	r2 := c.SumSquares().Float64()
 	return Probs{
 		Down: u * d / (n * n),
 		Up:   (d*d - r2) / (n * n),

@@ -1,0 +1,117 @@
+package rng
+
+import (
+	"math"
+
+	"repro/internal/u128"
+)
+
+// This file holds the 128-bit counterparts of the clock-scale samplers.
+// With conf.MaxN = 10¹¹ the pair-interaction quantities (n², the productive
+// weight W, thresholds uniform in [0, W), geometric jumps and
+// negative-binomial spans at success probability w/n²) reach ~10²² ≈ 2⁷⁴,
+// so their draws are u128.U128 values. The int64 samplers remain for
+// quantities bounded by the population (agent indices, counts, trial
+// budgets in trials).
+
+// Uint128n returns a uniform value in [0, n). n must be nonzero.
+//
+// When n fits in 64 bits the draw delegates to Uint64n, consuming exactly
+// the uniforms the pre-u128 simulator consumed — this is what keeps
+// trajectories for populations below the old cap on the same raw stream.
+// Wider n uses mask rejection: a candidate of exactly Len(n) bits is
+// assembled from two raw outputs (high word first) and rejected until it
+// falls below n. The candidate space is [0, 2^Len(n)) with n > 2^(Len(n)−1),
+// so each round accepts with probability > 1/2 and the expected cost is
+// fewer than two rounds.
+func (r *Source) Uint128n(n u128.U128) u128.U128 {
+	if n.Hi == 0 {
+		if n.Lo == 0 {
+			panic("rng: Uint128n called with n == 0")
+		}
+		return u128.FromU64(r.Uint64n(n.Lo))
+	}
+	shift := uint(128 - n.Len()) // 0..63: bits to discard from the high word
+	for {
+		v := u128.U128{Hi: r.Uint64() >> shift, Lo: r.Uint64()}
+		if v.Less(n) {
+			return v
+		}
+	}
+}
+
+// GeometricU128 returns the number of independent Bernoulli(p) trials up to
+// and including the first success; the support is {1, 2, ...}. It requires
+// p in (0, 1]. Unlike Geometric there is no 2⁵⁶ cap: the sample saturates
+// at u128.Max, which is unreachable for any p >= 2⁻¹²⁸ — at the simulator's
+// smallest probability, p = 1/MaxN² = 10⁻²², the distribution's essential
+// support ends near 10²⁴ ≈ 2⁸⁰. One uniform is consumed, the same draw
+// Geometric makes, so the two samplers are stream-interchangeable.
+func (r *Source) GeometricU128(p float64) u128.U128 {
+	if p >= 1 {
+		return u128.U128{Lo: 1}
+	}
+	if p <= 0 {
+		panic("rng: GeometricU128 called with p <= 0")
+	}
+	return r.geometricInvU128(1 / math.Log1p(-p))
+}
+
+// geometricInvU128 is GeometricU128 by inversion with the reciprocal log
+// already computed, the u128 analogue of geometricInv: G = floor(log(1−U) ·
+// invLogQ) + 1. The float64 result is exact until G exceeds 2⁵³ and within
+// one ulp of the true inversion beyond it — indistinguishable from exact
+// sampling, since adjacent support points up there differ by probability
+// < 2⁻⁵³·p. FromFloat64 maps a NaN product (invLogQ = −Inf when p
+// underflows) to saturation.
+func (r *Source) geometricInvU128(invLogQ float64) u128.U128 {
+	u := r.Float64()
+	g := math.Floor(math.Log1p(-u)*invLogQ) + 1
+	if g < 1 {
+		return u128.U128{Lo: 1}
+	}
+	return u128.FromFloat64(g)
+}
+
+// NegativeBinomialU128 returns the number of independent Bernoulli(p) trials
+// up to and including the m-th success, for m >= 0 and p in (0, 1]: the
+// u128 analogue of NegativeBinomial, with the int64 clamp replaced by
+// saturation at u128.Max. The method selection and the raw draws consumed
+// are identical to NegativeBinomial's in every regime — exact CDF inversion
+// over failures, a sum of m uncapped geometrics, or the normal
+// approximation — so the two samplers are stream-interchangeable.
+func (r *Source) NegativeBinomialU128(m int64, p float64) u128.U128 {
+	switch {
+	case m < 0:
+		panic("rng: NegativeBinomialU128 called with m < 0")
+	case m == 0:
+		return u128.U128{}
+	case p <= 0:
+		panic("rng: NegativeBinomialU128 called with p <= 0")
+	case p >= 1:
+		return u128.From64(m)
+	case m <= nbExactLimit:
+		if float64(m)*(1-p)/p <= nbInvLimit {
+			// The inversion walk's trial count m + F stays far below 2⁶³
+			// in its admitted regime (m <= 256, E[F] <= 512 with an
+			// exponentially bounded tail), so the int64 walk is reused
+			// verbatim.
+			return u128.From64(r.negativeBinomialInv(m, p))
+		}
+		var total u128.U128
+		invLogQ := 1 / math.Log1p(-p)
+		for i := int64(0); i < m; i++ {
+			total = total.Add(r.geometricInvU128(invLogQ))
+		}
+		return total
+	default:
+		mf := float64(m)
+		mean := mf / p
+		std := math.Sqrt(mf*(1-p)) / p
+		t := math.Round(mean + std*r.Normal())
+		if t < mf {
+			return u128.From64(m)
+		}
+		return u128.FromFloat64(t) // NaN and overflow saturate at Max
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/u128"
 )
 
 // Series is a named sequence of (x, y) points.
@@ -34,10 +36,10 @@ func (s *Series) Len() int { return len(s.X) }
 // last).
 type Recorder struct {
 	// Every is the minimum clock distance between recorded points.
-	Every int64
+	Every u128.U128
 	// Series receives the recorded points.
 	Series *Series
-	last   int64
+	last   u128.U128
 	primed bool
 }
 
@@ -47,26 +49,27 @@ func NewRecorder(name string, every int64) *Recorder {
 	if every < 1 {
 		every = 1
 	}
-	return &Recorder{Every: every, Series: &Series{Name: name}}
+	return &Recorder{Every: u128.From64(every), Series: &Series{Name: name}}
 }
 
 // Observe offers a point at interaction clock t; it is recorded if it is
 // the first point or at least Every interactions after the previous one.
-func (r *Recorder) Observe(t int64, y float64) {
-	if r.primed && t-r.last < r.Every {
+// The clock is monotone, so t − last never saturates below zero.
+func (r *Recorder) Observe(t u128.U128, y float64) {
+	if r.primed && t.Sub(r.last).Less(r.Every) {
 		return
 	}
-	r.Series.Add(float64(t), y)
+	r.Series.Add(t.Float64(), y)
 	r.last = t
 	r.primed = true
 }
 
 // Final forces the last point of a run to be recorded.
-func (r *Recorder) Final(t int64, y float64) {
+func (r *Recorder) Final(t u128.U128, y float64) {
 	if r.primed && r.last == t {
 		return
 	}
-	r.Series.Add(float64(t), y)
+	r.Series.Add(t.Float64(), y)
 	r.last = t
 	r.primed = true
 }

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/u128"
 )
 
 func TestSeriesAdd(t *testing.T) {
@@ -16,11 +18,11 @@ func TestSeriesAdd(t *testing.T) {
 
 func TestRecorderInterval(t *testing.T) {
 	r := NewRecorder("u", 10)
-	r.Observe(0, 1)  // first: recorded
-	r.Observe(5, 2)  // too close: dropped
-	r.Observe(10, 3) // recorded
-	r.Observe(19, 4) // dropped
-	r.Observe(25, 5) // recorded
+	r.Observe(u128.From64(0), 1)  // first: recorded
+	r.Observe(u128.From64(5), 2)  // too close: dropped
+	r.Observe(u128.From64(10), 3) // recorded
+	r.Observe(u128.From64(19), 4) // dropped
+	r.Observe(u128.From64(25), 5) // recorded
 	if r.Series.Len() != 3 {
 		t.Fatalf("recorded %d points, want 3: %+v", r.Series.Len(), r.Series)
 	}
@@ -31,14 +33,14 @@ func TestRecorderInterval(t *testing.T) {
 
 func TestRecorderFinal(t *testing.T) {
 	r := NewRecorder("u", 100)
-	r.Observe(0, 1)
-	r.Observe(50, 2) // dropped
-	r.Final(50, 2)   // forced
+	r.Observe(u128.From64(0), 1)
+	r.Observe(u128.From64(50), 2) // dropped
+	r.Final(u128.From64(50), 2)   // forced
 	if r.Series.Len() != 2 {
 		t.Fatalf("recorded %d points, want 2", r.Series.Len())
 	}
 	// Final at the already-recorded clock must not duplicate.
-	r.Final(50, 2)
+	r.Final(u128.From64(50), 2)
 	if r.Series.Len() != 2 {
 		t.Fatal("Final duplicated a point")
 	}
@@ -46,11 +48,11 @@ func TestRecorderFinal(t *testing.T) {
 
 func TestRecorderEveryClamped(t *testing.T) {
 	r := NewRecorder("u", -5)
-	if r.Every != 1 {
-		t.Fatalf("Every = %d, want 1", r.Every)
+	if r.Every != u128.From64(1) {
+		t.Fatalf("Every = %v, want 1", r.Every)
 	}
-	r.Observe(1, 1)
-	r.Observe(2, 2)
+	r.Observe(u128.From64(1), 1)
+	r.Observe(u128.From64(2), 2)
 	if r.Series.Len() != 2 {
 		t.Fatal("every=1 must record all points")
 	}

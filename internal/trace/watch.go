@@ -1,6 +1,9 @@
 package trace
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/u128"
+)
 
 // BoundedRecorder records a trajectory in bounded memory: it keeps at most
 // MaxPoints points and, when full, halves the stored points and doubles its
@@ -12,8 +15,8 @@ type BoundedRecorder struct {
 	// Series receives the recorded points.
 	Series *Series
 	max    int
-	every  int64 // current minimum clock distance between points
-	last   int64
+	every  u128.U128 // current minimum clock distance between points
+	last   u128.U128
 	primed bool
 }
 
@@ -26,37 +29,37 @@ func NewBoundedRecorder(name string, maxPoints int) *BoundedRecorder {
 	if maxPoints < minBoundedPoints {
 		maxPoints = minBoundedPoints
 	}
-	return &BoundedRecorder{Series: &Series{Name: name}, max: maxPoints, every: 1}
+	return &BoundedRecorder{Series: &Series{Name: name}, max: maxPoints, every: u128.U128{Lo: 1}}
 }
 
 // Observe offers a point at interaction clock t. It is recorded if it is
 // the first point or at least the current stride after the previous one;
 // when the buffer is full, every other stored point is dropped and the
 // stride doubles.
-func (r *BoundedRecorder) Observe(t int64, y float64) {
-	if r.primed && t-r.last < r.every {
+func (r *BoundedRecorder) Observe(t u128.U128, y float64) {
+	if r.primed && t.Sub(r.last).Less(r.every) {
 		return
 	}
 	if r.Series.Len() >= r.max {
 		r.compact()
 		// The survivor spacing is now >= the doubled stride, but the last
 		// stored point may still be too close to t; re-check.
-		if t-r.last < r.every {
+		if t.Sub(r.last).Less(r.every) {
 			return
 		}
 	}
-	r.Series.Add(float64(t), y)
+	r.Series.Add(t.Float64(), y)
 	r.last = t
 	r.primed = true
 }
 
 // Final forces the last point of a run to be recorded (it may exceed the
 // cap by one point).
-func (r *BoundedRecorder) Final(t int64, y float64) {
+func (r *BoundedRecorder) Final(t u128.U128, y float64) {
 	if r.primed && r.last == t {
 		return
 	}
-	r.Series.Add(float64(t), y)
+	r.Series.Add(t.Float64(), y)
 	r.last = t
 	r.primed = true
 }
@@ -66,8 +69,8 @@ func (r *BoundedRecorder) Final(t int64, y float64) {
 func (r *BoundedRecorder) Reset() {
 	r.Series.X = r.Series.X[:0]
 	r.Series.Y = r.Series.Y[:0]
-	r.every = 1
-	r.last = 0
+	r.every = u128.U128{Lo: 1}
+	r.last = u128.U128{}
 	r.primed = false
 }
 
@@ -84,9 +87,11 @@ func (r *BoundedRecorder) compact() {
 	}
 	s.X = s.X[:keep]
 	s.Y = s.Y[:keep]
-	r.every *= 2
+	r.every = r.every.Add(r.every)
 	if keep > 0 {
-		r.last = int64(s.X[keep-1])
+		// X stores the float64-rounded clock; the stride check only needs
+		// spacing, so the rounded value is a faithful enough last-clock.
+		r.last = u128.FromFloat64(s.X[keep-1])
 	}
 }
 

@@ -6,12 +6,13 @@ import (
 	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
 
 func TestBoundedRecorderStaysBounded(t *testing.T) {
 	r := NewBoundedRecorder("u", 16)
 	for i := int64(0); i < 100000; i++ {
-		r.Observe(i, float64(i))
+		r.Observe(u128.From64(i), float64(i))
 	}
 	if got := r.Series.Len(); got > 16 {
 		t.Fatalf("recorded %d points, cap 16", got)
@@ -37,7 +38,7 @@ func TestBoundedRecorderIrregularClock(t *testing.T) {
 	clock := int64(0)
 	for i := int64(1); i < 4000; i++ {
 		clock += i * i % 977
-		r.Observe(clock, 1)
+		r.Observe(u128.From64(clock), 1)
 	}
 	if got := r.Series.Len(); got > 32 {
 		t.Fatalf("recorded %d points, cap 32", got)
@@ -47,14 +48,14 @@ func TestBoundedRecorderIrregularClock(t *testing.T) {
 func TestBoundedRecorderFinal(t *testing.T) {
 	r := NewBoundedRecorder("u", 8)
 	for i := int64(0); i < 1000; i += 3 {
-		r.Observe(i, float64(i))
+		r.Observe(u128.From64(i), float64(i))
 	}
-	r.Final(1234, 42)
+	r.Final(u128.From64(1234), 42)
 	last := r.Series.Len() - 1
 	if r.Series.X[last] != 1234 || r.Series.Y[last] != 42 {
 		t.Fatalf("final point (%v, %v)", r.Series.X[last], r.Series.Y[last])
 	}
-	r.Final(1234, 42) // idempotent at the same clock
+	r.Final(u128.From64(1234), 42) // idempotent at the same clock
 	if r.Series.Len() != last+1 {
 		t.Fatal("duplicate final point recorded")
 	}
@@ -63,13 +64,13 @@ func TestBoundedRecorderFinal(t *testing.T) {
 func TestBoundedRecorderReset(t *testing.T) {
 	r := NewBoundedRecorder("u", 8)
 	for i := int64(0); i < 500; i++ {
-		r.Observe(i, 1)
+		r.Observe(u128.From64(i), 1)
 	}
 	r.Reset()
 	if r.Series.Len() != 0 {
 		t.Fatalf("Reset left %d points", r.Series.Len())
 	}
-	r.Observe(0, 5)
+	r.Observe(u128.U128{}, 5)
 	if r.Series.Len() != 1 || r.Series.X[0] != 0 {
 		t.Fatal("recorder unusable after Reset")
 	}
@@ -93,7 +94,7 @@ func TestSamplerRecordsPerAppliedEvent(t *testing.T) {
 				_, x := s.Max()
 				return float64(x) / float64(s.N())
 			})
-		res := s.RunWatched(0, sa)
+		res := s.RunWatched(core.NoBudget, sa)
 		sa.Final(s)
 		series := sa.Series()
 		if len(series) != 2 {
@@ -103,8 +104,8 @@ func TestSamplerRecordsPerAppliedEvent(t *testing.T) {
 			if sr.Len() < 2 || sr.Len() > 65 {
 				t.Fatalf("kernel %v: series %q has %d points", kern, sr.Name, sr.Len())
 			}
-			if got := sr.X[sr.Len()-1]; got != float64(res.Interactions) {
-				t.Fatalf("kernel %v: series %q ends at %v, run at %d", kern, sr.Name, got, res.Interactions)
+			if got := sr.X[sr.Len()-1]; got != res.Interactions.Float64() {
+				t.Fatalf("kernel %v: series %q ends at %v, run at %v", kern, sr.Name, got, res.Interactions)
 			}
 		}
 		// The final xmax/n of a consensus run is exactly 1.
@@ -127,7 +128,7 @@ func TestSamplerWithWatchersFanOut(t *testing.T) {
 		return float64(s.Undecided())
 	})
 	events := 0
-	s.RunWatched(0, core.Watchers(sa, core.Observer(func(*core.Simulator, core.Event) { events++ })))
+	s.RunWatched(core.NoBudget, core.Watchers(sa, core.Observer(func(*core.Simulator, core.Event) { events++ })))
 	if events == 0 || sa.Series()[0].Len() == 0 {
 		t.Fatalf("fan-out lost observations: events=%d points=%d", events, sa.Series()[0].Len())
 	}

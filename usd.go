@@ -10,7 +10,28 @@ import (
 	"repro/internal/phase"
 	"repro/internal/potential"
 	"repro/internal/rng"
+	"repro/internal/u128"
 )
+
+// Clock is the 128-bit saturating interaction clock: interaction counts,
+// phase end times, and budgets are Clock-valued because n² exceeds int64
+// once n > ⌊√MaxInt64⌋ ≈ 3·10⁹. The zero Clock means "no budget" where a
+// budget is expected. Construct from small values with ClockOf and from
+// float64 magnitudes (e.g. 1e20) with ClockOfFloat.
+type Clock = u128.U128
+
+// ClockOf returns the Clock for a non-negative int64 count; negative
+// values clamp to zero, preserving the "budget <= 0 means unlimited"
+// convention of the int64 API.
+func ClockOf(v int64) Clock { return u128.From64(v) }
+
+// ClockOfFloat returns the Clock nearest the given non-negative float64
+// (values ≥ 2¹²⁸ saturate, NaN and negatives clamp to zero); it is how
+// CLIs turn a "1e20"-style flag into a budget.
+func ClockOfFloat(v float64) Clock { return u128.FromFloat64(v) }
+
+// NoBudget is the zero Clock: run without an interaction budget.
+var NoBudget = core.NoBudget
 
 // Config is an aggregate opinion configuration: the support of each of the
 // k opinions plus the number of undecided agents.
@@ -145,9 +166,11 @@ func Run(cfg *Config, seed uint64) (Report, error) {
 }
 
 // RunWithBudget is Run with an interaction budget; budget <= 0 simulates
-// until an absorbing configuration is reached.
+// until an absorbing configuration is reached. Budgets beyond int64 (runs
+// at n > ~3·10⁹ routinely need them) go through RunWithKernel with a
+// ClockOfFloat-constructed Clock.
 func RunWithBudget(cfg *Config, seed uint64, budget int64) (Report, error) {
-	return RunWithKernel(cfg, seed, budget, KernelExact)
+	return RunWithKernel(cfg, seed, ClockOf(budget), KernelExact)
 }
 
 // RunFast is Run with the batched kernel at the default drift tolerance: it
@@ -163,15 +186,16 @@ func RunFast(cfg *Config, seed uint64) (Report, error) {
 // RunFastWithBudget is RunFast with an interaction budget; budget <= 0
 // simulates until an absorbing configuration is reached.
 func RunFastWithBudget(cfg *Config, seed uint64, budget int64) (Report, error) {
-	return RunWithKernel(cfg, seed, budget, KernelBatched(0))
+	return RunWithKernel(cfg, seed, ClockOf(budget), KernelBatched(0))
 }
 
 // RunWithKernel is the kernel-parameterized tracked run behind Run and
 // RunFast: it simulates cfg under kern until consensus, absorption, or the
-// budget (<= 0 means none) and reports the outcome with phase end times.
-// Callers that thread kernel selection through (for example from a -kernel
-// flag) use this directly instead of branching between Run and RunFast.
-func RunWithKernel(cfg *Config, seed uint64, budget int64, kern Kernel) (Report, error) {
+// budget (the zero Clock means none) and reports the outcome with phase
+// end times. Callers that thread kernel selection through (for example
+// from a -kernel flag) use this directly instead of branching between Run
+// and RunFast.
+func RunWithKernel(cfg *Config, seed uint64, budget Clock, kern Kernel) (Report, error) {
 	s, err := NewSimulator(cfg, seed, WithKernel(kern))
 	if err != nil {
 		return Report{}, err

@@ -71,8 +71,8 @@ func TestRunWithBudget(t *testing.T) {
 	if report.Result.Outcome != OutcomeBudget {
 		t.Fatalf("outcome %v, want budget", report.Result.Outcome)
 	}
-	if report.Result.Interactions != 1000 {
-		t.Fatalf("interactions %d, want 1000", report.Result.Interactions)
+	if report.Result.Interactions != ClockOf(1000) {
+		t.Fatalf("interactions %v, want 1000", report.Result.Interactions)
 	}
 }
 
@@ -95,8 +95,8 @@ func TestNewSimulatorOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev := s.Step()
-	if ev.Interactions != 1 {
-		t.Fatalf("clock %d after one non-skipping step", ev.Interactions)
+	if ev.Interactions != ClockOf(1) {
+		t.Fatalf("clock %v after one non-skipping step", ev.Interactions)
 	}
 }
 
@@ -205,8 +205,8 @@ func TestRunTimeWithinTheoremBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ratio := float64(report.Result.Interactions) / bound; ratio > 10 {
-		t.Fatalf("consensus time %d is %.1fx the theorem bound %v",
+	if ratio := report.Result.Interactions.Float64() / bound; ratio > 10 {
+		t.Fatalf("consensus time %v is %.1fx the theorem bound %v",
 			report.Result.Interactions, ratio, bound)
 	}
 }
