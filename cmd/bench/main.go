@@ -661,7 +661,7 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 	})
 	want := fmt.Sprintf("%x", ref.Sum(nil))
 
-	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
+	spec, err := experiment.NewShardSpec(cfg, core.Variant{}, kern, core.NoBudget, 0, false).Encode()
 	if err != nil {
 		return nil, err
 	}
@@ -755,7 +755,7 @@ func measureFaultRecovery(workload string, n int64, k int, kern core.Kernel, tri
 	})
 	want := fmt.Sprintf("%x", ref.Sum(nil))
 
-	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
+	spec, err := experiment.NewShardSpec(cfg, core.Variant{}, kern, core.NoBudget, 0, false).Encode()
 	if err != nil {
 		return FaultRecoveryEntry{}, err
 	}
@@ -889,7 +889,7 @@ func measureLargeN(workload string, n int64, k int, kern core.Kernel, trials int
 	}
 	want := fmt.Sprintf("%x", ref.Sum(nil))
 
-	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, false).Encode()
+	spec, err := experiment.NewShardSpec(cfg, core.Variant{}, kern, core.NoBudget, 0, false).Encode()
 	if err != nil {
 		return le, err
 	}

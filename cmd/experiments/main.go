@@ -78,6 +78,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "override trials per cell (0 = experiment default)")
 		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		kernel   = fs.String("kernel", "exact", "stepping kernel for USD runs: exact, batched, or auto")
+		varSpec  = fs.String("variant", "", "focus K5-variants on one dynamics variant arm: stubborn:b0,b1,... or unconstrained (empty = all arms)")
 		tol      = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts where supported (K3): stop each cell once its CI closes")
 		rel      = fs.Float64("rel", 0, "adaptive stopping target: relative CI half-width (0 = default 0.05)")
@@ -99,6 +100,10 @@ func run(args []string) error {
 		return experiment.ServeShard(os.Stdin, os.Stdout, shard, of, *workers)
 	}
 	kern, err := core.ParseKernel(*kernel, *tol)
+	if err != nil {
+		return err
+	}
+	variant, err := core.ParseVariantSpec(*varSpec)
 	if err != nil {
 		return err
 	}
@@ -142,6 +147,7 @@ func run(args []string) error {
 		Trials:        *trials,
 		Parallelism:   *workers,
 		Kernel:        kern,
+		Variant:       variant,
 		Adaptive:      *adaptive,
 		RelWidth:      *rel,
 		MaxTrials:     *maxTri,

@@ -25,6 +25,12 @@
 // capped at -maxtrials — billion-agent points where trials cost seconds
 // then spend exactly as many trials as their variance demands.
 //
+// -variant sweeps a non-classic dynamics: stubborn:b0,b1,... (per-opinion
+// stubborn agents; points fold dominance times instead of consensus
+// times) or unconstrained (latent-opinion USD; exact kernel only). The
+// variant rides the shard-spec wire format, so -shards and -checkpoint
+// work unchanged.
+//
 // -shards N distributes each point's trials across N worker processes (the
 // binary re-executes itself in a hidden worker mode) through the
 // internal/dist coordinator; the folded output is byte-identical to the
@@ -96,6 +102,7 @@ func run(args []string) error {
 		workers  = fs.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of a table")
 		kernel   = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
+		varSpec  = fs.String("variant", "", "dynamics variant spec: classic, stubborn:b0,b1,..., or unconstrained (empty = classic)")
 		tol      = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
 		adaptive = fs.Bool("adaptive", false, "adaptive trial counts: stop each point once the consensus-time CI closes")
 		rel      = fs.Float64("rel", 0.05, "adaptive stopping target: relative CI half-width")
@@ -135,6 +142,13 @@ func run(args []string) error {
 	}
 	kern, err := core.ParseKernel(*kernel, *tol)
 	if err != nil {
+		return err
+	}
+	variant, err := core.ParseVariantSpec(*varSpec)
+	if err != nil {
+		return err
+	}
+	if err := variant.ValidateKernel(kern); err != nil {
 		return err
 	}
 	if *rel <= 0 || *rel >= 1 {
@@ -194,6 +208,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		variant.Configure(cfg)
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("value %s with -variant %s: %w", vs, variant, err)
+		}
 		seed := *seed + uint64(vi)*1_000_003
 		st := &pointState{value: vs}
 		if *adaptive {
@@ -210,11 +228,11 @@ func run(args []string) error {
 		// -shards 1 runs the distributed engine with a single worker, same
 		// as cmd/experiments; -checkpoint alone implies it.
 		if *shards >= 1 || *ckpt != "" {
-			if err := runPointSharded(st, cfg, kern, seed, vi, sc); err != nil {
+			if err := runPointSharded(st, cfg, variant, kern, seed, vi, sc); err != nil {
 				return err
 			}
 		} else {
-			runPointInProcess(st, cfg, kern, seed, *workers, *trials, adaptiveCap)
+			runPointInProcess(st, cfg, variant, kern, seed, *workers, *trials, adaptiveCap)
 		}
 		if st.FirstFail != "" {
 			return fmt.Errorf("%s", st.FirstFail)
@@ -292,9 +310,20 @@ func (st *pointState) fold(i int, t float64, won bool, fail string) {
 }
 
 // runPointInProcess folds one sweep point on the shared-arena engine.
-func runPointInProcess(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, workers, trials, adaptiveCap int) {
+func runPointInProcess(st *pointState, cfg *usd.Config, variant core.Variant, kern core.Kernel, seed uint64, workers, trials, adaptiveCap int) {
+	// Hoisted so classic points keep the option-free (allocation-free)
+	// per-trial path and non-classic points allocate the option once.
+	var opts []core.Option
+	if !variant.Classic() {
+		dyn, err := variant.Dynamics()
+		if err != nil {
+			st.fold(0, 0, false, err.Error())
+			return
+		}
+		opts = []core.Option{core.WithDynamics(dyn)}
+	}
 	trial := func(i int, src *rng.Source, a *experiment.Arena) experiment.ShardResult {
-		report, err := experiment.RunTracked(a, cfg, src, core.NoBudget, 0, kern)
+		report, err := experiment.RunTracked(a, cfg, src, core.NoBudget, 0, kern, opts...)
 		if err != nil {
 			return experiment.ShardResult{Outcome: err.Error()}
 		}
@@ -334,12 +363,12 @@ type shardedPointConfig struct {
 // the fold after every wave. A run the user interrupted returns
 // experiment.ErrInterrupted instead of printing a table built on a partial
 // fold.
-func runPointSharded(st *pointState, cfg *usd.Config, kern core.Kernel, seed uint64, point int, sc shardedPointConfig) error {
+func runPointSharded(st *pointState, cfg *usd.Config, variant core.Variant, kern core.Kernel, seed uint64, point int, sc shardedPointConfig) error {
 	shards := sc.shards
 	if shards < 1 {
 		shards = 1
 	}
-	spec, err := experiment.NewShardSpec(cfg, kern, core.NoBudget, 0, true).Encode()
+	spec, err := experiment.NewShardSpec(cfg, variant, kern, core.NoBudget, 0, true).Encode()
 	if err != nil {
 		return err
 	}
@@ -393,9 +422,11 @@ func workerArgs(workers int) []string {
 	return []string{"-parallelism", strconv.Itoa(workers)}
 }
 
-// foldShardResult maps a trial's wire result onto the point fold.
+// foldShardResult maps a trial's wire result onto the point fold. Decided
+// covers both consensus and the stubborn variant's dominance terminal, so
+// stubborn sweeps report decision times rather than failing every trial.
 func foldShardResult(st *pointState, i int, r experiment.ShardResult) {
-	if !r.Consensus() {
+	if !r.Decided() {
 		st.fold(i, 0, false, r.Outcome)
 		return
 	}

@@ -7,12 +7,17 @@
 //
 //	usdsim -n 100000 -k 10 -bias 2000 -seed 42 -plot
 //	usdsim -n 1000000000 -k 32 -kernel batched
+//	usdsim -n 100000 -k 2 -variant stubborn:1000,0
+//	usdsim -n 100000 -k 3 -u0 40000 -variant unconstrained
 //
 // Exactly one of -bias (additive), -mult (multiplicative ratio), or -zipf
 // (power-law exponent) may be given; the default is the unbiased uniform
 // configuration. -kernel batched selects the bulk stepping kernel, which
 // makes billion-agent runs tractable within its drift-tolerance accuracy
-// contract (-tol, default 0.05).
+// contract (-tol, default 0.05). -variant selects the dynamics variant:
+// classic k-USD (default), stubborn:b0,b1,... (per-opinion stubborn
+// agents; runs end in dominance rather than consensus), or unconstrained
+// (latent-opinion USD; exact kernel only).
 package main
 
 import (
@@ -46,8 +51,9 @@ func run(args []string) error {
 		seed   = fs.Uint64("seed", 1, "random seed")
 		budget = fs.Float64("budget", 0, "interaction budget, accepts 1e20-style values (0 = run to consensus)")
 		plot   = fs.Bool("plot", false, "render an ASCII trajectory")
-		kernel = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
-		tol    = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
+		kernel  = fs.String("kernel", "exact", "stepping kernel: exact, batched, or auto")
+		tol     = fs.Float64("tol", 0, "batched/auto-kernel drift tolerance (0 = default)")
+		varSpec = fs.String("variant", "", "dynamics variant spec: classic, stubborn:b0,b1,..., or unconstrained (empty = classic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,12 +62,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	variant, err := usd.ParseVariantSpec(*varSpec)
+	if err != nil {
+		return err
+	}
+	if err := variant.ValidateKernel(kern); err != nil {
+		return err
+	}
 
 	cfg, err := buildConfig(*n, *k, *u0, *bias, *mult, *zipf)
 	if err != nil {
 		return err
 	}
+	variant.Configure(cfg)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	fmt.Printf("initial configuration: %v\n", cfg)
+	if !variant.Classic() {
+		fmt.Printf("dynamics variant: %v\n", variant)
+	}
 	bound, err := usd.TheoremBound(cfg)
 	if err != nil {
 		return err
@@ -70,10 +90,10 @@ func run(args []string) error {
 
 	b := usd.ClockOfFloat(*budget)
 	if *plot {
-		return runPlotted(cfg, *seed, b, kern)
+		return runPlotted(cfg, variant, *seed, b, kern)
 	}
 
-	report, err := usd.RunWithKernel(cfg, *seed, b, kern)
+	report, err := usd.RunVariant(cfg, variant, *seed, b, kern)
 	if err != nil {
 		return err
 	}
@@ -110,7 +130,7 @@ func buildConfig(n int64, k int, u0, bias int64, mult, zipf float64) (*usd.Confi
 func printReport(cfg *usd.Config, report usd.Report, bound float64) {
 	res := report.Result
 	fmt.Printf("outcome:       %v\n", res.Outcome)
-	if res.Outcome == usd.OutcomeConsensus {
+	if res.Outcome == usd.OutcomeConsensus || res.Outcome == usd.OutcomeDominance {
 		fmt.Printf("winner:        opinion %d (initial support %d, initial leader: %d)\n",
 			res.Winner, cfg.Support[res.Winner], report.InitialLeader)
 	}
@@ -135,8 +155,12 @@ func printReport(cfg *usd.Config, report usd.Report, bound float64) {
 	}
 }
 
-func runPlotted(cfg *usd.Config, seed uint64, budget usd.Clock, kern core.Kernel) error {
-	s, err := core.New(cfg, rng.New(seed), core.WithKernel(kern))
+func runPlotted(cfg *usd.Config, variant usd.Variant, seed uint64, budget usd.Clock, kern core.Kernel) error {
+	dyn, err := variant.Dynamics()
+	if err != nil {
+		return err
+	}
+	s, err := core.New(cfg, rng.New(seed), core.WithKernel(kern), core.WithDynamics(dyn))
 	if err != nil {
 		return err
 	}

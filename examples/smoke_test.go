@@ -32,6 +32,7 @@ var exampleDirs = []string{
 	"nobias",
 	"plurality",
 	"quickstart",
+	"stubborn",
 }
 
 func TestExampleListComplete(t *testing.T) {

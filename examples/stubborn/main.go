@@ -1,0 +1,55 @@
+// Stubborn-agent steering of a dead-heat election.
+//
+// The example runs the stubborn-agent USD variant (arXiv:2406.07335) from
+// an exact k=2 tie and plants a growing stubborn minority on one side:
+// agents that never change opinion but still convert others. With no
+// stubborn agents either side wins a fair coin flip; a small stubborn
+// minority tilts the odds; a few percent of the population decides the
+// election essentially always. Runs end in dominance — the stubborn
+// residue makes full consensus unreachable — so the reported times are
+// dominance times, not consensus times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	usd "repro"
+)
+
+func main() {
+	const (
+		n      = int64(20_000)
+		trials = 20
+		seed   = uint64(2024)
+	)
+	fmt.Printf("stubborn steering, n=%d, k=2 dead heat, %d trials per row\n\n", n, trials)
+	fmt.Printf("%-22s %-12s %-14s %s\n", "variant", "steered wins", "mean T/n", "outcomes")
+	for _, b := range []int64{0, n / 100, n / 20} {
+		v := usd.Variant{Name: "stubborn", Stubborn: []int64{b, 0}}
+		cfg, err := usd.Uniform(n, 2, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wins := 0
+		var sum float64
+		for i := 0; i < trials; i++ {
+			report, err := usd.RunVariant(cfg, v, seed+uint64(i), usd.NoBudget, usd.KernelExact)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if report.Result.Outcome != usd.OutcomeDominance {
+				log.Fatalf("b=%d trial %d ended with %v, want dominance", b, i, report.Result.Outcome)
+			}
+			if report.Result.Winner == 0 {
+				wins++
+			}
+			sum += report.Result.Interactions.Float64()
+		}
+		fmt.Printf("%-22s %-12s %-14.1f all dominance\n",
+			v.Spec(), fmt.Sprintf("%d/%d", wins, trials), sum/trials/float64(n))
+	}
+	fmt.Printf("\nA stubborn minority of %d agents (5%% of n) steers a perfect tie\n"+
+		"essentially every time; see the K5-variants experiment for the\n"+
+		"Wilson-bounded version of this claim.\n", n/20)
+}

@@ -49,6 +49,13 @@ type Config struct {
 	Support []int64
 	// Undecided is the number of agents in the undecided state.
 	Undecided int64
+	// Stubborn, when non-nil, holds the per-opinion stubborn agent counts
+	// of the stubborn-agent USD variant (arXiv:2406.07335): bᵢ of the xᵢ
+	// supporters of opinion i never leave it. It must have exactly one
+	// entry per opinion with 0 <= Stubborn[i] <= Support[i]; nil means no
+	// stubborn agents. Only the stubborn dynamics reads it — the classic
+	// and unconstrained dynamics reject configurations that carry it.
+	Stubborn []int64
 }
 
 // Validation errors returned by Config.Validate and the generators.
@@ -59,6 +66,7 @@ var (
 	ErrEmpty        = errors.New("conf: population is empty")
 	ErrBadBias      = errors.New("conf: bias parameter out of range")
 	ErrBadUndecided = errors.New("conf: undecided count out of range")
+	ErrBadStubborn  = errors.New("conf: stubborn counts out of range")
 )
 
 // FromSupport builds a configuration from a support vector and an undecided
@@ -110,6 +118,20 @@ func (c *Config) Validate() error {
 	if n == 0 {
 		return ErrEmpty
 	}
+	if c.Stubborn != nil {
+		if len(c.Stubborn) != len(c.Support) {
+			return fmt.Errorf("%w: %d stubborn counts for %d opinions",
+				ErrBadStubborn, len(c.Stubborn), len(c.Support))
+		}
+		for i, b := range c.Stubborn {
+			// Support[i] <= MaxN was established above, so the comparison
+			// cannot be confused by wrapped values.
+			if b < 0 || b > c.Support[i] {
+				return fmt.Errorf("%w: opinion %d has stubborn count %d with support %d",
+					ErrBadStubborn, i, b, c.Support[i])
+			}
+		}
+	}
 	return nil
 }
 
@@ -127,10 +149,24 @@ func (c *Config) K() int { return len(c.Support) }
 
 // Clone returns a deep copy.
 func (c *Config) Clone() *Config {
-	return &Config{
+	cl := &Config{
 		Support:   append([]int64(nil), c.Support...),
 		Undecided: c.Undecided,
 	}
+	if c.Stubborn != nil {
+		cl.Stubborn = append([]int64(nil), c.Stubborn...)
+	}
+	return cl
+}
+
+// StubbornSum returns the total number of stubborn agents, Σ Stubborn[i]
+// (0 when no stubborn counts are set).
+func (c *Config) StubbornSum() int64 {
+	var s int64
+	for _, b := range c.Stubborn {
+		s += b
+	}
+	return s
 }
 
 // Max returns the index and support of the largest opinion (the paper's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 
 	"repro/internal/u128"
 )
@@ -88,10 +89,15 @@ func KernelAuto(tol float64) Kernel {
 	return k
 }
 
+// KernelNames returns the registered kernel names in parse order; unknown-
+// kernel errors enumerate it.
+func KernelNames() []string { return []string{"exact", "batched", "auto"} }
+
 // ParseKernel returns the kernel named by s: "exact", "batched", or "auto",
 // the latter two with drift tolerance tol (tol <= 0 selects
 // DefaultTolerance). The empty string is the exact kernel. CLI -kernel
-// flags share this parser.
+// flags share this parser; unknown names are rejected with an error
+// enumerating the valid ones.
 func ParseKernel(s string, tol float64) (Kernel, error) {
 	switch s {
 	case "", "exact":
@@ -101,7 +107,7 @@ func ParseKernel(s string, tol float64) (Kernel, error) {
 	case "auto":
 		return KernelAuto(tol), nil
 	default:
-		return Kernel{}, fmt.Errorf("core: unknown kernel %q (want exact, batched, or auto)", s)
+		return Kernel{}, fmt.Errorf("core: unknown kernel %q (want %s)", s, strings.Join(KernelNames(), ", "))
 	}
 }
 
@@ -201,7 +207,7 @@ const wDriftDivisor = 2
 // tau-leaping granularity floor).
 func (s *Simulator) batchWindow(w u128.U128) int64 {
 	tol := s.kernel.tol
-	m := math.Min(tol*float64(s.u), tol*w.Float64()/(wDriftDivisor*float64(s.n)))
+	m := math.Min(tol*float64(s.u), tol*w.Float64()/(s.dyn.driftDivisor()*float64(s.n)))
 	if m < 1 {
 		return 1
 	}
@@ -279,9 +285,7 @@ func (s *Simulator) sampleWindowChained(vals []int64, m, d int64, pAdopt float64
 		s.batchWeights[j] = float64(x)
 	}
 	s.src.Multinomial(adopts, s.batchWeights, s.batchCounts[:k:k])
-	for j, x := range vals {
-		s.batchWeights[j] = float64(x) * float64(d-x)
-	}
+	s.dyn.fillUndecideWeights(s, vals, d, s.batchWeights)
 	s.src.Multinomial(m-adopts, s.batchWeights, s.batchCounts[k:])
 	return adopts
 }
@@ -306,7 +310,7 @@ func (s *Simulator) sampleWindowCategorical(vals []int64, w u128.U128, m, d int6
 		counts[j] = 0
 	}
 	for j, x := range vals {
-		c = c.Add(u128.Mul64(uint64(x), uint64(d-x)))
+		c = c.Add(s.dyn.undecideWeightU(s, j, x, d))
 		cum[k+j] = c
 		counts[k+j] = 0
 	}
@@ -402,7 +406,7 @@ func (s *Simulator) batchStep(w u128.U128, m int64, budget u128.U128, categorica
 		for j, x := range vals {
 			delta := s.batchCounts[j] - s.batchCounts[k2+j]
 			nx := x + delta
-			if nx < 0 {
+			if nx < s.dyn.supportFloor(s, j) {
 				feasible = false
 				break
 			}
@@ -473,13 +477,13 @@ func (s *Simulator) applyWindow(touched, k int) {
 // and batches down to minAutoWindow instead of minBatchWindow.
 func (s *Simulator) runLoopBatched(budget u128.U128, obs Watcher, stop func(*Simulator) bool) Result {
 	for {
-		if s.IsConsensus() {
-			winner, _ := s.Max()
-			return s.result(OutcomeConsensus, winner)
+		if outcome, winner, done := s.dyn.terminal(s); done {
+			return s.result(outcome, winner)
 		}
 		w := s.productiveWeight()
 		if w.IsZero() {
-			return s.result(OutcomeAllUndecided, -1)
+			outcome, winner := s.dyn.absorbed(s)
+			return s.result(outcome, winner)
 		}
 		if !budget.IsZero() && budget.Leq(s.steps) {
 			return s.result(OutcomeBudget, -1)
@@ -523,13 +527,10 @@ func (s *Simulator) runLoopBatched(budget u128.U128, obs Watcher, stop func(*Sim
 			obs.Watch(s, ev)
 		}
 		if stop != nil && stop(s) {
-			winner := -1
-			outcome := OutcomeBudget
-			if s.IsConsensus() {
-				outcome = OutcomeConsensus
-				winner, _ = s.Max()
+			if outcome, winner, done := s.dyn.terminal(s); done {
+				return s.result(outcome, winner)
 			}
-			return s.result(outcome, winner)
+			return s.result(OutcomeBudget, -1)
 		}
 	}
 }

@@ -1,0 +1,335 @@
+package core_test
+
+// The cross-variant conformance suite: every dynamics variant registered in
+// core.VariantNames must satisfy the same behavioral contract — population
+// conservation on every event, a monotone interaction clock, byte-identical
+// replay from equal seeds, kill/resume bit-exactness through the
+// distributed coordinator, and (for variants with a derived window law)
+// distributional agreement between the windowed kernels and the exact one.
+// A new variant ships by adding one row to conformanceCases; the registry
+// check fails the build of any variant registered without a row here.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiment"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/u128"
+)
+
+// conformanceCase is one variant's row in the suite: the variant and a
+// symmetric configuration under which the winner distribution is uniform
+// by exchangeability (the basis of the kernel-agreement GOF below).
+type conformanceCase struct {
+	name    string
+	variant core.Variant
+	// n, k, u0 build the symmetric conf.Uniform configuration.
+	n, u0 int64
+	k     int
+}
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{name: "classic", variant: core.Variant{}, n: 400, k: 4},
+		// Equal stubborn counts on every opinion keep the configuration
+		// exchangeable; the dominance threshold 400 − (2·20 + 3√(400·ln400))
+		// ≈ 213 stays above n/2, so runs end in OutcomeDominance.
+		{name: "stubborn", variant: core.Variant{Name: "stubborn", Stubborn: []int64{5, 5, 5, 5}}, n: 400, k: 4},
+		{name: "unconstrained", variant: core.Variant{Name: "unconstrained"}, n: 400, k: 4, u0: 100},
+	}
+}
+
+// config builds the case's configuration with the variant's parameters
+// applied.
+func (c conformanceCase) config(t *testing.T) *conf.Config {
+	t.Helper()
+	cfg, err := conf.Uniform(c.n, c.k, c.u0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.variant.Configure(cfg)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// dynamics resolves the case's Dynamics after validation.
+func (c conformanceCase) dynamics(t *testing.T) core.Dynamics {
+	t.Helper()
+	if err := c.variant.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := c.variant.Dynamics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dyn
+}
+
+// budget is a safety net far above the expected decision time; exhausting
+// it fails the termination checks.
+func (c conformanceCase) budget() u128.U128 {
+	return u128.Mul64(uint64(c.n), uint64(c.n))
+}
+
+// decided reports whether an outcome is a variant-level decision rather
+// than budget exhaustion.
+func decided(o core.Outcome) bool {
+	return o == core.OutcomeConsensus || o == core.OutcomeDominance
+}
+
+// TestConformanceRegistryExhaustive pins the suite's coverage to the
+// variant registry: a variant registered in core.VariantNames without a
+// conformance row (or vice versa) fails here, so new variants cannot ship
+// untested.
+func TestConformanceRegistryExhaustive(t *testing.T) {
+	var covered []string
+	for _, c := range conformanceCases() {
+		name, _, _ := strings.Cut(c.variant.Spec(), ":")
+		covered = append(covered, name)
+	}
+	registered := append([]string(nil), core.VariantNames()...)
+	sort.Strings(covered)
+	sort.Strings(registered)
+	if !reflect.DeepEqual(covered, registered) {
+		t.Fatalf("conformance rows cover %v, registry has %v — add a conformanceCases row for every registered variant", covered, registered)
+	}
+}
+
+// TestConformanceInvariants runs every variant under the exact kernel with
+// a per-event observer: the population must be conserved after every event,
+// the interaction clock must be monotone, and the run must end in a
+// variant-level decision within the safety budget.
+func TestConformanceInvariants(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.config(t)
+			s, err := core.New(cfg, rng.New(11), core.WithDynamics(c.dynamics(t)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prev u128.U128
+			events := 0
+			res := s.RunObserved(c.budget(), func(sim *core.Simulator, ev core.Event) {
+				events++
+				var total int64
+				for i := 0; i < sim.K(); i++ {
+					x := sim.Support(i)
+					if x < 0 {
+						t.Fatalf("event %d: negative support %d for opinion %d", events, x, i)
+					}
+					total += x
+				}
+				if total+sim.Undecided() != c.n {
+					t.Fatalf("event %d: population %d + %d undecided, want %d", events, total, sim.Undecided(), c.n)
+				}
+				if ev.Interactions.Less(prev) {
+					t.Fatalf("event %d: clock %v went backward from %v", events, ev.Interactions, prev)
+				}
+				prev = ev.Interactions
+			})
+			if events == 0 {
+				t.Fatal("observer saw no events")
+			}
+			if !decided(res.Outcome) {
+				t.Fatalf("outcome %v after %v interactions, want a decision within the %v budget", res.Outcome, res.Interactions, c.budget())
+			}
+			if res.Winner < 0 || res.Winner >= c.k {
+				t.Fatalf("winner %d out of range [0, %d)", res.Winner, c.k)
+			}
+		})
+	}
+}
+
+// TestConformanceReplayByteIdentical pins determinism: two runs of the same
+// variant from the same seed must agree on every Result field, and two runs
+// from different seeds must consume randomness (a degenerate variant that
+// ignores its source would pass the first check trivially).
+func TestConformanceReplayByteIdentical(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			run := func(seed uint64) core.Result {
+				cfg := c.config(t)
+				s, err := core.New(cfg, rng.New(seed), core.WithDynamics(c.dynamics(t)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s.Run(c.budget())
+			}
+			a, b := run(7), run(7)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("equal seeds diverged:\n%+v\n%+v", a, b)
+			}
+			if other := run(8); reflect.DeepEqual(a, other) {
+				t.Logf("seeds 7 and 8 coincided (%+v); suspicious but possible", a)
+			}
+		})
+	}
+}
+
+// TestConformanceKernelAgreement checks the window-law contract per
+// variant: under an exchangeable configuration the winner is uniform over
+// the k opinions, so the winner counts of every kernel must pass a
+// chi-square GOF against the uniform law. Exact-only variants (no derived
+// window law) are skipped with a log line — ValidateKernel already rejects
+// them at every entry point.
+func TestConformanceKernelAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GOF trials are slow")
+	}
+	const (
+		trials = 200
+		alpha  = 0.001
+	)
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, kern := range []core.Kernel{core.KernelExact, core.KernelBatched(0), core.KernelAuto(0)} {
+				if err := c.variant.ValidateKernel(kern); err != nil {
+					t.Logf("kernel %s skipped: variant is exact-only (%v)", kern.Name(), err)
+					continue
+				}
+				dyn := c.dynamics(t)
+				counts := make([]int64, c.k)
+				for i := 0; i < trials; i++ {
+					cfg := c.config(t)
+					s, err := core.New(cfg, rng.New(rng.Derive(31, uint64(i))), core.WithKernel(kern), core.WithDynamics(dyn))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res := s.Run(c.budget())
+					if !decided(res.Outcome) {
+						t.Fatalf("kernel %s trial %d: outcome %v, want a decision", kern.Name(), i, res.Outcome)
+					}
+					counts[res.Winner]++
+				}
+				probs := make([]float64, c.k)
+				for i := range probs {
+					probs[i] = 1 / float64(c.k)
+				}
+				stat, dof, err := stats.ChiSquare(counts, probs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if crit := stats.ChiSquareCritical(dof, alpha); stat > crit {
+					t.Errorf("kernel %s winner GOF vs uniform: chi2 %.2f > critical %.2f (alpha %g, counts %v)",
+						kern.Name(), stat, crit, alpha, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceKillResume drives every variant through the distributed
+// coordinator's kill/resume loop: a full sharded run, then the same run
+// halted after its first wave (MaxWaves=1 with a checkpoint — a
+// deterministic stand-in for a mid-run kill) and resumed, must fold the
+// exact same per-trial payload bytes in the same order.
+func TestConformanceKillResume(t *testing.T) {
+	const (
+		shards = 2
+		trialN = 12
+		wave   = 4
+		seed   = 19
+	)
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.config(t)
+			kern := core.KernelExact
+			if c.variant.ValidateKernel(core.KernelBatched(0)) == nil {
+				// Batchable variants resume under the windowed kernel too;
+				// using it here widens the covered surface.
+				kern = core.KernelBatched(0)
+			}
+			spec, err := experiment.NewShardSpec(cfg, c.variant, kern, c.budget(), 0, false).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func() dist.Options {
+				return dist.Options{
+					Shards: shards, MaxTrials: trialN, Wave: wave, Seed: seed,
+					Spec:     spec,
+					Launcher: &dist.PipeLauncher{Build: experiment.ShardBuilder(2)},
+				}
+			}
+
+			run := func(o dist.Options, st *foldState) dist.Result {
+				t.Helper()
+				res, err := dist.Run(o, st.sink, nil, dist.JSONState{V: st})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+
+			var full foldState
+			run(opts(), &full)
+			if len(full.Folded) != trialN {
+				t.Fatalf("full run folded %d trials, want %d", len(full.Folded), trialN)
+			}
+			for i, f := range full.Folded {
+				var r experiment.ShardResult
+				if err := json.Unmarshal([]byte(f[strings.Index(f, ":")+1:]), &r); err != nil {
+					t.Fatalf("trial %d payload: %v", i, err)
+				}
+				if !decided(outcomeOf(t, r)) {
+					t.Fatalf("trial %d outcome %q, want a decision", i, r.Outcome)
+				}
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "conf.ckpt")
+			halted := opts()
+			halted.CheckpointPath = ckpt
+			halted.MaxWaves = 1
+			var staged foldState
+			res := run(halted, &staged)
+			if !res.Interrupted || res.Trials != wave {
+				t.Fatalf("halted run: %+v, want interrupted after one %d-trial wave", res, wave)
+			}
+
+			resumed := opts()
+			resumed.CheckpointPath = ckpt
+			res = run(resumed, &staged)
+			if res.ResumedFrom != wave {
+				t.Fatalf("resumed from %d, want %d", res.ResumedFrom, wave)
+			}
+			if !reflect.DeepEqual(staged.Folded, full.Folded) {
+				t.Fatalf("kill/resume fold diverged from the uninterrupted run:\n%v\nwant\n%v", staged.Folded, full.Folded)
+			}
+		})
+	}
+}
+
+// foldState accumulates per-trial payloads in fold order and round-trips
+// through the checkpoint as the coordinator's State.
+type foldState struct {
+	// Folded holds "index:payload" strings in fold order.
+	Folded []string `json:"folded"`
+}
+
+func (f *foldState) sink(i int, data []byte) error {
+	f.Folded = append(f.Folded, fmt.Sprintf("%d:%s", i, data))
+	return nil
+}
+
+// outcomeOf maps a wire outcome string back to the core.Outcome.
+func outcomeOf(t *testing.T, r experiment.ShardResult) core.Outcome {
+	t.Helper()
+	for _, o := range []core.Outcome{core.OutcomeConsensus, core.OutcomeAllUndecided, core.OutcomeBudget, core.OutcomeFrozen, core.OutcomeDominance} {
+		if r.Outcome == o.String() {
+			return o
+		}
+	}
+	t.Fatalf("unknown outcome %q", r.Outcome)
+	return 0
+}

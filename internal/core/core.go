@@ -145,6 +145,17 @@ const (
 	OutcomeAllUndecided
 	// OutcomeBudget: the interaction budget was exhausted first.
 	OutcomeBudget
+	// OutcomeFrozen: a variant-specific absorbing configuration short of
+	// consensus — for the stubborn dynamics, every decided agent is
+	// stubborn with no undecided agents left, so no opinion can ever win.
+	// Classic runs never produce it.
+	OutcomeFrozen
+	// OutcomeDominance: a variant-specific metastable convergence event
+	// short of full consensus — for the stubborn dynamics, one opinion
+	// holds all but O(b + √(n·ln n)) agents (see StubbornAgents), which is
+	// as close to consensus as a chain with stubborn dissenters ever gets.
+	// Winner is the dominant opinion. Classic runs never produce it.
+	OutcomeDominance
 )
 
 // String returns a short name for the outcome.
@@ -156,6 +167,10 @@ func (o Outcome) String() string {
 		return "all-undecided"
 	case OutcomeBudget:
 		return "budget-exhausted"
+	case OutcomeFrozen:
+		return "frozen"
+	case OutcomeDominance:
+		return "dominance"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -236,6 +251,12 @@ type Simulator struct {
 	skip   bool
 	kernel Kernel
 
+	// dyn is the protocol variant (default Classic); dynState holds its
+	// per-simulator state, rebuilt by dyn.init at every Reset and reused
+	// across trials when the shape matches.
+	dyn      Dynamics
+	dynState any
+
 	// Scratch buffers of the batched and auto kernels, allocated on first
 	// use: batchCounts holds a window's adopt counts (first k slots) and
 	// undecide counts (next k), batchCum the categorical sampler's 2k
@@ -315,6 +336,16 @@ func (s *Simulator) Reset(c *conf.Config, src *rng.Source, opts ...Option) error
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.dyn == nil {
+		s.dyn = Classic
+	}
+	if s.kernel.batched && !s.dyn.Batchable() {
+		return fmt.Errorf("core: dynamics %q is exact-only (no derived window law): kernel %q unavailable, want exact",
+			s.dyn.Name(), s.kernel.Name())
+	}
+	if err := s.dyn.init(s, c); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -357,12 +388,20 @@ func (s *Simulator) Max() (opinion int, support int64) {
 	return opinion, support
 }
 
-// Config returns a snapshot of the current configuration.
+// Config returns a snapshot of the current configuration, including the
+// per-opinion stubborn counts when the stubborn dynamics is active.
 func (s *Simulator) Config() *conf.Config {
-	return &conf.Config{
+	c := &conf.Config{
 		Support:   s.tree.Values(nil),
 		Undecided: s.u,
 	}
+	if s.tree.HasStubborn() {
+		c.Stubborn = make([]int64, s.tree.Len())
+		for i := range c.Stubborn {
+			c.Stubborn[i] = s.tree.Stubborn(i)
+		}
+	}
+	return c
 }
 
 // IsConsensus reports whether all agents share one opinion.
@@ -376,13 +415,12 @@ func (s *Simulator) IsAbsorbed() bool {
 	return s.productiveWeight().IsZero()
 }
 
-// productiveWeight returns W = u·D + (D²−r₂), the number of ordered agent
-// pairs whose interaction is productive, where D = n−u. Both products are
-// exact 64×64 multiplies and the subtraction is exact (r₂ = Σxᵢ² <= D²), so
-// W is the exact pair count even at n = MaxN where it reaches ~2⁷⁴.
+// productiveWeight returns W, the number of ordered agent pairs whose
+// interaction is productive under the active dynamics' transition law (for
+// the classic dynamics, W = u·D + (D²−r₂) with D = n−u; see
+// classicDynamics.weight).
 func (s *Simulator) productiveWeight() u128.U128 {
-	d := uint64(s.n - s.u)
-	return u128.Mul64(uint64(s.u), d).Add(u128.Mul64(d, d).Sub(s.r2))
+	return s.dyn.weight(s)
 }
 
 // ProductiveProbability returns the probability that a single interaction
@@ -410,24 +448,11 @@ func (s *Simulator) undecide(i int) {
 }
 
 // applyProductive samples and applies one productive event given r uniform
-// in [0, W) with W = productiveWeight(), and returns the event. The
-// interaction clock is not advanced here.
+// in [0, W) with W = productiveWeight(), and returns the event. The event
+// is drawn under the active dynamics' transition law; the interaction clock
+// is not advanced here.
 func (s *Simulator) applyProductive(r u128.U128) Event {
-	d := s.n - s.u
-	wDown := u128.Mul64(uint64(s.u), uint64(d))
-	if r.Less(wDown) {
-		// Undecided responder adopts opinion j ∝ xⱼ. r is uniform over
-		// [0, u·D); r/u is uniform over [0, D), an exact threshold for
-		// the support descent. The quotient is below D <= n, so its low
-		// word carries the whole value.
-		j := s.tree.FindSupport(int64(r.Div64(uint64(s.u)).Lo))
-		s.adopt(j)
-		return Event{Kind: EventAdopt, Opinion: j, Count: 1}
-	}
-	// Decided responder i ∝ xᵢ(D−xᵢ) becomes undecided.
-	i := s.tree.FindWeighted(d, r.Sub(wDown))
-	s.undecide(i)
-	return Event{Kind: EventUndecide, Opinion: i, Count: 1}
+	return s.dyn.apply(s, r)
 }
 
 // Step simulates a single interaction (without skipping) and returns the
@@ -497,17 +522,20 @@ func (s *Simulator) RunUntil(budget u128.U128, stop func(*Simulator) bool) Resul
 }
 
 func (s *Simulator) runLoop(budget u128.U128, obs Watcher, stop func(*Simulator) bool) Result {
-	if s.kernel.batched {
+	// Exact-only dynamics fall through to the exact loop even if a batched
+	// kernel slipped past Reset's validation (e.g. via SetKernel): stepping
+	// exactly is always a correct refinement of the window law.
+	if s.kernel.batched && s.dyn.Batchable() {
 		return s.runLoopBatched(budget, obs, stop)
 	}
 	for {
-		if s.IsConsensus() {
-			winner, _ := s.Max()
-			return s.result(OutcomeConsensus, winner)
+		if outcome, winner, done := s.dyn.terminal(s); done {
+			return s.result(outcome, winner)
 		}
 		w := s.productiveWeight()
 		if w.IsZero() {
-			return s.result(OutcomeAllUndecided, -1)
+			outcome, winner := s.dyn.absorbed(s)
+			return s.result(outcome, winner)
 		}
 		if !budget.IsZero() && budget.Leq(s.steps) {
 			return s.result(OutcomeBudget, -1)
@@ -528,13 +556,10 @@ func (s *Simulator) runLoop(budget u128.U128, obs Watcher, stop func(*Simulator)
 			obs.Watch(s, ev)
 		}
 		if stop != nil && ev.Kind != EventNone && stop(s) {
-			winner := -1
-			outcome := OutcomeBudget
-			if s.IsConsensus() {
-				outcome = OutcomeConsensus
-				winner, _ = s.Max()
+			if outcome, winner, done := s.dyn.terminal(s); done {
+				return s.result(outcome, winner)
 			}
-			return s.result(outcome, winner)
+			return s.result(OutcomeBudget, -1)
 		}
 	}
 }

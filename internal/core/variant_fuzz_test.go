@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzVariantSpec drives the variant-spec parser with arbitrary strings:
+// it must never panic, anything it accepts must validate and resolve to a
+// registered Dynamics, and the accepted value must round-trip through its
+// own Spec rendering — the property the shard-spec wire format and the CLI
+// -variant flags rely on.
+func FuzzVariantSpec(f *testing.F) {
+	for _, s := range []string{
+		"", "classic", "stubborn", "unconstrained",
+		"stubborn:1,2,3", "stubborn:0,0", "stubborn:",
+		"stubborn:-1", "stubborn:9223372036854775807,1",
+		"stubborn:1,,2", "classic:1", "unconstrained:3",
+		"bogus", " classic", "CLASSIC", "stubborn:1, 2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		v, err := ParseVariantSpec(spec)
+		if err != nil {
+			return
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", spec, err)
+		}
+		d, err := v.Dynamics()
+		if err != nil {
+			t.Fatalf("accepted spec %q has no dynamics: %v", spec, err)
+		}
+		if d.Name() == "" {
+			t.Fatalf("accepted spec %q resolved to an unnamed dynamics", spec)
+		}
+		back, err := ParseVariantSpec(v.Spec())
+		if err != nil {
+			t.Fatalf("spec %q rendered as %q, which does not re-parse: %v", spec, v.Spec(), err)
+		}
+		if back.Spec() != v.Spec() {
+			t.Fatalf("spec %q round-trips to %q then %q", spec, v.Spec(), back.Spec())
+		}
+	})
+}

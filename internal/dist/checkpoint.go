@@ -47,11 +47,14 @@ type Checkpoint struct {
 	State json.RawMessage `json:"state"`
 }
 
-// checkpointVersion is the current Checkpoint schema version. Version 2
-// switched the sharded trial payloads held in State to the 128-bit
-// interaction clock's hi/lo word pairs; version 1 states carry int64
-// clocks that overflow past n = ⌊√MaxInt64⌋ and cannot be resumed.
-const checkpointVersion = 2
+// checkpointVersion is the current Checkpoint schema version. Version 3
+// accompanies the pluggable dynamics engine: resumed folds must replay
+// under the exact dynamics variant that produced the checkpoint, which
+// pre-variant builds neither record nor understand. Version 2 switched the
+// sharded trial payloads held in State to the 128-bit interaction clock's
+// hi/lo word pairs; version 1 states carry int64 clocks that overflow past
+// n = ⌊√MaxInt64⌋ and cannot be resumed.
+const checkpointVersion = 3
 
 // State is the caller-owned fold state a checkpoint captures: the
 // aggregates the sink updates, serialized well enough that Restore followed
@@ -148,9 +151,14 @@ func parseCheckpoint(data []byte) (Checkpoint, error) {
 		return Checkpoint{}, fmt.Errorf("not a valid checkpoint (truncated or corrupt): %w", err)
 	}
 	if cp.V != checkpointVersion {
-		if cp.V == 1 {
+		switch cp.V {
+		case 1:
 			return Checkpoint{}, fmt.Errorf(
 				"schema version 1, want %d: it was written by a pre-128-bit-clock build and its aggregates cannot be resumed losslessly",
+				checkpointVersion)
+		case 2:
+			return Checkpoint{}, fmt.Errorf(
+				"schema version 2, want %d: it was written by a pre-variant-engine build, which does not record the dynamics variant a resume must replay under",
 				checkpointVersion)
 		}
 		return Checkpoint{}, fmt.Errorf("schema version %d, want %d", cp.V, checkpointVersion)

@@ -44,12 +44,13 @@ func TestLoadCheckpointRejectsCorruptFiles(t *testing.T) {
 		{"wrong-shape", []byte(`[1,2,3]`)},
 		{"wrong-version", []byte(`{"v":99,"hash":"x","max_trials":10,"state":{}}`)},
 		{"old-version-v1", []byte(`{"v":1,"hash":"x","seed":7,"next_trial":12,"max_trials":40,"waves":3,"state":{"count":12}}`)},
-		{"negative-resume", []byte(`{"v":2,"hash":"x","next_trial":-3,"max_trials":10,"state":{}}`)},
-		{"resume-past-cap", []byte(`{"v":2,"hash":"x","next_trial":11,"max_trials":10,"state":{}}`)},
-		{"zero-cap", []byte(`{"v":2,"hash":"x","max_trials":0,"state":{}}`)},
-		{"negative-waves", []byte(`{"v":2,"hash":"x","max_trials":10,"waves":-1,"state":{}}`)},
-		{"trials-no-waves", []byte(`{"v":2,"hash":"x","next_trial":4,"max_trials":10,"state":{}}`)},
-		{"missing-state", []byte(`{"v":2,"hash":"x","max_trials":10}`)},
+		{"old-version-v2", []byte(`{"v":2,"hash":"x","seed":7,"next_trial":12,"max_trials":40,"waves":3,"state":{"count":12}}`)},
+		{"negative-resume", []byte(`{"v":3,"hash":"x","next_trial":-3,"max_trials":10,"state":{}}`)},
+		{"resume-past-cap", []byte(`{"v":3,"hash":"x","next_trial":11,"max_trials":10,"state":{}}`)},
+		{"zero-cap", []byte(`{"v":3,"hash":"x","max_trials":0,"state":{}}`)},
+		{"negative-waves", []byte(`{"v":3,"hash":"x","max_trials":10,"waves":-1,"state":{}}`)},
+		{"trials-no-waves", []byte(`{"v":3,"hash":"x","next_trial":4,"max_trials":10,"state":{}}`)},
+		{"missing-state", []byte(`{"v":3,"hash":"x","max_trials":10}`)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,6 +66,9 @@ func TestLoadCheckpointRejectsCorruptFiles(t *testing.T) {
 				t.Fatalf("error %q does not name the file", err)
 			}
 			if tc.name == "old-version-v1" && !strings.Contains(err.Error(), "pre-128-bit-clock") {
+				t.Fatalf("old-version error %q does not explain the version gap", err)
+			}
+			if tc.name == "old-version-v2" && !strings.Contains(err.Error(), "pre-variant-engine") {
 				t.Fatalf("old-version error %q does not explain the version gap", err)
 			}
 		})

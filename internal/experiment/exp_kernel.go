@@ -25,6 +25,30 @@ func k1KernelAgreement() Experiment {
 		Title:    "Exact vs batched/auto kernel distributional agreement",
 		Artifact: "windowed-kernel accuracy contract (tau-leaping tolerance)",
 		Run: func(p Params, w io.Writer) error {
+			// Byte-identity preface: replay the embedded pre-refactor golden
+			// corpus through the pluggable-dynamics engine. The classic
+			// variant must reproduce every recorded outcome, winner, 128-bit
+			// clock, and phase end time exactly — this is a stronger (and
+			// cheaper) statement than the distributional gates below, and it
+			// runs first so an engine regression fails loudly.
+			golden, err := GoldenClassicRuns()
+			if err != nil {
+				return err
+			}
+			for _, g := range golden {
+				mismatch, err := ReplayGoldenRun(g)
+				if err != nil {
+					return err
+				}
+				if mismatch != "" {
+					return fmt.Errorf("golden classic run (config=%s kernel=%s seed=%d tracked=%v) diverged: %s",
+						g.Config, g.Kernel, g.Seed, g.Tracked, mismatch)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "golden corpus: %d pre-refactor classic runs replayed byte-identically\n\n", len(golden)); err != nil {
+				return err
+			}
+
 			n := pick(p, int64(1<<13), int64(1<<14))
 			k := 8
 			trials := p.trials(200) // quick mode halves this; still >= 100 paired
@@ -160,7 +184,7 @@ func k1KernelAgreement() Experiment {
 			if !allPass {
 				summary = "FAIL: at least one metric disagrees; inspect the table."
 			}
-			_, err := fmt.Fprintf(w, "\n%s\n", summary)
+			_, err = fmt.Fprintf(w, "\n%s\n", summary)
 			return err
 		},
 	}

@@ -83,7 +83,7 @@ func k4LowerBound() Experiment {
 						// same stopping rule after every fold, so the table
 						// below is byte-identical to the in-process branch.
 						dres, dfailed, err := RunShardedConsensus(
-							NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false),
+							NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, false),
 							metric,
 							ShardRunOptions{
 								Shards:        p.Shards,

@@ -35,6 +35,12 @@ type Params struct {
 	// Engine-comparison baselines (agent-level, gossip, exact chain) are
 	// not configuration-level USD runs and are unaffected.
 	Kernel core.Kernel
+	// Variant focuses the K5-variants experiment on one dynamics variant
+	// arm, optionally overriding its stubborn counts (e.g. a -variant
+	// stubborn:50,0 flag). The zero Variant (classic) runs every arm. The
+	// paper-reproduction experiments simulate the classic dynamics by
+	// definition and ignore it.
+	Variant core.Variant
 	// Adaptive switches per-cell trial counts to sequential stopping where
 	// an experiment supports it (K3, and cmd/sweep points): trials run in
 	// waves until the consensus-time CI closes below RelWidth or MaxTrials
@@ -199,6 +205,7 @@ func All() []Experiment {
 		k2NScaling(),
 		k3ManyOpinions(),
 		k4LowerBound(),
+		k5Variants(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -119,8 +119,8 @@ func TestConsensusTimeBudgetError(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registry has %d experiments, want 25", len(all))
+	if len(all) != 26 {
+		t.Fatalf("registry has %d experiments, want 26", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -141,7 +141,7 @@ func TestRegistry(t *testing.T) {
 		"X1-synchronized", "X2-large-k", "X3-exact-validation",
 		"X4-scheduler-robustness", "X5-undecided-start",
 		"K1-kernel-agreement", "K2-n-scaling", "K3-many-opinions",
-		"K4-lower-bound",
+		"K4-lower-bound", "K5-variants",
 	}
 	for _, id := range wantIDs {
 		if _, ok := Find(id); !ok {

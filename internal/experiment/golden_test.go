@@ -1,0 +1,24 @@
+package experiment
+
+import "testing"
+
+// TestGoldenClassicByteIdentity replays every pre-refactor golden run
+// through the current engine and requires byte-identical outcomes, winners,
+// interaction clocks, and phase end times: the classic dynamics routed
+// through the Dynamics interface must be indistinguishable from the
+// hard-wired pre-refactor engine at every kernel.
+func TestGoldenClassicByteIdentity(t *testing.T) {
+	runs, err := GoldenClassicRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range runs {
+		mismatch, err := ReplayGoldenRun(g)
+		if err != nil {
+			t.Fatalf("%s/%s/seed%d tracked=%v: %v", g.Config, g.Kernel, g.Seed, g.Tracked, err)
+		}
+		if mismatch != "" {
+			t.Errorf("%s/%s/seed%d tracked=%v: %s", g.Config, g.Kernel, g.Seed, g.Tracked, mismatch)
+		}
+	}
+}

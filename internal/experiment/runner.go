@@ -237,8 +237,10 @@ type USDRun struct {
 // often the O(k) phase conditions are evaluated; 0 picks a
 // resolution-preserving default — per-interval for the exact kernel,
 // per-window for a batched kernel (whose observations already cover many
-// events each).
-func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, checkEvery int, kern core.Kernel) (USDRun, error) {
+// events each). Extra simulator options (typically core.WithDynamics for a
+// non-classic variant) are applied on top; hoist the option value out of
+// per-trial loops to keep them allocation-free.
+func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, checkEvery int, kern core.Kernel, opts ...core.Option) (USDRun, error) {
 	if checkEvery <= 0 {
 		checkEvery = phase.CheckIntervalFor(c.N(), kern)
 	}
@@ -247,16 +249,16 @@ func RunTracked(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, che
 	var tr *phase.Tracker
 	var err error
 	if a != nil {
-		// Option-free reset plus SetKernel keeps the per-trial path free of
-		// the closure allocation a WithKernel option would cost (pinned by
-		// TestStreamFoldAllocFree).
-		s, err = a.Simulator(c, src)
+		// Option-free reset plus SetKernel keeps the default per-trial path
+		// free of the closure allocation a WithKernel option would cost
+		// (pinned by TestStreamFoldAllocFree).
+		s, err = a.Simulator(c, src, opts...)
 		if err == nil {
 			s.SetKernel(kern)
 		}
 		tr = a.Tracker(phase.WithCheckInterval(checkEvery))
 	} else {
-		s, err = core.New(c, src, core.WithKernel(kern))
+		s, err = core.New(c, src, append(append([]core.Option(nil), opts...), core.WithKernel(kern))...)
 		tr = phase.NewTracker(phase.WithCheckInterval(checkEvery))
 	}
 	if err != nil {
@@ -279,16 +281,16 @@ func runTracked(c *conf.Config, src *rng.Source, budget u128.U128, checkEvery in
 // consensusTime runs the USD from c to consensus under the given kernel,
 // reusing the arena's simulator when a is non-nil, and returns the
 // interaction count and winner. It fails if the budget is exhausted first.
-func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, kern core.Kernel) (u128.U128, int, error) {
+func consensusTime(a *Arena, c *conf.Config, src *rng.Source, budget u128.U128, kern core.Kernel, opts ...core.Option) (u128.U128, int, error) {
 	var s *core.Simulator
 	var err error
 	if a != nil {
-		s, err = a.Simulator(c, src)
+		s, err = a.Simulator(c, src, opts...)
 		if err == nil {
 			s.SetKernel(kern)
 		}
 	} else {
-		s, err = core.New(c, src, core.WithKernel(kern))
+		s, err = core.New(c, src, append(append([]core.Option(nil), opts...), core.WithKernel(kern))...)
 	}
 	if err != nil {
 		return u128.U128{}, -1, err

@@ -31,11 +31,16 @@ var ErrInterrupted = errors.New("interrupted: checkpoint written, rerun the same
 // byte-identically to the in-process StreamAdaptive path.
 
 // ShardSpecKind is the job-spec discriminator of the USD trial family.
-// v2 moved the interaction budget and every clock-valued result field to a
-// 128-bit hi/lo integer encoding (the clock exceeds int64 once n > ~3·10⁹),
-// so v1 specs and checkpoints are rejected by kind mismatch with a
+// v3 added the dynamics variant selection (Variant, Stubborn) introduced by
+// the pluggable dynamics engine; v2 moved the interaction budget and every
+// clock-valued result field to a 128-bit hi/lo integer encoding (the clock
+// exceeds int64 once n > ~3·10⁹). Older kinds are rejected by name with a
 // descriptive error rather than silently misread.
-const ShardSpecKind = "usd-trial/v2"
+const ShardSpecKind = "usd-trial/v3"
+
+// shardSpecKindV2 is the pre-variant-engine spec kind, recognized only to
+// reject it by name.
+const shardSpecKindV2 = "usd-trial/v2"
 
 // ShardSpec is the distributed job specification of a USD trial family: a
 // full opinion configuration plus the kernel and run options that the
@@ -68,12 +73,22 @@ type ShardSpec struct {
 	// consensus run. The two consume randomness differently under the
 	// batched kernel, so the flag is part of the trial identity.
 	Tracked bool `json:"tracked"`
+	// Variant is the dynamics variant name (empty = classic). It is part
+	// of the trial identity: equal seeds under different variants draw
+	// different trajectories.
+	Variant string `json:"variant,omitempty"`
+	// Stubborn is the stubborn variant's per-opinion stubborn counts,
+	// indexed like Support; empty for every other variant.
+	Stubborn []int64 `json:"stubborn,omitempty"`
 }
 
-// NewShardSpec captures a configuration and run options as a distributable
-// job spec.
-func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget u128.U128, checkEvery int, tracked bool) ShardSpec {
-	return ShardSpec{
+// NewShardSpec captures a configuration, dynamics variant, and run options
+// as a distributable job spec. The spec's stubborn counts are taken from
+// the variant when it carries them and from the configuration otherwise, so
+// both "stubborn:b0,b1,..." specs and configurations built with
+// conf.Config.Stubborn serialize identically.
+func NewShardSpec(cfg *conf.Config, v core.Variant, kern core.Kernel, budget u128.U128, checkEvery int, tracked bool) ShardSpec {
+	s := ShardSpec{
 		Kind:       ShardSpecKind,
 		Support:    append([]int64(nil), cfg.Support...),
 		Undecided:  cfg.Undecided,
@@ -84,6 +99,14 @@ func NewShardSpec(cfg *conf.Config, kern core.Kernel, budget u128.U128, checkEve
 		CheckEvery: checkEvery,
 		Tracked:    tracked,
 	}
+	if !v.Classic() {
+		s.Variant = v.Name
+		s.Stubborn = append([]int64(nil), v.Stubborn...)
+		if s.Stubborn == nil && cfg.Stubborn != nil {
+			s.Stubborn = append([]int64(nil), cfg.Stubborn...)
+		}
+	}
+	return s
 }
 
 // Budget returns the spec's interaction budget as a 128-bit clock value.
@@ -100,24 +123,43 @@ func (s ShardSpec) Encode() ([]byte, error) {
 }
 
 // decodeShardSpec parses and validates wire bytes back into a spec, its
-// configuration, and its kernel.
-func decodeShardSpec(data []byte) (ShardSpec, *conf.Config, core.Kernel, error) {
+// configuration (with stubborn counts installed), its kernel, and its
+// dynamics.
+func decodeShardSpec(data []byte) (ShardSpec, *conf.Config, core.Kernel, core.Dynamics, error) {
 	var s ShardSpec
 	if err := json.Unmarshal(data, &s); err != nil {
-		return s, nil, core.Kernel{}, fmt.Errorf("experiment: parse shard spec: %w", err)
+		return s, nil, core.Kernel{}, nil, fmt.Errorf("experiment: parse shard spec: %w", err)
 	}
 	if s.Kind != ShardSpecKind {
-		return s, nil, core.Kernel{}, fmt.Errorf("experiment: shard spec kind %q, want %q", s.Kind, ShardSpecKind)
+		if s.Kind == shardSpecKindV2 {
+			return s, nil, core.Kernel{}, nil, fmt.Errorf("experiment: shard spec kind %q, want %q: it was produced by a pre-variant-engine build; coordinator and workers must run matching binaries", s.Kind, ShardSpecKind)
+		}
+		return s, nil, core.Kernel{}, nil, fmt.Errorf("experiment: shard spec kind %q, want %q", s.Kind, ShardSpecKind)
 	}
 	cfg, err := conf.FromSupport(s.Support, s.Undecided)
 	if err != nil {
-		return s, nil, core.Kernel{}, err
+		return s, nil, core.Kernel{}, nil, err
 	}
 	kern, err := core.ParseKernel(s.Kernel, s.Tol)
 	if err != nil {
-		return s, nil, core.Kernel{}, err
+		return s, nil, core.Kernel{}, nil, err
 	}
-	return s, cfg, kern, nil
+	v := core.Variant{Name: s.Variant, Stubborn: s.Stubborn}
+	if err := v.Validate(); err != nil {
+		return s, nil, core.Kernel{}, nil, err
+	}
+	if err := v.ValidateKernel(kern); err != nil {
+		return s, nil, core.Kernel{}, nil, err
+	}
+	v.Configure(cfg)
+	if err := cfg.Validate(); err != nil {
+		return s, nil, core.Kernel{}, nil, err
+	}
+	dyn, err := v.Dynamics()
+	if err != nil {
+		return s, nil, core.Kernel{}, nil, err
+	}
+	return s, cfg, kern, dyn, nil
 }
 
 // ShardResult is the wire form of one trial outcome. Every field is integer
@@ -153,6 +195,14 @@ func (r ShardResult) Consensus() bool {
 	return r.Outcome == core.OutcomeConsensus.String()
 }
 
+// Decided reports whether the trial terminated with a winning opinion:
+// consensus, or the stubborn variant's dominance terminal (where full
+// consensus is unreachable and a dominant plurality is the decision).
+func (r ShardResult) Decided() bool {
+	return r.Winner >= 0 &&
+		(r.Outcome == core.OutcomeConsensus.String() || r.Outcome == core.OutcomeDominance.String())
+}
+
 // Interactions returns the trial's terminal interaction clock.
 func (r ShardResult) Interactions() u128.U128 {
 	return u128.U128{Hi: r.InteractionsHi, Lo: r.InteractionsLo}
@@ -182,9 +232,16 @@ func (r ShardResult) PhaseTimes() phase.Times {
 // wall-clock only.
 func ShardBuilder(parallelism int) dist.BuildRunner {
 	return func(spec []byte, seed uint64) (dist.TrialRunner, error) {
-		s, cfg, kern, err := decodeShardSpec(spec)
+		s, cfg, kern, dyn, err := decodeShardSpec(spec)
 		if err != nil {
 			return nil, err
+		}
+		// One option slice per runner, nil for classic: the classic fleet
+		// path stays exactly the option-free arena reset it was before the
+		// variant engine (and allocation-free per trial).
+		var opts []core.Option
+		if dyn != core.Classic {
+			opts = []core.Option{core.WithDynamics(dyn)}
 		}
 		return func(indices []int, emit func(trial int, data []byte)) error {
 			// The trial closure runs on the worker pool's goroutines, so
@@ -193,7 +250,7 @@ func ShardBuilder(parallelism int) dist.BuildRunner {
 			var mu sync.Mutex
 			var firstErr error
 			trial := func(i int, src *rng.Source, a *Arena) ShardResult {
-				r, err := runShardTrial(s, cfg, kern, src, a)
+				r, err := runShardTrial(s, cfg, kern, src, a, opts...)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -226,9 +283,9 @@ func ShardBuilder(parallelism int) dist.BuildRunner {
 // runShardTrial executes one trial of the spec on the worker's arena.
 // Errors are configuration-level (simulator construction); ordinary
 // non-consensus terminations ride in the result's Outcome.
-func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Source, a *Arena) (ShardResult, error) {
+func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Source, a *Arena, opts ...core.Option) (ShardResult, error) {
 	if s.Tracked {
-		run, err := RunTracked(a, cfg, src, s.Budget(), s.CheckEvery, kern)
+		run, err := RunTracked(a, cfg, src, s.Budget(), s.CheckEvery, kern, opts...)
 		if err != nil {
 			return ShardResult{}, err
 		}
@@ -249,7 +306,7 @@ func runShardTrial(s ShardSpec, cfg *conf.Config, kern core.Kernel, src *rng.Sou
 			LeaderAtT2:     run.Phases.LeaderAtT2,
 		}, nil
 	}
-	sim, err := a.Simulator(cfg, src)
+	sim, err := a.Simulator(cfg, src, opts...)
 	if err != nil {
 		return ShardResult{}, err
 	}

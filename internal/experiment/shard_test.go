@@ -35,12 +35,12 @@ func TestShardSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := NewShardSpec(cfg, core.KernelBatched(0.02), u128.From64(1234), 7, true)
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0.02), u128.From64(1234), 7, true)
 	data, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotCfg, gotKern, err := decodeShardSpec(data)
+	got, gotCfg, gotKern, gotDyn, err := decodeShardSpec(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,10 @@ func TestShardSpecRoundTrip(t *testing.T) {
 	if gotKern.String() != core.KernelBatched(0.02).String() {
 		t.Fatalf("kernel round trip: %v", gotKern)
 	}
-	if _, _, _, err := decodeShardSpec([]byte(`{"kind":"other/v9"}`)); err == nil {
+	if gotDyn != core.Classic {
+		t.Fatalf("classic spec decoded to dynamics %q", gotDyn.Name())
+	}
+	if _, _, _, _, err := decodeShardSpec([]byte(`{"kind":"other/v9"}`)); err == nil {
 		t.Fatal("foreign spec kind accepted")
 	}
 	bad := spec
@@ -73,7 +76,7 @@ func TestShardedFixedRunByteIdenticalToStream(t *testing.T) {
 	}
 	const trials = 24
 	const seed = 99
-	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, true)
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, true)
 	specBytes, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +155,7 @@ func TestRunShardedConsensusByteIdenticalToStreamAdaptive(t *testing.T) {
 		},
 		StopWhenAll(ref))
 
-	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, false)
 	for _, shards := range []int{1, 2, 4} {
 		metric := NewAdaptiveMetric("consensus T", rule)
 		res, failed, err := RunShardedConsensus(spec, metric, ShardRunOptions{
@@ -188,7 +191,7 @@ func TestShardedLargeNByteIdenticalAndResumable(t *testing.T) {
 	const trials = 8
 	const seed = 424
 	kern := core.KernelAuto(0)
-	spec := NewShardSpec(cfg, kern, core.NoBudget, 0, false)
+	spec := NewShardSpec(cfg, core.Variant{}, kern, core.NoBudget, 0, false)
 	specBytes, err := spec.Encode()
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +342,7 @@ func TestShardedConsensusResumeMidWave(t *testing.T) {
 	// A rule that cannot fire keeps the cell running to the cap, so the
 	// kill lands mid-run for sure.
 	rule := ConsensusRule(1e-9, cap)
-	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, false)
 
 	full := NewAdaptiveMetric("consensus T", rule)
 	fullRes, fullFailed, err := RunShardedConsensus(spec, full, ShardRunOptions{
@@ -416,7 +419,7 @@ func TestShardedConsensusSurvivesWorkerKill(t *testing.T) {
 	const cap = 30
 	const seed = 77
 	rule := ConsensusRule(1e-9, cap)
-	spec := NewShardSpec(cfg, core.KernelBatched(0), core.NoBudget, 0, false)
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, false)
 
 	full := NewAdaptiveMetric("consensus T", rule)
 	fullRes, fullFailed, err := RunShardedConsensus(spec, full, ShardRunOptions{

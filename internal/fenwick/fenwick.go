@@ -115,14 +115,44 @@ func (t *Tree) Find(r int64) int {
 	return pos // pos is 0-based index of the answer
 }
 
+// SetAll replaces every value with xs in O(n), the bulk counterpart of n
+// point Adds (see Dual.SetAll). xs must have exactly Len() values.
+func (t *Tree) SetAll(xs []int64) {
+	if len(xs) != t.n {
+		panic("fenwick: Tree.SetAll called with wrong length")
+	}
+	copy(t.vals, xs)
+	for i := range t.bit {
+		t.bit[i] = 0
+	}
+	for i, v := range xs {
+		t.bit[i+1] += v
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= t.n {
+			t.bit[parent] += t.bit[i+1]
+		}
+	}
+}
+
 // Dual maintains values xᵢ >= 0 together with prefix sums of xᵢ and xᵢ².
 // The zero value is not usable; construct with NewDual or DualFromSlice.
+//
+// A Dual can optionally carry per-index stubborn floors bᵢ (SetStubborn),
+// for the stubborn-agent USD variant: alongside Σxᵢ and Σxᵢ² it then also
+// maintains Σbᵢ (static) and Σbᵢxᵢ (updated with every Add/SetAll), which is
+// exactly what the variant's weighted descent over
+// wᵢ = (xᵢ−bᵢ)·(D−xᵢ) needs (see FindWeightedStubborn).
 type Dual struct {
 	n    int
 	sx   []int64     // Fenwick over xᵢ (bounded by n, int64 suffices)
 	sx2  []u128.U128 // Fenwick over xᵢ² (reaches n² ≈ 2⁷⁴ at MaxN)
 	vals []int64
 	log  uint
+
+	// Stubborn floors, nil unless SetStubborn installed them.
+	sb    []int64     // Fenwick over bᵢ (static after SetStubborn)
+	sbx   []u128.U128 // Fenwick over bᵢ·xᵢ (reaches n² at MaxN)
+	bvals []int64     // current floors, for O(1) access
+	bsum  int64       // Σbᵢ
 }
 
 // NewDual returns a dual tree of n zero values. n must be positive.
@@ -189,6 +219,25 @@ func (d *Dual) Add(i int, delta int64) {
 		for j := i + 1; j <= d.n; j += j & -j {
 			d.sx[j] += delta
 			d.sx2[j] = d.sx2[j].Sub(d2)
+		}
+	}
+	if d.bvals != nil {
+		// Δ(bᵢ·xᵢ) = bᵢ·delta: one more 64×64 product per touched node,
+		// exact for |delta| <= n and bᵢ <= n. Subtractions are exact: nodes
+		// covering i hold at least bᵢ·old >= bᵢ·|delta| when delta < 0
+		// (old >= -delta, or nv would be negative).
+		if b := d.bvals[i]; b != 0 {
+			if delta >= 0 {
+				db := u128.Mul64(uint64(b), uint64(delta))
+				for j := i + 1; j <= d.n; j += j & -j {
+					d.sbx[j] = d.sbx[j].Add(db)
+				}
+			} else {
+				db := u128.Mul64(uint64(b), uint64(-delta))
+				for j := i + 1; j <= d.n; j += j & -j {
+					d.sbx[j] = d.sbx[j].Sub(db)
+				}
+			}
 		}
 	}
 }
@@ -295,6 +344,125 @@ func (d *Dual) SetAll(xs []int64) {
 			d.sx2[parent] = d.sx2[parent].Add(d.sx2[i+1])
 		}
 	}
+	if d.bvals != nil {
+		d.rebuildStubbornX()
+	}
+}
+
+// SetStubborn installs per-index stubborn floors bᵢ (a copy of b) and builds
+// the Σbᵢ and Σbᵢxᵢ component trees; passing nil clears the floors and drops
+// the extra maintenance from Add and SetAll. Floors must be non-negative;
+// the stubborn descent's weight contract additionally needs xᵢ >= bᵢ, which
+// the caller (the stubborn dynamics, whose transition law never removes a
+// stubborn agent) maintains. Buffers are reused across calls when the length
+// matches, so arena-style Reset cycles stay allocation-free.
+func (d *Dual) SetStubborn(b []int64) {
+	if b == nil {
+		d.sb, d.sbx, d.bvals, d.bsum = nil, nil, nil, 0
+		return
+	}
+	if len(b) != d.n {
+		panic("fenwick: SetStubborn called with wrong length")
+	}
+	for _, v := range b {
+		if v < 0 {
+			panic("fenwick: SetStubborn called with negative floor")
+		}
+	}
+	if cap(d.bvals) < d.n {
+		d.bvals = make([]int64, d.n)
+		d.sb = make([]int64, d.n+1)
+		d.sbx = make([]u128.U128, d.n+1)
+	}
+	d.bvals = d.bvals[:d.n]
+	d.sb = d.sb[:d.n+1]
+	d.sbx = d.sbx[:d.n+1]
+	copy(d.bvals, b)
+	d.bsum = 0
+	for i := range d.sb {
+		d.sb[i] = 0
+	}
+	for i, v := range b {
+		d.bsum += v
+		d.sb[i+1] += v
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
+			d.sb[parent] += d.sb[i+1]
+		}
+	}
+	d.rebuildStubbornX()
+}
+
+// rebuildStubbornX rebuilds the Σbᵢxᵢ tree from the current values in O(n).
+func (d *Dual) rebuildStubbornX() {
+	for i := range d.sbx {
+		d.sbx[i] = u128.U128{}
+	}
+	for i, v := range d.vals {
+		d.sbx[i+1] = d.sbx[i+1].Add(u128.Mul64(uint64(d.bvals[i]), uint64(v)))
+		if parent := i + 1 + ((i + 1) & -(i + 1)); parent <= d.n {
+			d.sbx[parent] = d.sbx[parent].Add(d.sbx[i+1])
+		}
+	}
+}
+
+// Stubborn returns the stubborn floor at index i (0 when no floors are
+// installed).
+func (d *Dual) Stubborn(i int) int64 {
+	if d.bvals == nil {
+		return 0
+	}
+	return d.bvals[i]
+}
+
+// StubbornSum returns Σbᵢ over all indices (0 when no floors are installed).
+func (d *Dual) StubbornSum() int64 { return d.bsum }
+
+// HasStubborn reports whether stubborn floors are installed.
+func (d *Dual) HasStubborn() bool { return d.bvals != nil }
+
+// TotalWeightedStubborn returns Σᵢ (xᵢ−bᵢ)·(D−xᵢ) =
+// D·(Σxᵢ−Σbᵢ) − Σxᵢ² + Σbᵢxᵢ, the stubborn variant's count of ordered
+// "decided responder may undecide" pairs. It requires installed floors with
+// every bᵢ <= xᵢ <= D; the subtraction is then exact because the total is a
+// sum of non-negative terms.
+func (d *Dual) TotalWeightedStubborn(dTotal int64) u128.U128 {
+	pos := u128.Mul64(uint64(dTotal), uint64(d.Sum()-d.bsum)).Add(d.prefixBX(d.n))
+	return pos.Sub(d.SumSquares())
+}
+
+func (d *Dual) prefixBX(j int) u128.U128 {
+	var s u128.U128
+	for ; j > 0; j -= j & -j {
+		s = s.Add(d.sbx[j])
+	}
+	return s
+}
+
+// FindWeightedStubborn returns the smallest index i such that the prefix sum
+// of weights wⱼ = (xⱼ−bⱼ)·(D−xⱼ) over j <= i exceeds r. It requires
+// installed floors, bⱼ <= xⱼ <= D for every j (all weights non-negative),
+// and 0 <= r < TotalWeightedStubborn(D). Each node weight is evaluated as
+// (D·sx + sbx) − (sx2 + D·sb); both sides are exact u128 sums and the
+// subtraction is exact because every node's weight is a sum of non-negative
+// per-index weights.
+func (d *Dual) FindWeightedStubborn(dTotal int64, r u128.U128) int {
+	pos := 0
+	for step := 1 << d.log; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= d.n {
+			pos128 := u128.Mul64(uint64(dTotal), uint64(d.sx[next])).Add(d.sbx[next])
+			neg128 := d.sx2[next].Add(u128.Mul64(uint64(dTotal), uint64(d.sb[next])))
+			w := pos128.Sub(neg128)
+			if w.Leq(r) {
+				pos = next
+				r = r.Sub(w)
+			}
+		}
+	}
+	if pos >= d.n {
+		panic("fenwick: FindWeightedStubborn threshold >= TotalWeightedStubborn")
+	}
+	return pos
 }
 
 // Values appends a copy of the current values to dst and returns it.

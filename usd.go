@@ -107,7 +107,43 @@ const (
 	OutcomeAllUndecided = core.OutcomeAllUndecided
 	// OutcomeBudget: the interaction budget ran out first.
 	OutcomeBudget = core.OutcomeBudget
+	// OutcomeFrozen: no productive interaction remains but the population
+	// is split (reachable only under non-classic dynamics).
+	OutcomeFrozen = core.OutcomeFrozen
+	// OutcomeDominance: the stubborn variant's terminal — one opinion holds
+	// every agent stubborn agents cannot permanently deny it.
+	OutcomeDominance = core.OutcomeDominance
 )
+
+// Dynamics is a pluggable opinion-dynamics rule; see Classic,
+// StubbornAgents, and Unconstrained.
+type Dynamics = core.Dynamics
+
+// Classic is the paper's k-opinion undecided state dynamics, the default.
+var Classic = core.Classic
+
+// StubbornAgents is the stubborn-agent USD variant (arXiv:2406.07335):
+// per-opinion stubborn counts never undecide, consensus is replaced by a
+// dominance terminal. Configure stubborn counts via Variant or
+// Config.Stubborn.
+var StubbornAgents = core.StubbornAgents
+
+// Unconstrained is the unconstrained-USD variant (arXiv:2103.10366) where
+// undecided agents remember a latent opinion; exact kernel only.
+var Unconstrained = core.Unconstrained
+
+// Variant names a dynamics variant plus its parameters in wire/CLI form.
+type Variant = core.Variant
+
+// ParseVariantSpec parses a CLI variant spec such as "classic",
+// "stubborn:5,0,3", or "unconstrained" ("" means classic).
+func ParseVariantSpec(s string) (Variant, error) { return core.ParseVariantSpec(s) }
+
+// VariantNames lists the registered dynamics variants in CLI/wire order.
+func VariantNames() []string { return core.VariantNames() }
+
+// WithDynamics selects the simulator's dynamics variant (default Classic).
+func WithDynamics(d Dynamics) Option { return core.WithDynamics(d) }
 
 // WithSkipping enables or disables geometric skipping of unproductive
 // interactions (default enabled; both settings sample the same law).
@@ -205,6 +241,39 @@ func RunWithKernel(cfg *Config, seed uint64, budget Clock, kern Kernel) (Report,
 	tr.ObserveNow(s)
 	// The tracker is its own core.Watcher, so the phase-tracking hot path
 	// runs without an observer closure.
+	res := s.RunWatched(budget, tr)
+	tr.ObserveNow(s)
+	return Report{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
+}
+
+// RunVariant is RunWithKernel under a pluggable dynamics variant: the
+// variant's parameters are applied to a copy of cfg, the kernel is checked
+// against the variant's window-law support (exact-only variants reject
+// batched kernels), and the run is phase-tracked. The classic variant
+// reduces to RunWithKernel.
+func RunVariant(cfg *Config, v Variant, seed uint64, budget Clock, kern Kernel) (Report, error) {
+	if err := v.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := v.ValidateKernel(kern); err != nil {
+		return Report{}, err
+	}
+	dyn, err := v.Dynamics()
+	if err != nil {
+		return Report{}, err
+	}
+	c := cfg.Clone()
+	v.Configure(c)
+	if err := c.Validate(); err != nil {
+		return Report{}, err
+	}
+	s, err := core.New(c, rng.New(seed), core.WithKernel(kern), core.WithDynamics(dyn))
+	if err != nil {
+		return Report{}, err
+	}
+	leader, _ := c.Max()
+	tr := phase.NewTracker(phase.WithCheckInterval(phase.CheckIntervalFor(c.N(), kern)))
+	tr.ObserveNow(s)
 	res := s.RunWatched(budget, tr)
 	tr.ObserveNow(s)
 	return Report{Result: res, Phases: tr.Times(), InitialLeader: leader}, nil
