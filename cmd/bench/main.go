@@ -233,6 +233,44 @@ type FaultRecoveryEntry struct {
 	Identical bool `json:"results_identical"`
 }
 
+// RemoteFleetEntry is one cross-host fleet measurement: the same consensus
+// fleet dispatched through the full multi-host transport path — template
+// expansion, a transport process per member, frame/write deadline guards,
+// elastic explicit-index dispatch — with /bin/sh as the loopback stand-in
+// for ssh, so the section runs on any machine. An sshd-backed fleet differs
+// only in the command template.
+type RemoteFleetEntry struct {
+	// Workload names the fleet.
+	Workload string `json:"workload"`
+	// N is the population size per trial.
+	N int64 `json:"n"`
+	// K is the opinion count.
+	K int `json:"k"`
+	// Kernel is the stepping kernel name.
+	Kernel string `json:"kernel"`
+	// Trials is the fleet size.
+	Trials int `json:"trials"`
+	// Members is the fleet's member (worker transport) count.
+	Members int `json:"members"`
+	// CoreBudget is the total core budget the {cores} template placeholder
+	// partitions across members.
+	CoreBudget int `json:"core_budget"`
+	// WallNanos is the end-to-end coordinator wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// TrialsPerS is the folded-trial throughput.
+	TrialsPerS float64 `json:"trials_per_sec"`
+	// SpeedupVs1Member is wall(1 member)/wall(this), 0 for the 1-member row.
+	SpeedupVs1Member float64 `json:"speedup_vs_1member"`
+	// ParallelEfficiency is this arm's throughput relative to the 1-member
+	// arm at the same total core budget: what the cross-host transport and
+	// elastic dispatch cost on top of plain process sharding. 0 for the
+	// 1-member row.
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	// Identical records that the folded sequence matched the in-process
+	// engine's byte for byte.
+	Identical bool `json:"results_identical"`
+}
+
 // FleetEntry is one small-n fleet measurement: a full-consensus Monte-Carlo
 // fleet at small n under one kernel.
 type FleetEntry struct {
@@ -313,6 +351,7 @@ type Report struct {
 	AdaptiveEntries []AdaptiveEntry      `json:"adaptive_engine"`
 	ShardEntries    []ShardEntry         `json:"shard_throughput"`
 	FaultRecovery   []FaultRecoveryEntry `json:"fault_recovery"`
+	RemoteFleet     []RemoteFleetEntry   `json:"remote_fleet"`
 	LargeN          []LargeNEntry        `json:"large_n"`
 }
 
@@ -532,6 +571,29 @@ func run(args []string) error {
 		}
 	}
 
+	rfe, err := measureRemoteFleet("remote-fleet", 10_000, k, core.KernelAuto(0), shardTrials, *seed)
+	if err != nil {
+		return err
+	}
+	rep.RemoteFleet = rfe
+	for _, fe := range rfe {
+		fmt.Printf("%-16s n=%-9d trials=%-5d members=%d cores=%d  %8.0f trials/s  speedup vs 1 member %.2fx  efficiency %.2f  identical=%v\n",
+			fe.Workload, fe.N, fe.Trials, fe.Members, fe.CoreBudget, fe.TrialsPerS, fe.SpeedupVs1Member, fe.ParallelEfficiency, fe.Identical)
+	}
+	if !*quick {
+		// The cross-host transport gate (ISSUE 10): the loopback fleet at 4
+		// members must keep at least 0.70 of the 1-member throughput under
+		// the fixed core budget — the transport layer may cost at most a
+		// few points over plain process sharding.
+		const fleetGate = 0.70
+		for _, fe := range rfe {
+			if fe.Members == 4 && fe.ParallelEfficiency < fleetGate {
+				return fmt.Errorf("bench: 4-member loopback-fleet parallel efficiency %.2f under the fixed core budget (gate %.2f)",
+					fe.ParallelEfficiency, fleetGate)
+			}
+		}
+	}
+
 	fre, err := measureFaultRecovery("fault-recovery", 10_000, k, core.KernelAuto(0), shardTrials, *seed)
 	if err != nil {
 		return err
@@ -725,6 +787,105 @@ func measureShards(workload string, n int64, k int, kern core.Kernel, trials int
 		entries = append(entries, se)
 		if !se.Identical {
 			return entries, fmt.Errorf("bench: %d-shard fold diverged from the in-process engine", shards)
+		}
+	}
+	return entries, nil
+}
+
+// measureRemoteFleet runs the same consensus fleet through the multi-host
+// transport at 1 and 4 members — workers started by RemoteLauncher through
+// the /bin/sh loopback template (this binary re-executed in worker mode,
+// with {cores} partitioning the fixed total core budget) under elastic
+// explicit-index dispatch — and compares every folded sequence against the
+// in-process engine's. parallel_efficiency prices the whole cross-host
+// path against the 1-member baseline at the same core budget; it errors if
+// any arm folds a different sequence.
+func measureRemoteFleet(workload string, n int64, k int, kern core.Kernel, trials int, seed uint64) ([]RemoteFleetEntry, error) {
+	cfg, err := conf.Uniform(n, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The in-process reference fingerprint, same fleet and seeds.
+	ref := sha256.New()
+	experiment.Stream(trials, 1, seed, func(i int, src *rng.Source, a *experiment.Arena) refOut {
+		s, err := a.Simulator(cfg, src, core.WithKernel(kern))
+		if err != nil {
+			panic(err) // configuration validated above
+		}
+		res := s.Run(core.NoBudget)
+		return refOut{t: res.Interactions, winner: res.Winner}
+	}, func(i int, v refOut) {
+		shardFingerprint(ref, i, v.t, v.winner)
+	})
+	want := fmt.Sprintf("%x", ref.Sum(nil))
+
+	spec, err := experiment.NewShardSpec(cfg, core.Variant{}, kern, core.NoBudget, 0, false).Encode()
+	if err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	// The fixed total core budget every arm competes under, partitioned
+	// across members by the {cores} placeholder: GOMAXPROCS caps the worker
+	// runtime, -shard-par its trial pool.
+	budget := runtime.GOMAXPROCS(0)
+	var entries []RemoteFleetEntry
+	var oneMemberNanos int64
+	for _, members := range []int{1, 4} {
+		launcher := &dist.RemoteLauncher{
+			Command: dist.LoopbackCommand(
+				"GOMAXPROCS={cores} " + exe + " -shard-worker {shard}/{shards} -shard-par {cores}"),
+			CoreBudget: budget,
+		}
+		h := sha256.New()
+		start := time.Now()
+		res, err := dist.Run(dist.Options{
+			Shards:    members,
+			MaxTrials: trials,
+			Seed:      seed,
+			Spec:      spec,
+			Launcher:  launcher,
+			Elastic:   true,
+		}, func(i int, data []byte) error {
+			var r experiment.ShardResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return err
+			}
+			shardFingerprint(h, i, r.Interactions(), r.Winner)
+			return nil
+		}, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d-member loopback fleet: %w", members, err)
+		}
+		wall := time.Since(start).Nanoseconds()
+		fe := RemoteFleetEntry{
+			Workload:   workload,
+			N:          n,
+			K:          k,
+			Kernel:     kern.String(),
+			Trials:     res.Trials,
+			Members:    members,
+			CoreBudget: budget,
+			WallNanos:  wall,
+		}
+		if wall > 0 {
+			fe.TrialsPerS = float64(res.Trials) / (float64(wall) / 1e9)
+		}
+		if members == 1 {
+			oneMemberNanos = wall
+		} else if wall > 0 {
+			fe.SpeedupVs1Member = float64(oneMemberNanos) / float64(wall)
+			// At a fixed total core budget the ideal multi-member arm
+			// matches the 1-member arm's throughput, so efficiency is the
+			// plain throughput ratio.
+			fe.ParallelEfficiency = float64(oneMemberNanos) / float64(wall)
+		}
+		fe.Identical = fmt.Sprintf("%x", h.Sum(nil)) == want
+		entries = append(entries, fe)
+		if !fe.Identical {
+			return entries, fmt.Errorf("bench: %d-member loopback fleet fold diverged from the in-process engine", members)
 		}
 	}
 	return entries, nil

@@ -87,6 +87,8 @@ func run(args []string) error {
 		ckpt     = fs.String("checkpoint", "", "with -shards: directory for per-cell checkpoints, written after every wave and resumed from")
 		timeout  = fs.Duration("worker-timeout", 5*time.Minute, "with -shards: per-shard liveness deadline; a worker silent this long is declared hung and relaunched (0 = never)")
 		relaunch = fs.Int("max-relaunches", 0, "with -shards: per-shard worker relaunch budget (0 = default 3; -1 = fail fast on the first worker death)")
+		hosts    = fs.String("hosts", "", "with -shards: comma-separated ssh hosts to start workers on (member i runs on host i mod len; empty = local worker processes)")
+		remote   = fs.String("remote-cmd", "", "with -hosts: worker command template run on each host ({host}/{shard}/{shards}/{cores} expand; empty = this binary's path in -shard-worker mode, which must exist on every host)")
 		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -156,12 +158,26 @@ func run(args []string) error {
 		WorkerTimeout: *timeout,
 		MaxRelaunches: *relaunch,
 	}
+	if *remote != "" && *hosts == "" {
+		return fmt.Errorf("-remote-cmd requires -hosts")
+	}
+	if *hosts != "" && *shards < 1 {
+		return fmt.Errorf("-hosts requires -shards")
+	}
 	if p.Shards >= 1 {
 		var extra []string
 		if *workers != 0 {
 			extra = []string{"-parallelism", strconv.Itoa(*workers)}
 		}
-		p.ShardLauncher = dist.SelfExecLauncher(extra...)
+		if *hosts != "" {
+			fleet, err := dist.SSHFleetLauncher(dist.SplitHostList(*hosts), *remote, extra...)
+			if err != nil {
+				return err
+			}
+			p.ShardLauncher = fleet
+		} else {
+			p.ShardLauncher = dist.SelfExecLauncher(extra...)
+		}
 		// Graceful interrupt: on SIGINT/SIGTERM the coordinator finishes the
 		// wave in flight and checkpoints, and the run exits resumable.
 		p.Interrupt = dist.InterruptOnSignal(os.Stderr)

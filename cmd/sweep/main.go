@@ -111,6 +111,8 @@ func run(args []string) error {
 		ckpt     = fs.String("checkpoint", "", "checkpoint file prefix: write/resume <prefix>.point<i> per sweep point (implies the sharded engine)")
 		timeout  = fs.Duration("worker-timeout", 5*time.Minute, "with -shards: per-shard liveness deadline; a worker silent this long is declared hung and relaunched (0 = never)")
 		relaunch = fs.Int("max-relaunches", 0, "with -shards: per-shard worker relaunch budget (0 = default 3; -1 = fail fast on the first worker death)")
+		hosts    = fs.String("hosts", "", "with -shards: comma-separated ssh hosts to start workers on (member i runs on host i mod len; empty = local worker processes)")
+		remote   = fs.String("remote-cmd", "", "with -hosts: worker command template run on each host ({host}/{shard}/{shards}/{cores} expand; empty = this binary's path in -shard-worker mode, which must exist on every host)")
 		worker   = fs.String("shard-worker", "", "internal: serve as shard worker \"i/of\" over stdin/stdout (spawned by -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -131,6 +133,12 @@ func run(args []string) error {
 	}
 	if *relaunch < dist.NoRelaunch {
 		return fmt.Errorf("-max-relaunches %d out of range (want >= %d)", *relaunch, dist.NoRelaunch)
+	}
+	if *remote != "" && *hosts == "" {
+		return fmt.Errorf("-remote-cmd requires -hosts")
+	}
+	if *hosts != "" && *shards < 1 {
+		return fmt.Errorf("-hosts requires -shards")
 	}
 	if *ckpt != "" {
 		// Create the prefix's directory up front: discovering it is
@@ -185,6 +193,8 @@ func run(args []string) error {
 		ckpt:        *ckpt,
 		timeout:     *timeout,
 		relaunches:  *relaunch,
+		hosts:       *hosts,
+		remoteCmd:   *remote,
 	}
 	if *shards >= 1 || *ckpt != "" {
 		// Graceful interrupt: on SIGINT/SIGTERM the coordinator finishes the
@@ -354,7 +364,17 @@ type shardedPointConfig struct {
 	ckpt                string
 	timeout             time.Duration
 	relaunches          int
+	hosts, remoteCmd    string
 	interrupt           <-chan struct{}
+}
+
+// launcher builds the point's worker launcher: an ssh fleet when -hosts was
+// given, this binary re-executed locally otherwise.
+func (sc shardedPointConfig) launcher() (dist.Launcher, error) {
+	if sc.hosts != "" {
+		return dist.SSHFleetLauncher(dist.SplitHostList(sc.hosts), sc.remoteCmd, workerArgs(sc.workers)...)
+	}
+	return dist.SelfExecLauncher(workerArgs(sc.workers)...), nil
 }
 
 // runPointSharded folds one sweep point through the distributed
@@ -384,7 +404,10 @@ func runPointSharded(st *pointState, cfg *usd.Config, variant core.Variant, kern
 	if sc.ckpt != "" {
 		path = fmt.Sprintf("%s.point%d", sc.ckpt, point)
 	}
-	launcher := dist.SelfExecLauncher(workerArgs(sc.workers)...)
+	launcher, err := sc.launcher()
+	if err != nil {
+		return err
+	}
 	res, err := dist.Run(dist.Options{
 		Shards:         shards,
 		MaxTrials:      maxTrials,

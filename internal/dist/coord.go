@@ -154,6 +154,10 @@ func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
 		return nil, fmt.Errorf("dist: ExecLauncher needs an Args function")
 	}
 	cmd := exec.Command(path, l.Args(shard, shards)...)
+	// Workers run in their own process group with (on Linux) a
+	// parent-death SIGKILL, so a coordinator that dies without running any
+	// cleanup — SIGKILL, OOM — cannot leak worker trees; see exec_linux.go.
+	setWorkerSysProcAttr(cmd)
 	cmd.Env = l.Env
 	if l.CoreBudget > 0 {
 		env := l.Env
@@ -183,7 +187,11 @@ func (l *ExecLauncher) Launch(shard, shards int) (*Conn, error) {
 		W:    stdin,
 		R:    stdout,
 		Wait: cmd.Wait,
-		Kill: func() { _ = cmd.Process.Kill() },
+		// Kill the whole process group, not just the worker: a worker that
+		// spawned helpers (or a shell wrapper that spawned the worker) must
+		// not leave grandchildren running after the coordinator declares the
+		// shard dead.
+		Kill: func() { killWorker(cmd) },
 	}, nil
 }
 
@@ -332,6 +340,23 @@ type Options struct {
 	// (DefaultRelaunchBackoff when zero); each further relaunch of the
 	// same shard doubles it, capped at eight times the base.
 	RelaunchBackoff time.Duration
+	// Elastic switches the coordinator to elastic membership: every wave is
+	// dispatched as explicit-index assignments balanced across the current
+	// member set instead of by the modular ownership rule, so members may
+	// join (see Join) and leave mid-run without changing which randomness
+	// stream any trial draws — the fold stays byte-identical to the fixed
+	// single-process run. A departing member is handled exactly like a lost
+	// shard: its outstanding indices are requeued and its own launcher is
+	// asked to relaunch it (budget and backoff as usual) before its stream
+	// is redistributed across the remaining members.
+	Elastic bool
+	// Join, when non-nil, admits new members mid-run (it implies Elastic):
+	// each Launcher received is launched as an additional member slot,
+	// handshakes against the same spec hash, and is dealt its balanced
+	// share of every subsequently dispatched wave. Joiners keep their own
+	// Launcher for relaunches. Close or abandon the channel freely; the
+	// coordinator never blocks on it.
+	Join <-chan Launcher
 	// Interrupt, when non-nil, requests a graceful early exit once it is
 	// closed: the coordinator finishes folding the wave in flight, writes
 	// its checkpoint, halts the workers, and returns with
@@ -368,4 +393,6 @@ type Result struct {
 	// can exceed the number of distinct requeued indices when a requeued
 	// trial's new owner fails too.
 	Requeued int
+	// Joined counts the members admitted mid-run through Options.Join.
+	Joined int
 }

@@ -289,21 +289,43 @@ func TestRunChecksSpecHashOnResume(t *testing.T) {
 	}
 }
 
-// TestRunOptionValidation covers the fail-fast paths.
+// TestRunOptionValidation covers the fail-fast paths: every nonsensical
+// option is rejected up front with an error that names the field and the
+// accepted range, before any worker is launched.
 func TestRunOptionValidation(t *testing.T) {
 	sink := func(int, []byte) error { return nil }
-	cases := []Options{
-		{Shards: 0, MaxTrials: 1, Launcher: failingLauncher{}},
-		{Shards: 1, MaxTrials: 0, Launcher: failingLauncher{}},
-		{Shards: 1, MaxTrials: 1},
-		{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, CheckpointPath: "x"},
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must carry
+	}{
+		{"zero-shards", Options{Shards: 0, MaxTrials: 1, Launcher: failingLauncher{}}, "Shards"},
+		{"zero-trials", Options{Shards: 1, MaxTrials: 0, Launcher: failingLauncher{}}, "MaxTrials"},
+		{"nil-launcher", Options{Shards: 1, MaxTrials: 1}, "Launcher"},
+		{"checkpoint-without-state", Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, CheckpointPath: "x"}, "State"},
 		// MaxWaves without a checkpoint would interrupt unresumably.
-		{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, MaxWaves: 1},
+		{"maxwaves-without-checkpoint", Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}, MaxWaves: 1}, "MaxWaves"},
+		// A negative liveness deadline would silently disable hang detection
+		// while reading as "very strict" at the call site.
+		{"negative-worker-timeout", Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{},
+			WorkerTimeout: -time.Second}, "WorkerTimeout"},
+		// A negative backoff would schedule relaunches in the past and spin.
+		{"negative-backoff", Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{},
+			RelaunchBackoff: -time.Millisecond}, "RelaunchBackoff"},
+		// Below NoRelaunch there is no defined recovery semantics.
+		{"nonsense-max-relaunches", Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{},
+			MaxRelaunches: NoRelaunch - 1}, "MaxRelaunches"},
 	}
-	for i, opts := range cases {
-		if _, err := Run(opts, sink, nil, nil); err == nil {
-			t.Fatalf("case %d: expected validation error", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.opts, sink, nil, nil)
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
 	}
 	if _, err := Run(Options{Shards: 1, MaxTrials: 1, Launcher: failingLauncher{}}, nil, nil, nil); err == nil {
 		t.Fatal("nil sink accepted")

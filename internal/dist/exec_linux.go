@@ -1,0 +1,32 @@
+//go:build linux
+
+package dist
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setWorkerSysProcAttr hardens a worker process against coordinator death:
+// the worker gets its own process group, so one signal can take down the
+// worker and everything it spawned, and the kernel delivers SIGKILL to the
+// worker the moment the thread that spawned it dies (Pdeathsig) — so even a
+// SIGKILL'd coordinator, which never gets to run cleanup, leaves no orphan
+// burning a billion-agent trial. Workers that block on stdin still exit on
+// the EOF a dead coordinator's closed pipes produce; this is the backstop
+// for workers wedged somewhere that never reads.
+func setWorkerSysProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true, Pdeathsig: syscall.SIGKILL}
+}
+
+// killWorker forcibly terminates a worker and its whole process group (the
+// group Setpgid created), falling back to the process alone if the group is
+// already gone.
+func killWorker(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

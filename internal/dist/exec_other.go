@@ -1,0 +1,18 @@
+//go:build !linux
+
+package dist
+
+import "os/exec"
+
+// setWorkerSysProcAttr is a no-op where the process-group and parent-death
+// plumbing of exec_linux.go is unavailable; orphan-proofing there relies on
+// workers exiting at the stdin EOF a dead coordinator produces.
+func setWorkerSysProcAttr(cmd *exec.Cmd) {}
+
+// killWorker forcibly terminates a worker process (just the process: group
+// kills need the Setpgid support of exec_linux.go).
+func killWorker(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

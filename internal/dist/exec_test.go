@@ -1,11 +1,17 @@
 package dist
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"os"
+	"os/exec"
 	"reflect"
+	"runtime"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // distWorkerFlag routes the test binary into worker mode when TestMain sees
@@ -13,22 +19,56 @@ import (
 // -shard-worker flag, so ExecLauncher is exercised against real processes.
 const distWorkerFlag = "-dist-test-worker="
 
-// TestMain intercepts worker-mode invocations of the test binary before the
+// distSignalFlag routes the test binary into a mock coordinator that
+// installs InterruptOnSignal, so the signal contract — graceful first
+// signal, hard exit 130 on the second — is testable against a real process.
+const distSignalFlag = "-dist-test-signal"
+
+// distOrphanFlag routes the test binary into a mock coordinator that
+// launches one long-lived worker through ExecLauncher, reports the worker's
+// pid on stdout, and then hangs. The orphan regression test SIGKILLs this
+// process and requires the worker to die with it.
+const distOrphanFlag = "-dist-test-orphan"
+
+// TestMain intercepts the re-exec modes of the test binary before the
 // testing framework parses flags.
 func TestMain(m *testing.M) {
 	for _, arg := range os.Args[1:] {
-		if !strings.HasPrefix(arg, distWorkerFlag) {
-			continue
+		switch {
+		case strings.HasPrefix(arg, distWorkerFlag):
+			shard, shards, err := ParseShardArg(strings.TrimPrefix(arg, distWorkerFlag))
+			if err == nil {
+				err = Serve(os.Stdin, os.Stdout, shard, shards, echoBuild)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dist test worker:", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		case arg == distSignalFlag:
+			done := InterruptOnSignal(os.Stderr)
+			fmt.Println("ready")
+			<-done
+			fmt.Println("graceful")
+			select {} // park: only a second signal's os.Exit(130) ends this process
+		case arg == distOrphanFlag:
+			l := &ExecLauncher{
+				Path: "/bin/sh",
+				Args: func(shard, shards int) []string { return []string{"-c", "echo $$; sleep 300"} },
+			}
+			c, err := l.Launch(0, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dist test orphan:", err)
+				os.Exit(1)
+			}
+			var pid int
+			if _, err := fmt.Fscan(c.R, &pid); err != nil {
+				fmt.Fprintln(os.Stderr, "dist test orphan: read worker pid:", err)
+				os.Exit(1)
+			}
+			fmt.Println("workerpid", pid)
+			select {} // park: the test SIGKILLs us; the worker must die too
 		}
-		shard, shards, err := ParseShardArg(strings.TrimPrefix(arg, distWorkerFlag))
-		if err == nil {
-			err = Serve(os.Stdin, os.Stdout, shard, shards, echoBuild)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dist test worker:", err)
-			os.Exit(1)
-		}
-		os.Exit(0)
 	}
 	os.Exit(m.Run())
 }
@@ -96,3 +136,121 @@ func TestExecLauncherWorkerRejectsBadJob(t *testing.T) {
 type devNull struct{}
 
 func (devNull) Write(p []byte) (int, error) { return len(p), nil }
+
+// waitGone polls a pid until the process is gone, failing the test if it is
+// still alive after the deadline.
+func waitGone(t *testing.T, pid int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := syscall.Kill(pid, 0); err != nil {
+			return // ESRCH: gone
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	syscall.Kill(pid, syscall.SIGKILL) // do not leak it past the test
+	t.Fatalf("%s (pid %d) is still alive", what, pid)
+}
+
+// TestInterruptOnSignalSecondSignalHardExit drives the two-signal contract
+// against a real process: the first SIGINT closes the interrupt channel (the
+// mock coordinator prints "graceful"), the second exits immediately with
+// status 130.
+func TestInterruptOnSignalSecondSignalHardExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	cmd := exec.Command(os.Args[0], distSignalFlag)
+	cmd.Stderr = devNull{}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	br := bufio.NewReader(out)
+	expect := func(want string) {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil || strings.TrimSpace(line) != want {
+			t.Fatalf("expected %q from the mock coordinator, got %q (%v)", want, line, err)
+		}
+	}
+	expect("ready")
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	expect("graceful")
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("second signal exit: %v, want exit status 130", err)
+	}
+}
+
+// TestExecLauncherNoOrphanOnCoordinatorKill is the orphan regression test:
+// SIGKILL a coordinator mid-run — no deferred cleanup runs — and its worker
+// must still die (parent-death signaling), never lingering as an orphan.
+func TestExecLauncherNoOrphanOnCoordinatorKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	if runtime.GOOS != "linux" {
+		t.Skip("parent-death signaling is linux-only")
+	}
+	cmd := exec.Command(os.Args[0], distOrphanFlag)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	var tag string
+	var workerPid int
+	if _, err := fmt.Fscan(bufio.NewReader(out), &tag, &workerPid); err != nil || tag != "workerpid" {
+		t.Fatalf("read worker pid: %q %d (%v)", tag, workerPid, err)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no chance to clean up
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	waitGone(t, workerPid, "orphaned worker")
+}
+
+// TestExecLauncherKillKillsProcessGroup checks Conn.Kill takes out the
+// worker's whole process group: a worker that forked a grandchild (as a
+// shell wrapper would) leaves nothing behind.
+func TestExecLauncherKillKillsProcessGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	if runtime.GOOS != "linux" {
+		t.Skip("process-group kill is linux-only")
+	}
+	l := &ExecLauncher{
+		Path: "/bin/sh",
+		Args: func(shard, shards int) []string {
+			return []string{"-c", "sleep 300 & echo $$ $!; wait"}
+		},
+	}
+	c, err := l.Launch(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shPid, grandchildPid int
+	if _, err := fmt.Fscan(c.R, &shPid, &grandchildPid); err != nil {
+		t.Fatalf("read pids: %v", err)
+	}
+	c.Kill()
+	c.Wait()
+	waitGone(t, shPid, "worker shell")
+	waitGone(t, grandchildPid, "worker grandchild")
+}

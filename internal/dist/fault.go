@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // This file is the fault-injection harness: a Launcher wrapper that makes
@@ -42,6 +43,27 @@ const (
 	// After forwarded lines — a corrupted frame, caught by the protocol
 	// decoder.
 	FaultGarbage
+	// FaultPartition severs the link after After forwarded protocol lines,
+	// silently and in both directions: the worker's further output is
+	// blackholed and coordinator commands are swallowed without error,
+	// while the worker itself stays alive and healthy. Nothing errors, so
+	// only Options.WorkerTimeout can diagnose it — the network-shaped
+	// analogue of FaultHang.
+	FaultPartition
+	// FaultDropFrames silently discards the worker's After-th result frame
+	// in transit while everything else (including the wavedone barrier)
+	// flows normally — a lossy link, caught by the coordinator's
+	// frame-integrity check on the barrier's echoed indices.
+	FaultDropFrames
+	// FaultSlowLink delays every forwarded result-stream line by Delay once
+	// After lines have passed — a degraded link. It is the one fault a
+	// correct coordinator must NOT react to: as long as Delay stays under
+	// the liveness deadline the run completes without any relaunch.
+	FaultSlowLink
+	// FaultCrashOnConnect kills the worker the instant it is launched,
+	// before a single byte flows — the building block of reconnect storms
+	// (see ReconnectStorm). After is ignored.
+	FaultCrashOnConnect
 )
 
 // String names the fault kind for logs and benchmark reports.
@@ -55,6 +77,14 @@ func (k FaultKind) String() string {
 		return "hang"
 	case FaultGarbage:
 		return "garbage-frame"
+	case FaultPartition:
+		return "partition"
+	case FaultDropFrames:
+		return "drop-frames"
+	case FaultSlowLink:
+		return "slow-link"
+	case FaultCrashOnConnect:
+		return "crash-on-connect"
 	default:
 		return fmt.Sprintf("fault-kind-%d", int(k))
 	}
@@ -71,9 +101,12 @@ type Fault struct {
 	// Kind is the failure mode.
 	Kind FaultKind
 	// After is the kind-specific trigger count: wave commands written
-	// (FaultCrashBeforeWave), result lines emitted (FaultCrashMidWave), or
-	// protocol lines emitted (FaultHang, FaultGarbage).
+	// (FaultCrashBeforeWave), result lines emitted (FaultCrashMidWave,
+	// FaultDropFrames), or protocol lines emitted (FaultHang, FaultGarbage,
+	// FaultPartition, FaultSlowLink). FaultCrashOnConnect ignores it.
 	After int
+	// Delay is FaultSlowLink's per-line forwarding delay.
+	Delay time.Duration
 }
 
 // errFaultCrash is what a fault-killed connection's streams report.
@@ -127,8 +160,9 @@ type faultConn struct {
 	f     Fault
 	pw    *io.PipeWriter
 
-	mu    sync.Mutex
-	waves int // wave commands seen on the command stream
+	mu          sync.Mutex
+	waves       int  // wave commands seen on the command stream
+	partitioned bool // FaultPartition tripped: swallow both directions
 
 	killed   chan struct{}
 	killOnce sync.Once
@@ -154,11 +188,26 @@ func (c *faultConn) kill() {
 	c.inner.kill()
 }
 
-// Write intercepts the coordinator's command stream. Only
-// FaultCrashBeforeWave lives here: at its trigger the real worker is
-// killed and the write fails, exactly like a process that died between
-// waves.
+// Write intercepts the coordinator's command stream. FaultCrashBeforeWave
+// lives here: at its trigger the real worker is killed and the write fails,
+// exactly like a process that died between waves. FaultCrashOnConnect fails
+// the very first write (nothing ever reaches the worker), and a tripped
+// FaultPartition swallows commands "successfully" — the write reports
+// success but the worker never hears it, like a blackholed packet.
 func (c *faultConn) Write(p []byte) (int, error) {
+	if c.f.Kind == FaultCrashOnConnect {
+		c.kill()
+		c.pw.CloseWithError(errFaultCrash)
+		return 0, errFaultCrash
+	}
+	if c.f.Kind == FaultPartition {
+		c.mu.Lock()
+		cut := c.partitioned
+		c.mu.Unlock()
+		if cut {
+			return len(p), nil
+		}
+	}
 	if c.f.Kind == FaultCrashBeforeWave && bytes.Contains(p, []byte(`"type":"`+TypeWave+`"`)) {
 		c.mu.Lock()
 		n := c.waves
@@ -179,6 +228,12 @@ func (c *faultConn) Close() error { return c.inner.W.Close() }
 // forward pumps the worker's result stream to the coordinator, applying
 // the read-side faults at their trigger positions.
 func (c *faultConn) forward() {
+	if c.f.Kind == FaultCrashOnConnect {
+		// Dead before the first byte: the cleanest connection failure.
+		c.kill()
+		c.pw.CloseWithError(errFaultCrash)
+		return
+	}
 	br := bufio.NewReaderSize(c.inner.R, 1<<16)
 	lines := 0
 	results := 0
@@ -186,6 +241,7 @@ func (c *faultConn) forward() {
 	for {
 		line, err := br.ReadBytes('\n')
 		if len(line) > 0 {
+			drop := false
 			switch c.f.Kind {
 			case FaultCrashMidWave:
 				if bytes.Contains(line, []byte(`"type":"`+TypeResult+`"`)) {
@@ -215,12 +271,45 @@ func (c *faultConn) forward() {
 					}
 				}
 				lines++
+			case FaultPartition:
+				if lines == c.f.After {
+					// Trip the partition: swallow writes from here on (see
+					// Write) and blackhole the rest of the worker's output
+					// without closing anything. Only the liveness deadline
+					// (or a kill) ends it.
+					c.mu.Lock()
+					c.partitioned = true
+					c.mu.Unlock()
+					<-c.killed
+					c.pw.CloseWithError(errFaultCrash)
+					return
+				}
+				lines++
+			case FaultDropFrames:
+				if bytes.Contains(line, []byte(`"type":"`+TypeResult+`"`)) {
+					if results == c.f.After {
+						drop = true // the frame vanishes; the stream lives on
+					}
+					results++
+				}
+			case FaultSlowLink:
+				if lines >= c.f.After && c.f.Delay > 0 {
+					select {
+					case <-time.After(c.f.Delay):
+					case <-c.killed:
+						c.pw.CloseWithError(errFaultCrash)
+						return
+					}
+				}
+				lines++
 			}
-			if _, werr := c.pw.Write(line); werr != nil {
-				// The coordinator closed its end (teardown); stop the
-				// worker so nothing leaks.
-				c.inner.kill()
-				return
+			if !drop {
+				if _, werr := c.pw.Write(line); werr != nil {
+					// The coordinator closed its end (teardown); stop the
+					// worker so nothing leaks.
+					c.inner.kill()
+					return
+				}
 			}
 		}
 		if err != nil {
@@ -256,6 +345,52 @@ func ChaosSchedule(seed uint64, shards int) []Fault {
 			Kind:  kinds[(rot+i)%len(kinds)],
 			After: 1 + int(next()>>33)%3,
 		}
+	}
+	return out
+}
+
+// NetworkChaosSchedule is ChaosSchedule's network-shaped sibling: a
+// deterministic, seed-dependent plan that gives each shard's first worker
+// incarnation one network fault — partition, dropped frame, slow link, or
+// crash-on-connect — cycling the kinds across shards with a seeded
+// rotation. Like ChaosSchedule it is a pure function of (seed, shards), so
+// a failing run reproduces exactly. Slow links get a small Delay, well
+// under any sane liveness deadline, since a slow link is the fault the
+// coordinator must tolerate rather than react to.
+func NetworkChaosSchedule(seed uint64, shards int) []Fault {
+	x := seed*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	kinds := []FaultKind{FaultPartition, FaultDropFrames, FaultSlowLink, FaultCrashOnConnect}
+	rot := int(next() >> 33)
+	out := make([]Fault, shards)
+	for i := range out {
+		f := Fault{
+			Shard: i,
+			Kind:  kinds[(rot+i)%len(kinds)],
+			After: 1 + int(next()>>33)%3,
+		}
+		if f.Kind == FaultSlowLink {
+			f.Delay = time.Duration(1+int(next()>>33)%3) * time.Millisecond
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// ReconnectStorm schedules a shard's first count incarnations to die the
+// instant they connect — the reconnect-storm scenario: every relaunch
+// immediately fails again, exercising the backoff ladder. Incarnation count
+// (the count+1-th) connects cleanly, so a run self-heals as long as count
+// is within the relaunch budget.
+func ReconnectStorm(shard, count int) []Fault {
+	out := make([]Fault, count)
+	for i := range out {
+		out[i] = Fault{Shard: shard, Launch: i, Kind: FaultCrashOnConnect}
 	}
 	return out
 }

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,6 +99,53 @@ func TestRunRefusesCorruptCheckpoint(t *testing.T) {
 	if st.Count != 0 {
 		t.Fatalf("folded %d trials against a corrupt checkpoint", st.Count)
 	}
+}
+
+// FuzzFrame drives the JSONL wire decoder with arbitrary bytes — the exact
+// surface a remote transport exposes to line noise, truncation, and
+// garbage. It must never panic, every accepted frame must carry the current
+// protocol version and a known message type, and a version mismatch must
+// keep the rebuild guidance the cmds' error paths point users at.
+func FuzzFrame(f *testing.F) {
+	marshal := func(m Msg) []byte {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(data, '\n')
+	}
+	f.Add(marshal(Msg{V: ProtocolVersion, Type: TypeJob, Shard: 0, Shards: 2, Seed: 7, Hash: "h", Spec: []byte(`{}`)}))
+	f.Add(marshal(Msg{V: ProtocolVersion, Type: TypeWave, Lo: 0, Hi: 4, Indices: []int{0, 2}}))
+	f.Add(marshal(Msg{V: ProtocolVersion, Type: TypeResult, Trial: 3, Data: []byte(`{"x":1}`)}))
+	f.Add(marshal(Msg{V: ProtocolVersion, Type: TypeWaveDone, Lo: 0, Hi: 4, Indices: []int{0, 2}}))
+	f.Add(marshal(Msg{V: 1, Type: TypeResult, Trial: 3}))
+	f.Add(marshal(Msg{V: 2, Type: TypeWaveDone, Lo: 0, Hi: 4}))
+	f.Add([]byte("{\"v\":3}\n{\"v\":3}\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("{\"v\":1e999}\n"))
+	f.Add([]byte("{}"))
+	f.Add([]byte("\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := newMsgReader(bytes.NewReader(data))
+		for {
+			m, err := dec.next()
+			if err != nil {
+				if errors.Is(err, errProtocolVersion) && !strings.Contains(err.Error(), "rebuild") {
+					t.Fatalf("version mismatch error %q lost the rebuild guidance", err)
+				}
+				return // any error ends the stream, matching the reader pump
+			}
+			if m.V != ProtocolVersion {
+				t.Fatalf("decoder accepted frame with version %d", m.V)
+			}
+			switch m.Type {
+			case TypeJob, TypeWave, TypeHalt, TypeHello, TypeResult, TypeWaveDone, TypeError:
+			default:
+				t.Fatalf("decoder accepted frame with unknown type %q", m.Type)
+			}
+		}
+	})
 }
 
 // FuzzCheckpoint drives checkpoint parsing with arbitrary bytes: it must

@@ -37,12 +37,15 @@ import (
 
 // ProtocolVersion is the version tag every protocol line carries. Workers
 // and coordinators reject lines from any other version, so mixed-binary
-// fleets fail loudly instead of folding garbage. Version 2 switched the
-// trial payloads and job specs to the 128-bit interaction clock's hi/lo
-// word pairs (budget_hi/budget_lo, interactions_hi/interactions_lo);
-// version 1 carried single int64 clock fields, which overflow past
-// n = ⌊√MaxInt64⌋, and is rejected.
-const ProtocolVersion = 2
+// fleets — much easier to assemble by accident now that RemoteLauncher
+// starts workers from per-host binaries — fail loudly instead of folding
+// garbage. Version 3 made the wavedone barrier echo the indices the worker
+// computed, which the coordinator's frame-integrity check relies on to
+// detect result frames lost in transit; version 2 switched the trial
+// payloads and job specs to the 128-bit interaction clock's hi/lo word
+// pairs (budget_hi/budget_lo, interactions_hi/interactions_lo); version 1
+// carried single int64 clock fields, which overflow past n = ⌊√MaxInt64⌋.
+const ProtocolVersion = 3
 
 // errProtocolVersion marks a cross-version protocol line: the failure is a
 // build mismatch, deterministic across relaunches, so the coordinator
@@ -100,7 +103,12 @@ type Msg struct {
 	// of its share of [Lo, Hi). The coordinator uses it to requeue a dead
 	// shard's outstanding indices — to its relaunched incarnation or to a
 	// surviving shard — without changing which randomness stream any trial
-	// draws (streams depend on the global index alone).
+	// draws (streams depend on the global index alone), and elastic runs
+	// dispatch every wave this way so membership changes cannot move work
+	// implicitly. On a wavedone message Indices echoes the indices the
+	// worker actually computed and emitted, the coordinator's
+	// frame-integrity evidence: an echoed index the coordinator never
+	// received a result for was lost in transit.
 	Indices []int `json:"indices,omitempty"`
 	// Trial is the global trial index of a result.
 	Trial int `json:"trial"`
@@ -152,8 +160,17 @@ func (d *msgReader) next() (Msg, error) {
 		return Msg{}, fmt.Errorf("dist: bad protocol line %.80q: %w", line, err)
 	}
 	if m.V != ProtocolVersion {
-		return Msg{}, fmt.Errorf("dist: protocol version %d, want %d (%w; version 1 predates the 128-bit interaction clock — rebuild so coordinator and workers match)",
+		return Msg{}, fmt.Errorf("dist: protocol version %d, want %d (%w; version 1 predates the 128-bit interaction clock, version 2 the wavedone integrity echo — rebuild so coordinator and every worker host match)",
 			m.V, ProtocolVersion, errProtocolVersion)
+	}
+	switch m.Type {
+	case TypeJob, TypeWave, TypeHalt, TypeHello, TypeResult, TypeWaveDone, TypeError:
+	default:
+		// Reject unknown frames at the decoder: over a real transport a
+		// right-version-wrong-type frame means stream corruption, not a
+		// feature gap, and both endpoints' message loops would reject it
+		// anyway.
+		return Msg{}, fmt.Errorf("dist: unknown protocol message type %q", m.Type)
 	}
 	return m, nil
 }

@@ -93,6 +93,7 @@ type shardSlot struct {
 	health     shardHealth
 	conn       *Conn
 	sendq      chan Msg
+	launcher   Launcher  // starts (and restarts) this member's worker
 	owed       int       // dispatched, not-yet-received indices owned
 	relaunches int       // relaunch budget consumed
 	relaunchAt time.Time // healthBackoff: earliest relaunch time
@@ -109,6 +110,8 @@ type coordinator struct {
 	maxRelaunches int
 	backoff       time.Duration
 	intr          <-chan struct{}
+	elastic       bool
+	join          <-chan Launcher
 
 	slots []*shardSlot
 	msgs  chan shardMsg
@@ -132,11 +135,13 @@ type coordinator struct {
 
 // Run executes a distributed trial run: it launches Options.Shards workers,
 // partitions each wave's global trial indices across them (index i belongs
-// to shard i mod Shards), folds the returned payloads into sink strictly in
-// global trial-index order, and evaluates stop after every fold, exactly as
-// experiment.StreamAdaptive does in process — so the folded prefix, and
-// every order-sensitive aggregate built from it, is byte-identical to the
-// single-process run of the same spec and seed at every shard count.
+// to shard i mod Shards; elastic runs instead deal every wave explicitly
+// across the current member set), folds the returned payloads into sink
+// strictly in global trial-index order, and evaluates stop after every
+// fold, exactly as experiment.StreamAdaptive does in process — so the
+// folded prefix, and every order-sensitive aggregate built from it, is
+// byte-identical to the single-process run of the same spec and seed at
+// every shard count and under any membership history.
 //
 // Run survives worker failure: crashed, hung (see Options.WorkerTimeout),
 // and garbage-emitting workers are detected, their outstanding trial
@@ -169,6 +174,16 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 	}
 	if opts.MaxWaves > 0 && opts.CheckpointPath == "" {
 		return Result{}, fmt.Errorf("dist: MaxWaves without CheckpointPath would interrupt unresumably")
+	}
+	if opts.WorkerTimeout < 0 {
+		return Result{}, fmt.Errorf("dist: WorkerTimeout = %v, want >= 0 (zero disables the liveness deadline)", opts.WorkerTimeout)
+	}
+	if opts.RelaunchBackoff < 0 {
+		return Result{}, fmt.Errorf("dist: RelaunchBackoff = %v, want >= 0 (zero means the default %v)", opts.RelaunchBackoff, DefaultRelaunchBackoff)
+	}
+	if opts.MaxRelaunches < NoRelaunch {
+		return Result{}, fmt.Errorf("dist: MaxRelaunches = %d, want >= %d (NoRelaunch %d fails fast, zero means the default %d)",
+			opts.MaxRelaunches, NoRelaunch, NoRelaunch, DefaultMaxRelaunches)
 	}
 	wave := opts.Wave
 	if wave <= 0 {
@@ -216,6 +231,8 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 		done:          start,
 		log:           opts.Log,
 		res:           &res,
+		elastic:       opts.Elastic || opts.Join != nil,
+		join:          opts.Join,
 	}
 	if co.maxRelaunches == 0 {
 		co.maxRelaunches = DefaultMaxRelaunches
@@ -227,7 +244,7 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 		co.log = os.Stderr
 	}
 	for i := 0; i < opts.Shards; i++ {
-		co.slots = append(co.slots, &shardSlot{id: i})
+		co.slots = append(co.slots, &shardSlot{id: i, launcher: opts.Launcher})
 	}
 	defer co.cleanup()
 	for _, s := range co.slots {
@@ -323,7 +340,7 @@ func Run(opts Options, sink func(trial int, data []byte) error, stop func() bool
 // reader goroutines, and the job header. The caller routes errors through
 // slotDown so launch failures consume relaunch budget like any death.
 func (co *coordinator) launchSlot(s *shardSlot) error {
-	c, err := co.opts.Launcher.Launch(s.id, len(co.slots))
+	c, err := s.launcher.Launch(s.id, len(co.slots))
 	if err != nil {
 		return err
 	}
@@ -387,7 +404,8 @@ func (co *coordinator) reader(shard, gen int, r io.ReadCloser) {
 }
 
 // awaitEvent blocks until one event is processed: a worker message or
-// death, a liveness/relaunch deadline, or the caller's interrupt.
+// death, a liveness/relaunch deadline, a member joining the fleet, or the
+// caller's interrupt.
 func (co *coordinator) awaitEvent() {
 	var timerC <-chan time.Time
 	if dl, ok := co.nextDeadline(); ok {
@@ -398,6 +416,14 @@ func (co *coordinator) awaitEvent() {
 	select {
 	case sm := <-co.msgs:
 		co.handle(sm)
+	case l, ok := <-co.join:
+		// A closed Join channel just stops admitting; a nil one (non-elastic
+		// run, or closed and nilled) never fires.
+		if !ok {
+			co.join = nil
+			return
+		}
+		co.admit(l)
 	case <-timerC:
 		co.checkDeadlines(time.Now())
 	case <-co.intr:
@@ -406,6 +432,22 @@ func (co *coordinator) awaitEvent() {
 		// interrupt configured, or one already taken) never fires.
 		co.interrupted = true
 		co.intr = nil
+	}
+}
+
+// admit adds one late joiner as a new member slot and launches its worker;
+// the joiner handshakes against the same spec hash as everyone else and is
+// dealt its balanced share starting with the next dispatched wave — waves
+// already dispatched keep their assignments, so joining can never reassign
+// in-flight work. Launch failures burn the joiner's relaunch budget exactly
+// like a launch-time failure of an initial member.
+func (co *coordinator) admit(l Launcher) {
+	s := &shardSlot{id: len(co.slots), launcher: l}
+	co.slots = append(co.slots, s)
+	co.res.Joined++
+	co.logf("dist: member %d joined the fleet (%d members)\n", s.id, len(co.slots))
+	if err := co.launchSlot(s); err != nil {
+		co.slotDown(s, err, false)
 	}
 }
 
@@ -509,9 +551,27 @@ func (co *coordinator) handle(sm shardMsg) {
 			co.slots[o].owed--
 		}
 	case TypeWaveDone:
-		// Nothing beyond the liveness refresh above: wave completion is
-		// tracked by index coverage, which survives requeues and
-		// redistribution.
+		// Wave completion itself is tracked by index coverage, which
+		// survives requeues and redistribution. The barrier's echoed index
+		// list is the frame-integrity check: the connection delivered every
+		// result line before this wavedone, so an echoed index this shard
+		// still owns with no result pending means the result frame was lost
+		// in transit (a lossy or corrupting transport). The worker is
+		// recovered like any failed one — recomputation is free of
+		// determinism risk. Indices requeued to another member in the
+		// meantime (owner moved on) and already-folded duplicates are
+		// skipped, so a healthy barrier can never be misread as loss.
+		for _, i := range m.Indices {
+			if i < co.done {
+				continue
+			}
+			if o, ok := co.owner[i]; ok && o == s.id {
+				if _, have := co.pending[i]; !have {
+					co.slotDown(s, fmt.Errorf("wave [%d,%d) barrier: result frame for trial %d lost in transit", m.Lo, m.Hi, i), false)
+					return
+				}
+			}
+		}
 	case TypeError:
 		// Worker-side errors are deterministic job or trial failures —
 		// a relaunch would fail identically — so they abort the run once
@@ -655,15 +715,17 @@ func (co *coordinator) redistribute(from *shardSlot) {
 		}
 	}
 	from.owed = 0
-	co.assign(idx)
+	co.assign(idx, true)
 }
 
-// assign deals orphaned indices round-robin across the non-lost shards and
+// assign deals indices round-robin across the non-lost shards and
 // dispatches them as explicit-index waves (immediately to live shards; a
-// shard in backoff receives its share when it relaunches). With no targets
-// left the indices stay owned by a lost shard, which the fold loop reads as
-// "wave not completable" once the all-lost fatal error is set.
-func (co *coordinator) assign(idx []int) {
+// shard in backoff receives its share when it relaunches). It serves both
+// the orphan-requeue path (requeue accounting on) and elastic dispatch,
+// where every wave is dealt this way across the current member set. With no
+// targets left the indices stay owned by a lost shard, which the fold loop
+// reads as "wave not completable" once the all-lost fatal error is set.
+func (co *coordinator) assign(idx []int, requeue bool) {
 	if len(idx) == 0 {
 		return
 	}
@@ -686,7 +748,7 @@ func (co *coordinator) assign(idx []int) {
 	}
 	for _, t := range targets {
 		if list := per[t.id]; len(list) > 0 {
-			co.sendIndices(t, list)
+			co.sendIndices(t, list, requeue)
 		}
 	}
 }
@@ -701,19 +763,23 @@ func (co *coordinator) sendOwed(s *shardSlot) {
 		}
 	}
 	if len(idx) > 0 {
-		co.sendIndices(s, idx)
+		co.sendIndices(s, idx, true)
 	}
 }
 
 // sendIndices enqueues explicit-index waves for idx (sorted in place),
 // grouped by the wave each index belongs to so worker-side wave accounting
-// stays well-formed.
-func (co *coordinator) sendIndices(s *shardSlot, idx []int) {
+// stays well-formed. requeue marks the dispatch as failure recovery for
+// Result accounting; elastic first-time dispatch uses the same wire shape
+// but is not a requeue.
+func (co *coordinator) sendIndices(s *shardSlot, idx []int, requeue bool) {
 	if s.sendq == nil {
 		return
 	}
 	sort.Ints(idx)
-	co.res.Requeued += len(idx)
+	if requeue {
+		co.res.Requeued += len(idx)
+	}
 	for start := 0; start < len(idx); {
 		lo := co.waveLoOf(idx[start])
 		hi := lo + co.wave
@@ -737,11 +803,23 @@ func (co *coordinator) waveLoOf(i int) int {
 	return co.start + (i-co.start)/co.wave*co.wave
 }
 
-// dispatch assigns one wave: each non-lost shard gets its modular share (a
+// dispatch assigns one wave. In elastic mode the whole range is dealt as
+// explicit-index waves balanced across the current member set — ownership
+// is decided per wave at dispatch time, so a member set that grew or shrank
+// since the last wave simply changes who computes what, never what any
+// trial computes. Otherwise each non-lost shard gets its modular share (a
 // plain wave message; shards in backoff receive theirs on relaunch), and
 // lost shards' shares are dealt to the survivors as explicit-index waves.
 func (co *coordinator) dispatch(wv waveRange) {
 	if co.fatal != nil {
+		return
+	}
+	if co.elastic {
+		idx := make([]int, 0, wv.hi-wv.lo)
+		for i := wv.lo; i < wv.hi; i++ {
+			idx = append(idx, i)
+		}
+		co.assign(idx, false)
 		return
 	}
 	var orphans []int
@@ -762,7 +840,7 @@ func (co *coordinator) dispatch(wv waveRange) {
 			co.enqueue(s, Msg{Type: TypeWave, Lo: wv.lo, Hi: wv.hi})
 		}
 	}
-	co.assign(orphans)
+	co.assign(orphans, true)
 }
 
 // enqueue hands a command to the shard's sender without ever blocking the

@@ -94,10 +94,12 @@ func Serve(r io.Reader, w io.Writer, shard, shards int, build BuildRunner) error
 				indices = ShardIndices(m.Lo, m.Hi, shard, shards)
 			}
 			var emitErr error
+			emitted := make([]int, 0, len(indices))
 			err := runner(indices, func(trial int, data []byte) {
 				if emitErr == nil {
 					emitErr = writeMsg(w, Msg{Type: TypeResult, Trial: trial, Data: data})
 				}
+				emitted = append(emitted, trial)
 			})
 			if err == nil {
 				err = emitErr
@@ -105,7 +107,11 @@ func Serve(r io.Reader, w io.Writer, shard, shards int, build BuildRunner) error
 			if err != nil {
 				return failWorker(w, fmt.Errorf("dist: shard %d wave [%d,%d): %w", shard, m.Lo, m.Hi, err))
 			}
-			if err := writeMsg(w, Msg{Type: TypeWaveDone, Lo: m.Lo, Hi: m.Hi}); err != nil {
+			// The barrier echoes the indices actually emitted — the
+			// coordinator's frame-integrity evidence: stream ordering puts
+			// every result line before this wavedone, so an echoed index the
+			// coordinator still lacks a result for was lost in transit.
+			if err := writeMsg(w, Msg{Type: TypeWaveDone, Lo: m.Lo, Hi: m.Hi, Indices: emitted}); err != nil {
 				return err
 			}
 		case TypeHalt:

@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/conf"
 	"repro/internal/core"
@@ -579,5 +580,87 @@ func TestAdaptiveMetricJSONPreservesRule(t *testing.T) {
 	back.Add(10.2)
 	if metricFingerprint(back) != metricFingerprint(m) {
 		t.Fatalf("post-restore folds diverged")
+	}
+}
+
+// TestElasticFleetByteIdenticalToStreamAdaptive is the elastic-membership
+// acceptance test at the experiment layer: an adaptive consensus cell run
+// on a fleet where two workers join late (one of which then leaves for
+// good) and an original member is partitioned mid-wave must stop at the
+// same trial and land on bit-identical aggregates as the in-process
+// StreamAdaptive loop.
+func TestElasticFleetByteIdenticalToStreamAdaptive(t *testing.T) {
+	cfg, err := conf.Uniform(2000, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 40
+	const seed = 1234
+	rule := ConsensusRule(0.02, cap)
+
+	ref := NewAdaptiveMetric("consensus T", rule)
+	failedRef := 0
+	refRes := StreamAdaptive(
+		AdaptiveOptions{MaxTrials: cap, Parallelism: 4, Seed: seed},
+		func(i int, src *rng.Source, a *Arena) float64 {
+			tt, _, err := consensusTime(a, cfg, src, core.NoBudget, core.KernelBatched(0))
+			if err != nil {
+				return math.NaN()
+			}
+			return tt.Float64()
+		},
+		func(_ int, v float64) {
+			if math.IsNaN(v) {
+				failedRef++
+				return
+			}
+			ref.Add(v)
+		},
+		StopWhenAll(ref))
+
+	// The leaving joiner (admitted second, so member id 3): one mid-wave
+	// crash, then every relaunch dies on connect until its budget is gone
+	// and the coordinator writes the member off.
+	leaveSched := []dist.Fault{{Shard: 3, Kind: dist.FaultCrashMidWave, After: 1}}
+	for l := 1; l <= dist.DefaultMaxRelaunches+1; l++ {
+		leaveSched = append(leaveSched, dist.Fault{Shard: 3, Launch: l, Kind: dist.FaultCrashOnConnect})
+	}
+	join := make(chan dist.Launcher, 2)
+	join <- &dist.PipeLauncher{Build: ShardBuilder(2)} // joins late, stays
+	join <- &dist.FaultLauncher{                       // joins late, leaves mid-run
+		Inner:    &dist.PipeLauncher{Build: ShardBuilder(2)},
+		Schedule: leaveSched,
+	}
+
+	spec := NewShardSpec(cfg, core.Variant{}, core.KernelBatched(0), core.NoBudget, 0, false)
+	metric := NewAdaptiveMetric("consensus T", rule)
+	res, failed, err := RunShardedConsensus(spec, metric, ShardRunOptions{
+		Shards:    2,
+		MaxTrials: cap,
+		Wave:      4,
+		Seed:      seed,
+		Launcher: &dist.FaultLauncher{
+			Inner:    &dist.PipeLauncher{Build: ShardBuilder(2)},
+			Schedule: []dist.Fault{{Shard: 1, Kind: dist.FaultPartition, After: 3}},
+		},
+		Join:          join,
+		WorkerTimeout: 500 * time.Millisecond,
+		Log:           io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("elastic fleet run: %v", err)
+	}
+	if res.Joined != 2 {
+		t.Fatalf("res = %+v, want both joiners admitted", res)
+	}
+	if res.Relaunches == 0 {
+		t.Fatalf("res = %+v, want the partition recovered", res)
+	}
+	if res.Trials != refRes.Trials || res.Stopped != refRes.Stopped || failed != failedRef {
+		t.Fatalf("trials=%d stopped=%v failed=%d, want %d/%v/%d",
+			res.Trials, res.Stopped, failed, refRes.Trials, refRes.Stopped, failedRef)
+	}
+	if got, want := metricFingerprint(metric), metricFingerprint(ref); got != want {
+		t.Fatalf("elastic fleet aggregates diverged:\n%s\nwant\n%s", got, want)
 	}
 }
